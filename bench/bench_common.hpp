@@ -1,0 +1,54 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every binary regenerates one table/figure of the paper's evaluation
+// (§6); run with --quick for a reduced sweep (CI) or no argument for the
+// full sweep used in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/ascan.hpp"
+
+namespace ascend::bench {
+
+struct BenchArgs {
+  bool quick = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        a.quick = true;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("usage: %s [--quick]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return a;
+  }
+};
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("==================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("machine: simulated Ascend 910B4 (20 AIC + 40 AIV, "
+              "HBM 800 GB/s)\n");
+  std::printf("==================================================\n");
+}
+
+/// GB/s from useful bytes (the paper's reporting convention: input read +
+/// output written).
+inline double gbps(const ascan::Report& rep, std::uint64_t useful_bytes) {
+  return rep.bandwidth(useful_bytes) / 1e9;
+}
+
+inline double ms(const ascan::Report& rep) { return rep.time_s * 1e3; }
+inline double us(const ascan::Report& rep) { return rep.time_s * 1e6; }
+
+}  // namespace ascend::bench

@@ -1,0 +1,68 @@
+// Host-side microbenchmarks (google-benchmark) of the simulator itself:
+// how fast the functional+timing machine model executes on the host. These
+// are *not* paper figures — they track the cost of running this
+// reproduction (useful when extending the simulator).
+#include <benchmark/benchmark.h>
+
+#include "kernels/mcscan.hpp"
+#include "kernels/scan_u.hpp"
+#include "sim/hbm_arbiter.hpp"
+#include "sim/l2_cache.hpp"
+
+using namespace ascend;
+
+static void BM_L2CacheAccess(benchmark::State& state) {
+  sim::L2Cache l2(96ull << 20, 512);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l2.access(addr, 32768, (addr & 1) != 0));
+    addr += 32768;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          32768);
+}
+BENCHMARK(BM_L2CacheAccess);
+
+static void BM_HbmArbiterChurn(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::HbmArbiter a(600e9, 800e9);
+    double t = 0;
+    for (int i = 0; i < flows; ++i) a.add_flow(t, 64e3, 128e9, 1.0, 1.0);
+    while (!a.idle()) {
+      t = a.next_completion_time();
+      benchmark::DoNotOptimize(a.advance_and_pop(t));
+    }
+  }
+}
+BENCHMARK(BM_HbmArbiterChurn)->Arg(4)->Arg(60);
+
+static void BM_SimulateScanU(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  acc::Device dev(sim::MachineConfig::single_core());
+  auto x = dev.alloc<half>(n, half(0.0f));
+  auto y = dev.alloc<half>(n, half(0.0f));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::scan_u(dev, x.tensor(), y.tensor(), n, 128));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulateScanU)->Arg(1 << 16)->Arg(1 << 18);
+
+static void BM_SimulateMcScan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  acc::Device dev;
+  auto x = dev.alloc<half>(n, half(0.0f));
+  auto y = dev.alloc<float>(n, 0.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::mcscan<half, float>(dev, x.tensor(), y.tensor(), n, {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulateMcScan)->Arg(1 << 18)->Arg(1 << 20);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Extension E2: strong scaling of MCScan over the AI-core count — the
+// curve behind the paper's "15.2x with all available (20) cube cores and
+// vector cores" claim, plus the cube-assisted reduction of [12] as a
+// second data point for the cube-accumulation path.
+#include "bench_common.hpp"
+#include "kernels/mcscan.hpp"
+#include "kernels/reduce.hpp"
+#include "kernels/scan_u.hpp"
+
+using namespace ascend;
+using namespace ascend::bench;
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  print_header("Extension E2", "MCScan strong scaling over AI cores");
+
+  const std::size_t n = args.quick ? (1u << 20) : (1u << 22);
+  double t1 = 0.0;
+  Table table({"cores", "time_us", "speedup_vs_1", "gbps"});
+  for (int cores : {1, 2, 4, 8, 12, 16, 20}) {
+    acc::Device dev;
+    auto x = dev.alloc<half>(n, half(0.0f));
+    auto y = dev.alloc<float>(n, 0.0f);
+    const auto r = kernels::mcscan<half, float>(dev, x.tensor(), y.tensor(),
+                                                n, {.blocks = cores});
+    if (cores == 1) t1 = r.time_s;
+    table.add_row({static_cast<std::int64_t>(cores), us(r), t1 / r.time_s,
+                   gbps(r, n * 6)});
+  }
+  table.print(std::cout);
+
+  {
+    acc::Device dev;
+    auto x = dev.alloc<half>(n, half(0.0f));
+    auto y16 = dev.alloc<half>(n, half(0.0f));
+    const double tu =
+        kernels::scan_u(dev, x.tensor(), y16.tensor(), n, 128).time_s;
+    acc::Device dev2;
+    auto x2 = dev2.alloc<half>(n, half(0.0f));
+    auto y2 = dev2.alloc<float>(n, 0.0f);
+    const double tm = kernels::mcscan<half, float>(dev2, x2.tensor(),
+                                                   y2.tensor(), n, {})
+                          .time_s;
+    std::printf("\nMCScan(20 cores) vs single-core ScanU: %.1fx "
+                "(paper: 15.2x)\n", tu / tm);
+  }
+
+  std::printf("\ncube-accumulated reduction vs vector reduction:\n");
+  Table rt({"n", "cube_us", "vector_us", "cube/vector"});
+  for (int p = 18; p <= (args.quick ? 20 : 22); p += 2) {
+    const std::size_t m = 1ull << p;
+    acc::Device dev;
+    auto x = dev.alloc<half>(m, half(1.0f));
+    const auto rc = kernels::reduce_cube(dev, x.tensor(), m, {});
+    const auto rv = kernels::reduce_vector(dev, x.tensor(), m);
+    rt.add_row({static_cast<std::int64_t>(m), us(rc.report), us(rv.report),
+                rv.report.time_s / rc.report.time_s});
+  }
+  rt.print(std::cout);
+  return 0;
+}

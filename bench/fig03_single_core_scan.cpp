@@ -1,0 +1,41 @@
+// Fig. 3: execution time of the CumSum AscendC API (vec_only) versus ScanU
+// and ScanUL1 (log-log in the paper). Single AI core, s = 128.
+//
+// Paper result: for sufficiently large inputs, ScanU is ~5x and ScanUL1
+// ~9.6x faster than the vector-only baseline; ScanUL1 ~2x over ScanU; at
+// small lengths all three are launch-overhead-bound (flat).
+#include "bench_common.hpp"
+#include "kernels/scan_u.hpp"
+#include "kernels/scan_ul1.hpp"
+#include "kernels/vec_cumsum.hpp"
+
+using namespace ascend;
+using namespace ascend::bench;
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  print_header("Fig. 3", "single-core scan: CumSum API vs ScanU vs ScanUL1");
+
+  acc::Device dev(sim::MachineConfig::single_core());
+  Table table({"n", "vec_only_us", "scanU_us", "scanUL1_us", "vec/scanU",
+               "vec/scanUL1", "scanU/scanUL1"});
+
+  const int max_pow = args.quick ? 20 : 22;
+  for (int p = 10; p <= max_pow; p += args.quick ? 2 : 1) {
+    const std::size_t n = 1ull << p;
+    auto x = dev.alloc<half>(n, half(0.0f));
+    auto y = dev.alloc<half>(n, half(0.0f));
+    const double tv = kernels::vec_cumsum(dev, x.tensor(), y.tensor(), n)
+                          .time_s;
+    const double tu =
+        kernels::scan_u(dev, x.tensor(), y.tensor(), n, 128).time_s;
+    const double tul =
+        kernels::scan_ul1(dev, x.tensor(), y.tensor(), n, 128).time_s;
+    table.add_row({static_cast<std::int64_t>(n), tv * 1e6, tu * 1e6,
+                   tul * 1e6, tv / tu, tv / tul, tu / tul});
+  }
+  table.print(std::cout);
+  std::printf("\npaper: vec/ScanU -> ~5x, vec/ScanUL1 -> ~9.6x, "
+              "ScanU/ScanUL1 -> ~2x at large n\n");
+  return 0;
+}

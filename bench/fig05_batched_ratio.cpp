@@ -1,0 +1,49 @@
+// Fig. 5: execution-time ratio between the ScanUL1-based and ScanU-based
+// batched scans across array length (x) and batch size (y). Ratio < 1
+// means the ScanUL1 schedule wins.
+//
+// Paper result: ScanU-based wins for batch > ~18 and length < ~4K;
+// ScanUL1-based wins for batch < ~18 and length > ~4K.
+#include "bench_common.hpp"
+#include "kernels/batched_scan.hpp"
+
+using namespace ascend;
+using namespace ascend::bench;
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  print_header("Fig. 5", "batched scan: time(ScanUL1-based)/time(ScanU-based)");
+
+  acc::Device dev;
+  const std::vector<std::size_t> lens =
+      args.quick ? std::vector<std::size_t>{1024, 4096, 16384, 65536}
+                 : std::vector<std::size_t>{512,  1024,  2048, 4096,
+                                            8192, 16384, 32768, 65536};
+  const std::vector<std::size_t> batches =
+      args.quick ? std::vector<std::size_t>{4, 16, 24, 40}
+                 : std::vector<std::size_t>{2, 4, 8, 12, 16, 18, 20, 24, 32,
+                                            40};
+
+  std::printf("rows: batch size, columns: array length; "
+              "ratio UL1/U (<1: UL1 schedule wins)\n\n        ");
+  for (auto len : lens) std::printf("%8zu", len);
+  std::printf("\n");
+  for (auto b : batches) {
+    std::printf("b=%-5zu ", b);
+    for (auto len : lens) {
+      auto x = dev.alloc<half>(b * len, half(0.0f));
+      auto y = dev.alloc<half>(b * len, half(0.0f));
+      const double tu = kernels::batched_scan_u(dev, x.tensor(), y.tensor(),
+                                                b, len, {})
+                            .time_s;
+      const double tul = kernels::batched_scan_ul1(dev, x.tensor(),
+                                                   y.tensor(), b, len, {})
+                             .time_s;
+      std::printf("%8.2f", tul / tu);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: UL1 wins (ratio < 1) for small batch & long arrays; "
+              "ScanU-based wins for batch > ~18 & short arrays\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 11: fp16 radix sort (MCScan-powered splits) vs the torch.sort
+// baseline, both returning values and indices.
+//
+// Paper results: the baseline wins below ~525K elements; above, radix sort
+// delivers 1.3x–3.3x.
+#include "bench_common.hpp"
+#include "kernels/radix_sort.hpp"
+#include "kernels/sort_baseline.hpp"
+
+using namespace ascend;
+using namespace ascend::bench;
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  print_header("Fig. 11", "fp16 radix sort vs torch.sort (values + indices)");
+
+  Rng rng(0x50f7);
+  Table table({"n", "radix_ms", "baseline_ms", "speedup"});
+  const int max_pow = args.quick ? 21 : 23;
+  for (int p = 16; p <= max_pow; ++p) {
+    const std::size_t n = 1ull << p;
+    acc::Device dev;
+    auto keys = dev.upload(rng.uniform_f16(n, -100.0, 100.0));
+    auto out_k = dev.alloc<half>(n);
+    auto out_i = dev.alloc<std::int32_t>(n);
+    const auto r = kernels::radix_sort_f16(dev, keys.tensor(), out_k.tensor(),
+                                           out_i.tensor(), n, {});
+    const auto b = kernels::sort_baseline_f16(dev, keys.tensor(),
+                                              out_k.tensor(), out_i.tensor(),
+                                              n, false);
+    table.add_row({static_cast<std::int64_t>(n), ms(r), ms(b),
+                   b.time_s / r.time_s});
+  }
+  table.print(std::cout);
+  std::printf("\npaper: baseline wins below ~525K; radix 1.3x-3.3x above\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Variable-length sequence pooling with the segmented scan extension.
+//
+// A batch of packed variable-length sequences (the ragged layout used for
+// attention masking and sequence pooling in LLM serving) is prefix-summed
+// per sequence in one device pass: the segment flags mark sequence starts,
+// and the segmented scan restarts the running sum at each of them. The
+// last element of each segment is then its pooled sum — gathered on the
+// host for the demo.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ascan.hpp"
+
+int main() {
+  ascan::Session session;
+  ascend::Rng rng(11);
+
+  // Build a packed batch: 64 sequences with ragged lengths 100..5000.
+  std::vector<std::size_t> lengths;
+  std::size_t total = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t len = 100 + rng.next_below(4900);
+    lengths.push_back(len);
+    total += len;
+  }
+  std::vector<ascan::half> values(total);
+  std::vector<std::int8_t> starts(total, 0);
+  {
+    std::size_t pos = 0;
+    for (const std::size_t len : lengths) {
+      starts[pos] = 1;
+      for (std::size_t j = 0; j < len; ++j) {
+        values[pos + j] = ascan::half(float(rng.next_below(3)));
+      }
+      pos += len;
+    }
+  }
+
+  const auto scanned = session.segmented_cumsum(values, starts);
+  std::printf("segmented scan over %zu packed elements (64 sequences): "
+              "%.1f us simulated\n",
+              total, scanned.report.time_s * 1e6);
+
+  // Pooled sums = the last scanned element of each segment.
+  std::size_t pos = 0;
+  double checked = 0.0;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    pos += lengths[i];
+    const float pooled = scanned.values[pos - 1];
+    // Verify against a host-side sum.
+    double want = 0.0;
+    for (std::size_t j = pos - lengths[i]; j < pos; ++j) {
+      want += float(values[j]);
+    }
+    if (pooled != float(want)) {
+      std::fprintf(stderr, "sequence %zu pooled mismatch: %g vs %g\n", i,
+                   pooled, want);
+      return 1;
+    }
+    checked += want;
+  }
+  std::printf("all 64 pooled sums verified (grand total %.0f)\n", checked);
+
+  // Compare against the flat (single-segment) scan for context.
+  const auto flat = session.cumsum(values);
+  std::printf("flat MCScan of the same data: %.1f us — the segmented pass "
+              "costs %.2fx\n",
+              flat.report.time_s * 1e6,
+              scanned.report.time_s / flat.report.time_s);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Umbrella header for the AscendC-style programming layer.
+#pragma once
+
+#include "ascendc/context.hpp"
+#include "ascendc/device.hpp"
+#include "ascendc/intrinsics.hpp"
+#include "ascendc/runtime.hpp"
+#include "ascendc/tensor.hpp"
+#include "ascendc/tpipe.hpp"

@@ -1,0 +1,160 @@
+// Per-sub-core kernel execution context plus the shared launch state
+// (barriers, cross-core flags) used by the functional pass.
+//
+// A kernel launch runs the kernel body once per logical sub-core, each on
+// its own host thread. In MIX mode a block is one AI core: sub-core 0 is the
+// AIC (cube) core and sub-cores 1..vec_per_core are the AIV (vector) cores.
+// In vector-only mode each block is a single AIV core.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ascendc/tensor.hpp"
+#include "sim/config.hpp"
+#include "sim/trace.hpp"
+
+namespace ascend::acc {
+
+class KernelContext;
+
+/// Barrier with poison propagation: if any participant fails, every waiter
+/// (current and future) throws instead of deadlocking.
+class SimpleBarrier {
+ public:
+  explicit SimpleBarrier(int count) : threshold_(count) {}
+
+  void arrive_and_wait();
+  void poison();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int threshold_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  bool poisoned_ = false;
+};
+
+/// A shared array of cross-core synchronisation flags. set(i) publishes the
+/// id of the trace op that performed the set; wait(i) blocks the functional
+/// thread until then and records a dependency edge on that op.
+class CrossFlags {
+ public:
+  explicit CrossFlags(std::size_t n) : setter_(n) {
+    for (auto& s : setter_) s.store(0, std::memory_order_relaxed);
+  }
+
+  void set(KernelContext& ctx, std::size_t i);
+  void wait(KernelContext& ctx, std::size_t i);
+
+  std::size_t size() const { return setter_.size(); }
+  void poison();
+
+ private:
+  std::vector<std::atomic<std::uint32_t>> setter_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool poisoned_ = false;
+};
+
+/// State shared by all sub-cores of one launch.
+class LaunchShared {
+ public:
+  LaunchShared(int num_subcores)
+      : num_subcores_(num_subcores), barrier_(num_subcores), op_ids_(1) {}
+
+  SimpleBarrier& barrier() { return barrier_; }
+  std::atomic<std::uint32_t>& op_ids() { return op_ids_; }
+
+  /// Named flag arrays, created on first use (all sub-cores must agree on
+  /// the size).
+  CrossFlags& flags(const std::string& name, std::size_t n);
+
+  void poison();
+  int num_subcores() const { return num_subcores_; }
+
+ private:
+  int num_subcores_;
+  SimpleBarrier barrier_;
+  std::atomic<std::uint32_t> op_ids_;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CrossFlags>> flags_;
+};
+
+enum class SubcoreKind : std::uint8_t { Cube, Vector };
+
+class KernelContext {
+ public:
+  KernelContext(const sim::MachineConfig& cfg, LaunchShared* shared,
+                int block_idx, int block_dim, SubcoreKind kind, int sub_idx,
+                std::uint32_t global_subcore);
+
+  // --- Identity (mirrors AscendC's GetBlockIdx / GetSubBlockIdx) -----------
+  int GetBlockIdx() const { return block_idx_; }
+  int GetBlockDim() const { return block_dim_; }
+  /// 0 for the cube core; 0..vec_per_core-1 for vector cores of the block.
+  int GetSubBlockIdx() const { return sub_idx_; }
+  bool is_cube() const { return kind_ == SubcoreKind::Cube; }
+  bool is_vector() const { return kind_ == SubcoreKind::Vector; }
+
+  const sim::MachineConfig& cfg() const { return cfg_; }
+  sim::TraceBuilder& trace() { return trace_; }
+  LaunchShared& shared() { return *shared_; }
+
+  /// Global synchronisation of all sub-cores of the launch (AscendC
+  /// SyncAll). Functionally a barrier; in simulated time every sub-core's
+  /// barrier op completes simultaneously.
+  void SyncAll();
+
+  // --- Scratchpad arenas -----------------------------------------------------
+  /// Bump-allocates `bytes` in the physical buffer backing `pos`,
+  /// enforcing the hardware capacities. 32-byte aligned like the UB.
+  std::byte* arena_alloc(TPosition pos, std::size_t bytes);
+
+  // --- Trace helpers (used by the intrinsics layer) ---------------------------
+  /// Records a fixed-duration op. Hazard edges: deps on last_write of every
+  /// read state and last_write/last_read of every written state; updates
+  /// the states afterwards. Null states are skipped.
+  std::uint32_t record_compute(sim::EngineKind engine, double cycles,
+                               const char* tag,
+                               std::initializer_list<BufferState*> reads,
+                               std::initializer_list<BufferState*> writes);
+
+  /// Records a GM transfer op (arbitrated by the HBM model).
+  std::uint32_t record_transfer(sim::EngineKind engine, std::uint64_t bytes,
+                                std::uint64_t gm_addr, bool gm_write,
+                                const char* tag, BufferState* local_read,
+                                BufferState* local_write);
+
+  /// Marks the most recent op as serialising: everything issued afterwards
+  /// on this sub-core depends on it (scalar read-backs, flag waits).
+  void serialise_after(std::uint32_t op_id) {
+    trace_.set_serial_anchor(op_id);
+  }
+
+ private:
+  const sim::MachineConfig& cfg_;
+  LaunchShared* shared_;
+  int block_idx_;
+  int block_dim_;
+  SubcoreKind kind_;
+  int sub_idx_;
+  sim::TraceBuilder trace_;
+  std::uint32_t sync_count_ = 0;
+
+  struct Arena {
+    std::vector<std::byte> mem;
+    std::size_t used = 0;
+  };
+  Arena ub_, l1_, l0a_, l0b_, l0c_;
+  Arena& arena_for(TPosition pos);
+};
+
+}  // namespace ascend::acc

@@ -1,0 +1,82 @@
+// Simulated Ascend device: owns the machine configuration, the shared L2
+// model, global-memory buffers, and accumulates per-operator reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/dtype.hpp"
+#include "sim/config.hpp"
+#include "sim/l2_cache.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::acc {
+
+template <typename T>
+class GlobalTensor;
+
+/// Owning global-memory (HBM) allocation. The host can read/write it freely
+/// between kernel launches (that is the host<->device boundary); kernels
+/// access it through GlobalTensor views.
+template <typename T>
+class GlobalBuffer {
+ public:
+  GlobalBuffer() = default;
+  explicit GlobalBuffer(std::size_t n) : data_(n) {}
+  GlobalBuffer(std::size_t n, T fill) : data_(n, fill) {}
+  explicit GlobalBuffer(std::vector<T> host) : data_(std::move(host)) {}
+
+  std::size_t size() const { return data_.size(); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  GlobalTensor<T> tensor();
+
+  std::vector<T>& host() { return data_; }
+  const std::vector<T>& host() const { return data_; }
+
+ private:
+  std::vector<T> data_;
+};
+
+class Device {
+ public:
+  explicit Device(sim::MachineConfig cfg = sim::MachineConfig::ascend_910b4())
+      : cfg_(cfg), l2_(cfg.l2_bytes, cfg.l2_line_bytes) {}
+
+  const sim::MachineConfig& config() const { return cfg_; }
+  sim::L2Cache& l2() { return l2_; }
+
+  template <typename T>
+  GlobalBuffer<T> alloc(std::size_t n) {
+    return GlobalBuffer<T>(n);
+  }
+  template <typename T>
+  GlobalBuffer<T> alloc(std::size_t n, T fill) {
+    return GlobalBuffer<T>(n, fill);
+  }
+  template <typename T>
+  GlobalBuffer<T> upload(std::vector<T> host) {
+    return GlobalBuffer<T>(std::move(host));
+  }
+
+  /// Cost of a host-side synchronisation + read-back of device results
+  /// between launches (used by host-driven algorithms such as the
+  /// quickselect top-k). Returns a report fragment to aggregate.
+  sim::Report host_sync_report() const {
+    sim::Report r;
+    r.time_s = host_sync_s_;
+    return r;
+  }
+
+ private:
+  sim::MachineConfig cfg_;
+  sim::L2Cache l2_;
+  double host_sync_s_ = 8e-6;
+};
+
+}  // namespace ascend::acc

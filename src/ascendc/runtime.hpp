@@ -1,0 +1,134 @@
+// Kernel launcher: runs a kernel body once per logical sub-core (each on a
+// host thread), merges the recorded traces, and feeds them to the
+// discrete-event scheduler to obtain the simulated execution report.
+//
+// Launch modes mirror how AscendC kernels occupy the 910B:
+//  * Mix:        block = one AI core (1 AIC + vec_per_core AIVs). The body
+//                runs on every sub-core; branch on ctx.is_cube() /
+//                ctx.GetSubBlockIdx() like an AscendC MIX kernel.
+//  * VectorOnly: block = one AIV core (up to 2x the AI-core count).
+//  * CubeOnly:   block = one AIC core.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ascendc/context.hpp"
+#include "ascendc/device.hpp"
+#include "sim/report.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ascend::acc {
+
+enum class LaunchMode { Mix, VectorOnly, CubeOnly };
+
+struct LaunchSpec {
+  int block_dim = 1;
+  LaunchMode mode = LaunchMode::Mix;
+  const char* name = "kernel";
+  /// When set, the scheduler records every op's interval for inspection /
+  /// chrome-trace export (see sim/trace_export.hpp).
+  sim::Timeline* timeline = nullptr;
+};
+
+namespace detail {
+
+struct SubcorePlan {
+  int block_idx;
+  SubcoreKind kind;
+  int sub_idx;
+};
+
+inline std::vector<SubcorePlan> plan_subcores(const sim::MachineConfig& cfg,
+                                              const LaunchSpec& spec) {
+  std::vector<SubcorePlan> plan;
+  switch (spec.mode) {
+    case LaunchMode::Mix:
+      ASCAN_CHECK(spec.block_dim >= 1 && spec.block_dim <= cfg.num_ai_cores,
+                  "MIX launch of " << spec.block_dim << " blocks exceeds "
+                                   << cfg.num_ai_cores << " AI cores");
+      for (int b = 0; b < spec.block_dim; ++b) {
+        plan.push_back({b, SubcoreKind::Cube, 0});
+        for (int v = 0; v < cfg.vec_per_core; ++v) {
+          plan.push_back({b, SubcoreKind::Vector, v});
+        }
+      }
+      break;
+    case LaunchMode::VectorOnly:
+      ASCAN_CHECK(spec.block_dim >= 1 && spec.block_dim <= cfg.num_vec_cores(),
+                  "vector launch of " << spec.block_dim << " blocks exceeds "
+                                      << cfg.num_vec_cores() << " AIV cores");
+      for (int b = 0; b < spec.block_dim; ++b) {
+        plan.push_back({b, SubcoreKind::Vector, 0});
+      }
+      break;
+    case LaunchMode::CubeOnly:
+      ASCAN_CHECK(spec.block_dim >= 1 && spec.block_dim <= cfg.num_ai_cores,
+                  "cube launch of " << spec.block_dim << " blocks exceeds "
+                                    << cfg.num_ai_cores << " AIC cores");
+      for (int b = 0; b < spec.block_dim; ++b) {
+        plan.push_back({b, SubcoreKind::Cube, 0});
+      }
+      break;
+  }
+  return plan;
+}
+
+}  // namespace detail
+
+/// Launches `body(ctx)` per sub-core and returns the simulated report.
+/// Functional effects on GM buffers happen eagerly; the report's time is
+/// what the 910B would take.
+template <typename F>
+sim::Report launch(Device& dev, const LaunchSpec& spec, F&& body) {
+  const sim::MachineConfig& cfg = dev.config();
+  const auto plan = detail::plan_subcores(cfg, spec);
+  const int n = static_cast<int>(plan.size());
+
+  LaunchShared shared(n);
+  std::vector<std::unique_ptr<KernelContext>> ctxs;
+  ctxs.reserve(plan.size());
+  for (int s = 0; s < n; ++s) {
+    ctxs.push_back(std::make_unique<KernelContext>(
+        cfg, &shared, plan[s].block_idx, spec.block_dim, plan[s].kind,
+        plan[s].sub_idx, static_cast<std::uint32_t>(s)));
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<std::thread> threads;
+  threads.reserve(plan.size());
+  for (int s = 0; s < n; ++s) {
+    threads.emplace_back([&, s] {
+      try {
+        body(*ctxs[static_cast<std::size_t>(s)]);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        shared.poison();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  sim::KernelTrace trace;
+  trace.per_subcore.reserve(plan.size());
+  trace.is_cube_subcore.reserve(plan.size());
+  for (int s = 0; s < n; ++s) {
+    trace.per_subcore.push_back(
+        std::move(ctxs[static_cast<std::size_t>(s)]->trace().mutable_ops()));
+    trace.is_cube_subcore.push_back(plan[s].kind == SubcoreKind::Cube);
+  }
+  trace.max_op_id = shared.op_ids().load(std::memory_order_relaxed) - 1;
+
+  sim::Scheduler sched(cfg, &dev.l2());
+  return sched.run(trace, spec.timeline);
+}
+
+}  // namespace ascend::acc

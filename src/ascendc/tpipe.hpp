@@ -1,0 +1,149 @@
+// TPipe / TQue / TBuf — the AscendC memory-management abstractions (§3.2).
+//
+// A TQue manages `num` equal-size slots in the scratchpad backing its
+// TPosition. The AllocTensor / EnQue / DeQue / FreeTensor protocol makes
+// every producer-consumer dependency explicit; in this simulator the
+// dependencies materialise as hazard edges on the slots' BufferStates, so a
+// queue of depth 2 really does overlap the MTE and compute engines in
+// simulated time (double buffering is "changing the queue capacity from one
+// to two", exactly as the paper describes).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "ascendc/context.hpp"
+#include "ascendc/tensor.hpp"
+
+namespace ascend::acc {
+
+class TQue {
+ public:
+  TQue(KernelContext& ctx, TPosition pos) : ctx_(&ctx), pos_(pos) {}
+
+  TQue(const TQue&) = delete;
+  TQue& operator=(const TQue&) = delete;
+
+  /// Allocates a free slot (the whole slot) as a typed tensor.
+  template <typename T>
+  LocalTensor<T> AllocTensor() {
+    ASCAN_CHECK(!free_.empty(),
+                "TQue(" << tposition_name(pos_)
+                        << ") has no free slot: AllocTensor without a "
+                           "matching FreeTensor, or depth too small");
+    const std::size_t slot = free_.front();
+    free_.pop_front();
+    Slot& s = slots_[slot];
+    return LocalTensor<T>(reinterpret_cast<T*>(s.data),
+                          slot_bytes_ / sizeof(T), pos_, &s.state);
+  }
+
+  /// Publishes a produced tensor to the consumer side.
+  template <typename T>
+  void EnQue(const LocalTensor<T>& t) {
+    queued_.push_back(slot_of(t.state()));
+  }
+
+  /// Retrieves the oldest published tensor.
+  template <typename T>
+  LocalTensor<T> DeQue() {
+    ASCAN_CHECK(!queued_.empty(), "DeQue on empty TQue("
+                                      << tposition_name(pos_) << ")");
+    const std::size_t slot = queued_.front();
+    queued_.pop_front();
+    Slot& s = slots_[slot];
+    return LocalTensor<T>(reinterpret_cast<T*>(s.data),
+                          slot_bytes_ / sizeof(T), pos_, &s.state);
+  }
+
+  /// Returns the slot to the allocator (hazard state is kept, so the next
+  /// producer of this slot still orders after our last read).
+  template <typename T>
+  void FreeTensor(const LocalTensor<T>& t) {
+    free_.push_back(slot_of(t.state()));
+  }
+
+  TPosition position() const { return pos_; }
+  int depth() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  friend class TPipe;
+
+  struct Slot {
+    std::byte* data = nullptr;
+    BufferState state;
+  };
+
+  std::size_t slot_of(const BufferState* st) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (&slots_[i].state == st) return i;
+    }
+    throw Error("tensor does not belong to this TQue");
+  }
+
+  KernelContext* ctx_;
+  TPosition pos_;
+  std::size_t slot_bytes_ = 0;
+  std::vector<Slot> slots_;
+  std::deque<std::size_t> free_;
+  std::deque<std::size_t> queued_;
+};
+
+/// Persistent scratch buffer without queue semantics (AscendC TBuf).
+class TBuf {
+ public:
+  TBuf(KernelContext& ctx, TPosition pos) : ctx_(&ctx), pos_(pos) {}
+
+  TBuf(const TBuf&) = delete;
+  TBuf& operator=(const TBuf&) = delete;
+
+  template <typename T>
+  LocalTensor<T> Get() {
+    ASCAN_CHECK(data_ != nullptr, "TBuf used before TPipe::InitBuffer");
+    return LocalTensor<T>(reinterpret_cast<T*>(data_), bytes_ / sizeof(T),
+                          pos_, &state_);
+  }
+  template <typename T>
+  LocalTensor<T> GetWithOffset(std::size_t offset_elems, std::size_t n) {
+    return Get<T>().sub(offset_elems, n);
+  }
+
+  TPosition position() const { return pos_; }
+
+ private:
+  friend class TPipe;
+  KernelContext* ctx_;
+  TPosition pos_;
+  std::byte* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  BufferState state_;
+};
+
+/// Scratchpad allocator for one sub-core.
+class TPipe {
+ public:
+  explicit TPipe(KernelContext& ctx) : ctx_(&ctx) {}
+
+  void InitBuffer(TQue& que, int num, std::size_t bytes_per_slot) {
+    ASCAN_CHECK(num >= 1 && bytes_per_slot > 0);
+    ASCAN_CHECK(que.slots_.empty(), "TQue already initialised");
+    que.slot_bytes_ = bytes_per_slot;
+    que.slots_.resize(static_cast<std::size_t>(num));
+    for (int i = 0; i < num; ++i) {
+      que.slots_[static_cast<std::size_t>(i)].data =
+          ctx_->arena_alloc(que.pos_, bytes_per_slot);
+      que.free_.push_back(static_cast<std::size_t>(i));
+    }
+  }
+
+  void InitBuffer(TBuf& buf, std::size_t bytes) {
+    ASCAN_CHECK(buf.data_ == nullptr, "TBuf already initialised");
+    buf.data_ = ctx_->arena_alloc(buf.pos_, bytes);
+    buf.bytes_ = bytes;
+  }
+
+ private:
+  KernelContext* ctx_;
+};
+
+}  // namespace ascend::acc

@@ -1,0 +1,66 @@
+// Error-checking macros used across the library.
+//
+// ASCAN_CHECK is for user-facing argument validation (throws
+// ascan::Error), ASCAN_ASSERT for internal invariants (also throws, so
+// tests can observe violations instead of aborting the process).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ascend {
+
+/// Exception type thrown on API misuse or internal invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+// Tiny stream that lets the macros accept `<<`-style messages lazily.
+class MessageStream {
+ public:
+  template <typename T>
+  MessageStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace ascend
+
+#define ASCAN_CHECK(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::ascend::detail::MessageStream ascan_ms_;                            \
+      (void)(ascan_ms_ __VA_OPT__(<<) __VA_ARGS__);                         \
+      ::ascend::detail::throw_check_failure("ASCAN_CHECK", #cond, __FILE__, \
+                                            __LINE__, ascan_ms_.str());     \
+    }                                                                       \
+  } while (0)
+
+#define ASCAN_ASSERT(cond, ...)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::ascend::detail::MessageStream ascan_ms_;                             \
+      (void)(ascan_ms_ __VA_OPT__(<<) __VA_ARGS__);                          \
+      ::ascend::detail::throw_check_failure("ASCAN_ASSERT", #cond, __FILE__, \
+                                            __LINE__, ascan_ms_.str());      \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,86 @@
+// Runtime data-type descriptors mirroring the types the Ascend 910B cube and
+// vector units operate on (float16 with float32 accumulation, int8 with
+// int32 accumulation, plus the auxiliary integer types used by the
+// scan-based operators).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/half.hpp"
+
+namespace ascend {
+
+enum class DType : std::uint8_t {
+  f16,
+  f32,
+  i8,
+  u8,
+  i16,
+  u16,
+  i32,
+  u32,
+};
+
+constexpr std::size_t dtype_size(DType t) noexcept {
+  switch (t) {
+    case DType::i8:
+    case DType::u8:
+      return 1;
+    case DType::f16:
+    case DType::i16:
+    case DType::u16:
+      return 2;
+    case DType::f32:
+    case DType::i32:
+    case DType::u32:
+      return 4;
+  }
+  return 0;
+}
+
+constexpr std::string_view dtype_name(DType t) noexcept {
+  switch (t) {
+    case DType::f16: return "f16";
+    case DType::f32: return "f32";
+    case DType::i8: return "i8";
+    case DType::u8: return "u8";
+    case DType::i16: return "i16";
+    case DType::u16: return "u16";
+    case DType::i32: return "i32";
+    case DType::u32: return "u32";
+  }
+  return "?";
+}
+
+template <typename T>
+struct dtype_of;  // undefined on purpose
+
+template <> struct dtype_of<half> { static constexpr DType value = DType::f16; };
+template <> struct dtype_of<float> { static constexpr DType value = DType::f32; };
+template <> struct dtype_of<std::int8_t> { static constexpr DType value = DType::i8; };
+template <> struct dtype_of<std::uint8_t> { static constexpr DType value = DType::u8; };
+template <> struct dtype_of<std::int16_t> { static constexpr DType value = DType::i16; };
+template <> struct dtype_of<std::uint16_t> { static constexpr DType value = DType::u16; };
+template <> struct dtype_of<std::int32_t> { static constexpr DType value = DType::i32; };
+template <> struct dtype_of<std::uint32_t> { static constexpr DType value = DType::u32; };
+
+template <typename T>
+inline constexpr DType dtype_of_v = dtype_of<T>::value;
+
+/// Accumulator type the cube unit uses for a given input element type:
+/// float16 multiplies accumulate into float32, int8 into int32.
+template <typename T> struct cube_accum;
+template <> struct cube_accum<half> { using type = float; };
+template <> struct cube_accum<float> { using type = float; };
+template <> struct cube_accum<std::int8_t> { using type = std::int32_t; };
+template <> struct cube_accum<std::uint8_t> { using type = std::int32_t; };
+template <> struct cube_accum<std::int16_t> { using type = std::int32_t; };
+template <> struct cube_accum<std::uint16_t> { using type = std::int32_t; };
+template <> struct cube_accum<std::int32_t> { using type = std::int32_t; };
+
+template <typename T>
+using cube_accum_t = typename cube_accum<T>::type;
+
+}  // namespace ascend

@@ -1,0 +1,99 @@
+#include "common/half.hpp"
+
+namespace ascend::detail {
+
+namespace {
+std::uint32_t float_bits(float f) noexcept {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+float bits_float(std::uint32_t u) noexcept {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+}  // namespace
+
+std::uint16_t float_to_half_bits(float f) noexcept {
+  const std::uint32_t u = float_bits(f);
+  const std::uint32_t sign = (u >> 16) & 0x8000u;
+  const std::uint32_t abs = u & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {  // Inf or NaN
+    if (abs > 0x7f800000u) {
+      // NaN: keep top mantissa bits, force quiet bit so payload is non-zero.
+      std::uint32_t mant = (abs & 0x007fffffu) >> 13;
+      return static_cast<std::uint16_t>(sign | 0x7c00u | mant | 0x0200u);
+    }
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs >= 0x477ff000u) {
+    // Overflows half range after rounding (>= 65520 rounds to inf).
+    if (abs >= 0x477ff000u && abs < 0x47800000u) {
+      // Values in [65520, 65536) round to +/-inf except those that round
+      // down to 65504; the exact cutoff is 65519.99...; handled below by
+      // generic rounding for abs < 0x477ff000. Here abs >= 0x477ff000
+      // (65520.0f) -> inf.
+      return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  int exp = static_cast<int>((abs >> 23)) - 127;  // unbiased exponent
+  std::uint32_t mant = abs & 0x007fffffu;
+
+  if (exp < -24) {
+    // Too small: rounds to signed zero (values >= 2^-25 with mantissa may
+    // round up to the smallest subnormal; check the boundary).
+    if (exp == -25 && mant != 0) {
+      return static_cast<std::uint16_t>(sign | 1u);  // round up to 2^-24
+    }
+    return static_cast<std::uint16_t>(sign);
+  }
+  if (exp < -14) {
+    // Subnormal half. Implicit leading 1 becomes explicit.
+    mant |= 0x00800000u;
+    const int shift = -exp - 14 + 13;  // bits to drop (14..24)
+    const std::uint32_t dropped = mant & ((1u << shift) - 1u);
+    std::uint32_t result = mant >> shift;
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (dropped > halfway || (dropped == halfway && (result & 1u))) ++result;
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  // Normal half. Round mantissa from 23 to 10 bits (RNE).
+  std::uint32_t result =
+      static_cast<std::uint32_t>(exp + 15) << 10 | (mant >> 13);
+  const std::uint32_t dropped = mant & 0x1fffu;
+  if (dropped > 0x1000u || (dropped == 0x1000u && (result & 1u))) ++result;
+  // Mantissa carry may overflow into the exponent; that is correct
+  // behaviour (e.g. rounding 2047.5 ulps up to the next binade), and may
+  // produce inf for the largest values.
+  return static_cast<std::uint16_t>(sign | result);
+}
+
+float half_bits_to_float(std::uint16_t h) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t mant = h & 0x03ffu;
+
+  if (exp == 0) {
+    if (mant == 0) return bits_float(sign);  // signed zero
+    // Subnormal: normalise.
+    int e = -1;
+    do {
+      ++e;
+      mant <<= 1;
+    } while ((mant & 0x0400u) == 0);
+    mant &= 0x03ffu;
+    const std::uint32_t fexp = static_cast<std::uint32_t>(127 - 15 - e);
+    return bits_float(sign | (fexp << 23) | (mant << 13));
+  }
+  if (exp == 0x1fu) {  // inf / NaN
+    return bits_float(sign | 0x7f800000u | (mant << 13));
+  }
+  return bits_float(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+}  // namespace ascend::detail

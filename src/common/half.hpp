@@ -1,0 +1,76 @@
+// IEEE 754 binary16 ("half", Ascend float16) implemented from scratch.
+//
+// The Ascend cube unit consumes float16 operands and accumulates into
+// float32; the vector unit operates on float16 directly. This type gives the
+// simulator bit-exact float16 storage semantics: every arithmetic operation
+// promotes to float, computes, and rounds back to the nearest representable
+// binary16 value (round-to-nearest-even), including subnormals, infinities
+// and NaN propagation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace ascend {
+
+namespace detail {
+std::uint16_t float_to_half_bits(float f) noexcept;
+float half_bits_to_float(std::uint16_t h) noexcept;
+}  // namespace detail
+
+class half {
+ public:
+  half() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors built-in float
+  // conversions so kernels can mix half and float naturally.
+  half(float f) noexcept : bits_(detail::float_to_half_bits(f)) {}
+  explicit half(double d) noexcept : half(static_cast<float>(d)) {}
+  explicit half(int i) noexcept : half(static_cast<float>(i)) {}
+
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator float() const noexcept { return detail::half_bits_to_float(bits_); }
+
+  static half from_bits(std::uint16_t b) noexcept {
+    half h;
+    h.bits_ = b;
+    return h;
+  }
+  std::uint16_t bits() const noexcept { return bits_; }
+
+  half& operator+=(half o) noexcept { return *this = half(float(*this) + float(o)); }
+  half& operator-=(half o) noexcept { return *this = half(float(*this) - float(o)); }
+  half& operator*=(half o) noexcept { return *this = half(float(*this) * float(o)); }
+  half& operator/=(half o) noexcept { return *this = half(float(*this) / float(o)); }
+
+  friend half operator+(half a, half b) noexcept { return half(float(a) + float(b)); }
+  friend half operator-(half a, half b) noexcept { return half(float(a) - float(b)); }
+  friend half operator*(half a, half b) noexcept { return half(float(a) * float(b)); }
+  friend half operator/(half a, half b) noexcept { return half(float(a) / float(b)); }
+  friend half operator-(half a) noexcept { return half(-float(a)); }
+
+  friend bool operator==(half a, half b) noexcept { return float(a) == float(b); }
+  friend bool operator!=(half a, half b) noexcept { return float(a) != float(b); }
+  friend bool operator<(half a, half b) noexcept { return float(a) < float(b); }
+  friend bool operator<=(half a, half b) noexcept { return float(a) <= float(b); }
+  friend bool operator>(half a, half b) noexcept { return float(a) > float(b); }
+  friend bool operator>=(half a, half b) noexcept { return float(a) >= float(b); }
+
+  bool isnan() const noexcept {
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x03ffu) != 0;
+  }
+  bool isinf() const noexcept { return (bits_ & 0x7fffu) == 0x7c00u; }
+
+  static half max() noexcept { return from_bits(0x7bffu); }       // 65504
+  static half lowest() noexcept { return from_bits(0xfbffu); }    // -65504
+  static half infinity() noexcept { return from_bits(0x7c00u); }
+  static half quiet_nan() noexcept { return from_bits(0x7e00u); }
+  static half epsilon() noexcept { return from_bits(0x1400u); }   // 2^-10
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(half) == 2, "half must be 2 bytes");
+
+}  // namespace ascend

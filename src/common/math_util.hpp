@@ -1,0 +1,46 @@
+// Small integer helpers shared by the simulator and the kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace ascend {
+
+template <typename T>
+constexpr T ceil_div(T a, T b) noexcept {
+  return (a + b - 1) / b;
+}
+
+template <typename T>
+constexpr T align_up(T a, T alignment) noexcept {
+  return ceil_div(a, alignment) * alignment;
+}
+
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  if (x <= 1) return 1;
+  --x;
+  x |= x >> 1;
+  x |= x >> 2;
+  x |= x >> 4;
+  x |= x >> 8;
+  x |= x >> 16;
+  x |= x >> 32;
+  return x + 1;
+}
+
+constexpr int log2_floor(std::uint64_t x) noexcept {
+  int r = -1;
+  while (x != 0) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace ascend

@@ -1,0 +1,89 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ascend {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % n);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v > limit);
+  return v % n;
+}
+
+std::vector<half> Rng::uniform_f16(std::size_t n, double lo, double hi) {
+  std::vector<half> out(n);
+  for (auto& v : out) v = half(static_cast<float>(uniform(lo, hi)));
+  return out;
+}
+
+std::vector<float> Rng::uniform_f32(std::size_t n, double lo, double hi) {
+  std::vector<float> out(n);
+  for (auto& v : out) v = static_cast<float>(uniform(lo, hi));
+  return out;
+}
+
+std::vector<std::int8_t> Rng::mask_i8(std::size_t n, double p_true) {
+  std::vector<std::int8_t> out(n);
+  for (auto& v : out) v = bernoulli(p_true) ? 1 : 0;
+  return out;
+}
+
+std::vector<half> Rng::token_probs_f16(std::size_t n, double zipf_s) {
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+    total += w[i];
+  }
+  // Shuffle so the heavy tokens land at random positions.
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(w[i - 1], w[next_below(i)]);
+  }
+  std::vector<half> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = half(static_cast<float>(w[i] / total));
+  }
+  return out;
+}
+
+}  // namespace ascend

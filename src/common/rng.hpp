@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// xoshiro256** — small, fast, and reproducible across platforms, so the
+// benchmark workloads (uniform fp16 keys, Bernoulli masks, softmax-like
+// probability vectors) are identical on every run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/half.hpp"
+
+namespace ascend {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept;
+  float next_float() noexcept { return static_cast<float>(next_double()); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  // --- Workload generators -------------------------------------------------
+
+  /// Uniform fp16 values in [lo, hi).
+  std::vector<half> uniform_f16(std::size_t n, double lo, double hi);
+
+  /// Uniform float values in [lo, hi).
+  std::vector<float> uniform_f32(std::size_t n, double lo, double hi);
+
+  /// 0/1 mask stored as int8 (the on-device mask format of the paper).
+  std::vector<std::int8_t> mask_i8(std::size_t n, double p_true);
+
+  /// A normalised probability vector shaped like an LLM next-token
+  /// distribution: a few heavy tokens plus a long light tail (Zipfian),
+  /// shuffled so sortedness is not accidental.
+  std::vector<half> token_probs_f16(std::size_t n, double zipf_s = 1.1);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ascend

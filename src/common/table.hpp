@@ -1,0 +1,36 @@
+// Plain-text table printer used by the benchmark harness to emit the rows
+// and series of each paper figure in a stable, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ascend {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  Table& add_row(std::vector<Cell> cells);
+
+  /// Render with column alignment; doubles are formatted with
+  /// `precision` significant digits.
+  void print(std::ostream& os, int precision = 4) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Pretty SI formatting helpers for bench output.
+std::string format_si(double value, const char* unit);
+std::string format_bytes(std::uint64_t bytes);
+std::string format_time_s(double seconds);
+
+}  // namespace ascend

@@ -1,0 +1,263 @@
+#include "core/ascan.hpp"
+
+#include "kernels/batched_scan.hpp"
+#include "kernels/copy_kernel.hpp"
+#include "kernels/mcscan.hpp"
+#include "kernels/radix_sort.hpp"
+#include "kernels/reduce.hpp"
+#include "kernels/sampling.hpp"
+#include "kernels/scan_u.hpp"
+#include "kernels/segmented_scan.hpp"
+#include "kernels/scan_ul1.hpp"
+#include "kernels/sort_baseline.hpp"
+#include "kernels/split.hpp"
+#include "kernels/topk.hpp"
+#include "kernels/vec_cumsum.hpp"
+
+namespace ascan {
+
+namespace k = ascend::kernels;
+using ascend::Error;
+
+Session::Session(MachineConfig cfg) : dev_(cfg) {}
+
+ValueResult<float> Session::cumsum(const std::vector<half>& x,
+                                   const ScanOptions& opt) {
+  ASCAN_CHECK(opt.algo == ScanAlgo::MCScan,
+              "fp32-output cumsum is the MCScan path; use cumsum_f16 for "
+              "the single-core algorithms");
+  auto in = dev_.upload(x);
+  auto out = dev_.alloc<float>(x.size());
+  ValueResult<float> r;
+  r.report = k::mcscan<half, float>(
+      dev_, in.tensor(), out.tensor(), x.size(),
+      {.s = opt.tile, .blocks = opt.blocks, .exclusive = opt.exclusive});
+  r.values = std::move(out.host());
+  total_ += r.report;
+  return r;
+}
+
+ValueResult<half> Session::cumsum_f16(const std::vector<half>& x,
+                                      const ScanOptions& opt) {
+  auto in = dev_.upload(x);
+  auto out = dev_.alloc<half>(x.size());
+  ValueResult<half> r;
+  switch (opt.algo) {
+    case ScanAlgo::ScanU:
+      ASCAN_CHECK(!opt.exclusive, "exclusive scan is MCScan-only (§4.3)");
+      r.report = k::scan_u(dev_, in.tensor(), out.tensor(), x.size(),
+                           opt.tile);
+      break;
+    case ScanAlgo::ScanUL1:
+      ASCAN_CHECK(!opt.exclusive, "exclusive scan is MCScan-only (§4.3)");
+      r.report = k::scan_ul1(dev_, in.tensor(), out.tensor(), x.size(),
+                             opt.tile);
+      break;
+    case ScanAlgo::VectorBaseline:
+      ASCAN_CHECK(!opt.exclusive, "exclusive scan is MCScan-only (§4.3)");
+      r.report = k::vec_cumsum(dev_, in.tensor(), out.tensor(), x.size());
+      break;
+    case ScanAlgo::MCScan:
+      throw Error("MCScan emits fp32; call cumsum() instead");
+  }
+  r.values = std::move(out.host());
+  total_ += r.report;
+  return r;
+}
+
+ValueResult<std::int32_t> Session::cumsum_i8(const std::vector<std::int8_t>& x,
+                                             const ScanOptions& opt) {
+  ASCAN_CHECK(opt.algo == ScanAlgo::MCScan,
+              "int8 scans run on the MCScan path (§4.3)");
+  auto in = dev_.upload(x);
+  auto out = dev_.alloc<std::int32_t>(x.size());
+  ValueResult<std::int32_t> r;
+  r.report = k::mcscan<std::int8_t, std::int32_t>(
+      dev_, in.tensor(), out.tensor(), x.size(),
+      {.s = opt.tile, .blocks = opt.blocks, .exclusive = opt.exclusive});
+  r.values = std::move(out.host());
+  total_ += r.report;
+  return r;
+}
+
+ValueResult<half> Session::cumsum_batched(const std::vector<half>& x,
+                                          std::size_t batch, std::size_t len,
+                                          std::size_t tile,
+                                          bool use_ul1_schedule) {
+  ASCAN_CHECK(x.size() == batch * len, "cumsum_batched: shape mismatch");
+  auto in = dev_.upload(x);
+  auto out = dev_.alloc<half>(x.size());
+  ValueResult<half> r;
+  r.report = use_ul1_schedule
+                 ? k::batched_scan_ul1(dev_, in.tensor(), out.tensor(), batch,
+                                       len, {.s = tile})
+                 : k::batched_scan_u(dev_, in.tensor(), out.tensor(), batch,
+                                     len, {.s = tile});
+  r.values = std::move(out.host());
+  total_ += r.report;
+  return r;
+}
+
+ValueResult<half> Session::clone(const std::vector<half>& x) {
+  auto in = dev_.upload(x);
+  auto out = dev_.alloc<half>(x.size());
+  ValueResult<half> r;
+  r.report = k::copy_kernel<half>(dev_, in.tensor(), out.tensor(), x.size());
+  r.values = std::move(out.host());
+  total_ += r.report;
+  return r;
+}
+
+SplitResult Session::split(const std::vector<half>& x,
+                           const std::vector<std::int8_t>& mask,
+                           std::size_t tile) {
+  ASCAN_CHECK(x.size() == mask.size(), "split: mask length mismatch");
+  auto in = dev_.upload(x);
+  auto m = dev_.upload(mask);
+  auto vals = dev_.alloc<half>(x.size());
+  auto idx = dev_.alloc<std::int32_t>(x.size());
+  SplitResult r;
+  auto sr = k::split_ind<half>(dev_, in.tensor(), {}, m.tensor(),
+                               vals.tensor(), idx.tensor(), x.size(),
+                               {.s = tile});
+  r.report = sr.report;
+  r.num_true = sr.num_true;
+  r.values = std::move(vals.host());
+  r.indices = std::move(idx.host());
+  total_ += r.report;
+  return r;
+}
+
+MaskedSelectResult Session::masked_select(const std::vector<half>& x,
+                                          const std::vector<std::int8_t>& mask,
+                                          std::size_t tile, bool baseline) {
+  ASCAN_CHECK(x.size() == mask.size(), "masked_select: mask length mismatch");
+  auto in = dev_.upload(x);
+  auto m = dev_.upload(mask);
+  auto out = dev_.alloc<half>(x.size());
+  MaskedSelectResult r;
+  const auto sr =
+      baseline ? k::masked_select_baseline(dev_, in.tensor(), m.tensor(),
+                                           out.tensor(), x.size())
+               : k::compress(dev_, in.tensor(), m.tensor(), out.tensor(),
+                             x.size(), {.s = tile});
+  r.report = sr.report;
+  out.host().resize(sr.num_true);
+  r.values = std::move(out.host());
+  total_ += r.report;
+  return r;
+}
+
+SortResult Session::sort(const std::vector<half>& keys, bool descending,
+                         SortAlgo algo, std::size_t tile) {
+  auto in = dev_.upload(keys);
+  auto vals = dev_.alloc<half>(keys.size());
+  auto idx = dev_.alloc<std::int32_t>(keys.size());
+  SortResult r;
+  if (keys.empty()) {
+    r.report.launches = 1;
+    return r;
+  }
+  r.report = algo == SortAlgo::Radix
+                 ? k::radix_sort_f16(dev_, in.tensor(), vals.tensor(),
+                                     idx.tensor(), keys.size(),
+                                     {.s = tile, .descending = descending})
+                 : k::sort_baseline_f16(dev_, in.tensor(), vals.tensor(),
+                                        idx.tensor(), keys.size(),
+                                        descending);
+  r.values = std::move(vals.host());
+  r.indices = std::move(idx.host());
+  total_ += r.report;
+  return r;
+}
+
+TopKResult Session::topk(const std::vector<half>& x, std::size_t k,
+                         bool baseline, std::size_t tile) {
+  auto in = dev_.upload(x);
+  auto vals = dev_.alloc<half>(k);
+  auto idx = dev_.alloc<std::int32_t>(k);
+  TopKResult r;
+  r.report = baseline
+                 ? k::topk_baseline_f16(dev_, in.tensor(), vals.tensor(),
+                                        idx.tensor(), x.size(), k)
+                 : k::topk_f16(dev_, in.tensor(), vals.tensor(), idx.tensor(),
+                               x.size(), k, {.s = tile});
+  r.values = std::move(vals.host());
+  r.indices = std::move(idx.host());
+  total_ += r.report;
+  return r;
+}
+
+SampleResult Session::top_p_sample(const std::vector<half>& probs, double p,
+                                   double u, bool baseline_ops,
+                                   std::size_t tile) {
+  auto in = dev_.upload(probs);
+  SampleResult r;
+  const auto tr = k::top_p_sample(dev_, in.tensor(), probs.size(), p, u,
+                                  {.s = tile,
+                                   .use_baseline_ops = baseline_ops});
+  r.report = tr.report;
+  r.index = tr.token;
+  r.nucleus = tr.nucleus;
+  total_ += r.report;
+  return r;
+}
+
+SampleResult Session::multinomial(const std::vector<half>& weights, double u,
+                                  std::size_t tile) {
+  auto in = dev_.upload(weights);
+  SampleResult r;
+  const auto wr =
+      k::weighted_sample(dev_, in.tensor(), weights.size(), u, {.s = tile});
+  r.report = wr.report;
+  r.index = wr.index;
+  total_ += r.report;
+  return r;
+}
+
+Session::BatchSampleResult Session::top_p_sample_batch(
+    const std::vector<half>& probs, std::size_t batch, std::size_t vocab,
+    double p, const std::vector<double>& u, std::size_t tile) {
+  ASCAN_CHECK(probs.size() == batch * vocab,
+              "top_p_sample_batch: shape mismatch");
+  ASCAN_CHECK(u.size() == batch, "top_p_sample_batch: one variate per row");
+  BatchSampleResult r;
+  r.tokens.reserve(batch);
+  auto in = dev_.upload(probs);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto tr = k::top_p_sample(dev_, in.tensor().sub(b * vocab, vocab),
+                                    vocab, p, u[b], {.s = tile});
+    r.tokens.push_back(tr.token);
+    r.report += tr.report;
+  }
+  total_ += r.report;
+  return r;
+}
+
+ValueResult<float> Session::segmented_cumsum(
+    const std::vector<half>& x, const std::vector<std::int8_t>& flags) {
+  ASCAN_CHECK(x.size() == flags.size(), "segmented_cumsum: shape mismatch");
+  auto in = dev_.upload(x);
+  auto f = dev_.upload(flags);
+  auto out = dev_.alloc<float>(x.size());
+  ValueResult<float> r;
+  r.report = k::segmented_scan(dev_, in.tensor(), f.tensor(), out.tensor(),
+                               x.size(), {});
+  r.values = std::move(out.host());
+  total_ += r.report;
+  return r;
+}
+
+ValueResult<float> Session::reduce(const std::vector<half>& x,
+                                   bool use_cube) {
+  auto in = dev_.upload(x);
+  ValueResult<float> r;
+  const auto rr = use_cube ? k::reduce_cube(dev_, in.tensor(), x.size(), {})
+                           : k::reduce_vector(dev_, in.tensor(), x.size());
+  r.report = rr.report;
+  r.values = {rr.value};
+  total_ += r.report;
+  return r;
+}
+
+}  // namespace ascan

@@ -1,0 +1,180 @@
+// ascan — the public API of the library.
+//
+// This layer plays the role of the paper's PyTorch/op-plugin integration
+// (§6): a session owns a simulated Ascend 910B4 device, every operator
+// takes and returns host vectors, and every call reports its simulated
+// execution profile so callers can reproduce the paper's measurements.
+//
+//   ascan::Session session;                       // a simulated 910B4
+//   auto r = session.cumsum(x);                   // r.values, r.report
+//   auto sorted = session.sort(keys);             // radix sort + indices
+//   auto tok = session.top_p_sample(probs, 0.9);  // nucleus sampling
+//
+// For device-resident composition (chaining kernels without host round
+// trips), use the kernel layer in src/kernels directly — Session is a thin
+// convenience wrapper over it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/config.hpp"
+#include "sim/report.hpp"
+
+namespace ascan {
+
+using ascend::half;
+using ascend::sim::MachineConfig;
+using ascend::sim::Report;
+
+/// Scan algorithm selector.
+enum class ScanAlgo {
+  MCScan,          ///< multi-core, cube + vector (Algorithm 3) — default
+  ScanU,           ///< single-core cube scan (Algorithm 1)
+  ScanUL1,         ///< single-core cube scan via Equation 1 (Algorithm 2)
+  VectorBaseline,  ///< AscendC CumSum API path (the paper's baseline)
+};
+
+/// Sort algorithm selector.
+enum class SortAlgo {
+  Radix,     ///< cube-assisted LSB radix sort (§5) — default
+  Baseline,  ///< torch.sort-like vector merge sort
+};
+
+struct ScanOptions {
+  ScanAlgo algo = ScanAlgo::MCScan;
+  std::size_t tile = 128;  ///< matrix tile edge s (16/32/64/128)
+  int blocks = 0;          ///< AI cores (0 = all)
+  bool exclusive = false;  ///< MCScan only
+};
+
+template <typename T>
+struct ValueResult {
+  std::vector<T> values;
+  Report report;
+};
+
+struct SortResult {
+  std::vector<half> values;
+  std::vector<std::int32_t> indices;
+  Report report;
+};
+
+struct SplitResult {
+  std::vector<half> values;
+  std::vector<std::int32_t> indices;
+  std::size_t num_true = 0;
+  Report report;
+};
+
+struct MaskedSelectResult {
+  std::vector<half> values;  ///< exactly the kept elements
+  Report report;
+};
+
+struct TopKResult {
+  std::vector<half> values;  ///< descending
+  std::vector<std::int32_t> indices;
+  Report report;
+};
+
+struct SampleResult {
+  std::int32_t index = -1;
+  std::size_t nucleus = 0;  ///< top-p only
+  Report report;
+};
+
+class Session {
+ public:
+  explicit Session(MachineConfig cfg = MachineConfig::ascend_910b4());
+
+  const MachineConfig& config() const { return dev_.config(); }
+  ascend::acc::Device& device() { return dev_; }
+
+  /// Aggregate of every operator executed on this session.
+  const Report& total() const { return total_; }
+
+  // --- Scans ----------------------------------------------------------------
+
+  /// Inclusive (or exclusive) prefix sum; fp16 input, fp32 output
+  /// (the cube accumulator type). Single-core algorithms emit fp16.
+  ValueResult<float> cumsum(const std::vector<half>& x,
+                            const ScanOptions& opt = {});
+
+  /// fp16-output scan (single-core algorithms and the vector baseline).
+  ValueResult<half> cumsum_f16(const std::vector<half>& x,
+                               const ScanOptions& opt = {});
+
+  /// int8 -> int32 scan (mask offsets for split/compress).
+  ValueResult<std::int32_t> cumsum_i8(const std::vector<std::int8_t>& x,
+                                      const ScanOptions& opt = {});
+
+  /// Row-wise scan of a [batch, len] tensor. `use_ul1_schedule` picks the
+  /// one-row-per-core ScanUL1 schedule instead of the paired ScanU one.
+  ValueResult<half> cumsum_batched(const std::vector<half>& x,
+                                   std::size_t batch, std::size_t len,
+                                   std::size_t tile = 128,
+                                   bool use_ul1_schedule = false);
+
+  // --- Data movement ----------------------------------------------------------
+
+  /// torch.clone: bandwidth yardstick.
+  ValueResult<half> clone(const std::vector<half>& x);
+
+  // --- Scan-based operators ----------------------------------------------------
+
+  SplitResult split(const std::vector<half>& x,
+                    const std::vector<std::int8_t>& mask,
+                    std::size_t tile = 128);
+
+  MaskedSelectResult masked_select(const std::vector<half>& x,
+                                   const std::vector<std::int8_t>& mask,
+                                   std::size_t tile = 128,
+                                   bool baseline = false);
+
+  SortResult sort(const std::vector<half>& keys, bool descending = false,
+                  SortAlgo algo = SortAlgo::Radix, std::size_t tile = 128);
+
+  TopKResult topk(const std::vector<half>& x, std::size_t k,
+                  bool baseline = false, std::size_t tile = 128);
+
+  /// Nucleus sampling (Llama-3 pipeline): returns the sampled token id.
+  /// `u` is the uniform variate; pass your own RNG draw for determinism.
+  SampleResult top_p_sample(const std::vector<half>& probs, double p,
+                            double u, bool baseline_ops = false,
+                            std::size_t tile = 128);
+
+  /// Inverse-transform weighted sampling (torch.multinomial, without its
+  /// 2^24 support-size cap).
+  SampleResult multinomial(const std::vector<half>& weights, double u,
+                           std::size_t tile = 128);
+
+  /// Batched nucleus sampling over `batch` packed rows of `vocab`
+  /// probabilities (the constant-batch LLM serving pattern of §5): one
+  /// token per row, one uniform variate per row, aggregated report.
+  struct BatchSampleResult {
+    std::vector<std::int32_t> tokens;  ///< row-local token ids
+    Report report;
+  };
+  BatchSampleResult top_p_sample_batch(const std::vector<half>& probs,
+                                       std::size_t batch, std::size_t vocab,
+                                       double p, const std::vector<double>& u,
+                                       std::size_t tile = 128);
+
+  // --- Extensions beyond the paper ----------------------------------------------
+
+  /// Segmented inclusive scan: prefix sums restarting at every flags[i]!=0.
+  ValueResult<float> segmented_cumsum(const std::vector<half>& x,
+                                      const std::vector<std::int8_t>& flags);
+
+  /// Sum reduction; `use_cube` accumulates on the cube units' L0C path.
+  ValueResult<float> reduce(const std::vector<half>& x, bool use_cube = true);
+
+ private:
+  ascend::acc::Device dev_;
+  Report total_;
+};
+
+}  // namespace ascan

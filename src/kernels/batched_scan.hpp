@@ -1,0 +1,40 @@
+// Batched scans (§4.2): prefix sums of a batch of equal-length arrays.
+//
+// Two schedules, mirroring the paper's comparison (Figs. 4, 5, 12):
+//  * ScanU-based: each AI core takes a *pair* of rows; its cube computes
+//    the local s-row scans of both rows tile-by-tile, and its two vector
+//    cores each finish one row's partial-sum chain — the schedule that
+//    exploits the 2:1 vector-to-cube ratio of the 910B.
+//  * ScanUL1-based: each AI core scans whole rows on its own (ScanUL1 per
+//    row), rows assigned round-robin across cores.
+//
+// ScanU-based wins for many short rows (all 40 AIVs busy); ScanUL1-based
+// wins for few long rows (each row gets a full cube pipeline).
+#pragma once
+
+#include <cstddef>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+struct BatchedScanOptions {
+  std::size_t s = 128;
+  int blocks = 0;  ///< AI cores to use; 0 = all
+};
+
+/// Row-wise inclusive scan of x viewed as [batch, len] row-major, into y
+/// (same shape). ScanU-based schedule (the paper's reference/baseline).
+sim::Report batched_scan_u(acc::Device& dev, acc::GlobalTensor<half> x,
+                           acc::GlobalTensor<half> y, std::size_t batch,
+                           std::size_t len, const BatchedScanOptions& opt = {});
+
+/// Row-wise inclusive scan, ScanUL1-based schedule (one row per AI core).
+sim::Report batched_scan_ul1(acc::Device& dev, acc::GlobalTensor<half> x,
+                             acc::GlobalTensor<half> y, std::size_t batch,
+                             std::size_t len,
+                             const BatchedScanOptions& opt = {});
+
+}  // namespace ascend::kernels

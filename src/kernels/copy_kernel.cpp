@@ -1,0 +1,47 @@
+#include "kernels/copy_kernel.hpp"
+
+#include "kernels/common.hpp"
+
+namespace ascend::kernels {
+
+using namespace acc;
+
+template <typename T>
+sim::Report copy_kernel(Device& dev, GlobalTensor<T> x, GlobalTensor<T> y,
+                        std::size_t n, int blocks) {
+  ASCAN_CHECK(x.size() >= n && y.size() >= n, "copy: tensors too small");
+  if (n == 0) {
+    sim::Report r;
+    r.launches = 1;
+    r.time_s = dev.config().launch_overhead_s;
+    return r;
+  }
+  const int nb = blocks > 0 ? blocks : dev.config().num_vec_cores();
+  constexpr std::size_t kChunk = 16384;
+  const std::size_t chunks = num_tiles(n, kChunk);
+
+  return launch(
+      dev, {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "copy"},
+      [&, n, chunks, nb](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TQue q(ctx, TPosition::VECIN);
+        pipe.InitBuffer(q, 2, kChunk * sizeof(T));
+        const BlockShare share = block_share(chunks, nb, ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          auto t = q.AllocTensor<T>();
+          DataCopy(ctx, t, x.sub(r.begin, r.len), r.len);
+          q.EnQue(t);
+          auto u = q.DeQue<T>();
+          DataCopy(ctx, y.sub(r.begin, r.len), u, r.len);
+          q.FreeTensor(u);
+        }
+      });
+}
+
+template sim::Report copy_kernel<half>(Device&, GlobalTensor<half>,
+                                       GlobalTensor<half>, std::size_t, int);
+template sim::Report copy_kernel<float>(Device&, GlobalTensor<float>,
+                                        GlobalTensor<float>, std::size_t, int);
+
+}  // namespace ascend::kernels

@@ -1,0 +1,28 @@
+// Multi-core GM->GM copy — the torch.clone() comparison kernel of Fig. 8.
+// Pure data movement: its achieved bandwidth is the practical ceiling any
+// memory-bound operator can reach on the machine.
+#pragma once
+
+#include <cstddef>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+/// Copies x[0..n) to y[0..n) using `blocks` vector cores (0 = all).
+template <typename T>
+sim::Report copy_kernel(acc::Device& dev, acc::GlobalTensor<T> x,
+                        acc::GlobalTensor<T> y, std::size_t n, int blocks = 0);
+
+extern template sim::Report copy_kernel<half>(acc::Device&,
+                                              acc::GlobalTensor<half>,
+                                              acc::GlobalTensor<half>,
+                                              std::size_t, int);
+extern template sim::Report copy_kernel<float>(acc::Device&,
+                                               acc::GlobalTensor<float>,
+                                               acc::GlobalTensor<float>,
+                                               std::size_t, int);
+
+}  // namespace ascend::kernels

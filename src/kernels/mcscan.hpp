@@ -1,0 +1,50 @@
+// MCScan (Algorithm 3): the paper's multi-core scan for large 1-D arrays.
+//
+// Phase I (all cube and vector cores in parallel, the novel *partial
+// recomputation* strategy): each block's cube core computes the local
+// s-row scans of its tiles (A @ U_s) and writes them to GM, while — at the
+// same time, re-reading the same input — its vector cores compute the
+// block-level reductions into the r array. Phase II (after SyncAll): every
+// vector core loads r, prefix-sums the entries before its share, and
+// propagates the partial into the local scans with the s-row scalar chain.
+//
+// Data types follow the cube unit: float16 inputs accumulate and emit
+// float32; int8 inputs emit int32 (the variant split/compress rely on,
+// §4.3 "exclusive scan and int8 support").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+#include "sim/timeline.hpp"
+
+namespace ascend::kernels {
+
+struct McScanOptions {
+  std::size_t s = 128;     ///< matrix tile edge (16/32/64/128)
+  int blocks = 0;          ///< AI cores to use; 0 = all
+  bool exclusive = false;  ///< shift-by-one exclusive scan (§4.3)
+  /// Optional schedule capture for chrome://tracing export.
+  sim::Timeline* timeline = nullptr;
+};
+
+/// Multi-core inclusive (or exclusive) scan of x[0..n) into y[0..n).
+/// In = half with Out = float, or In = int8_t with Out = int32_t.
+template <typename In, typename Out>
+sim::Report mcscan(acc::Device& dev, acc::GlobalTensor<In> x,
+                   acc::GlobalTensor<Out> y, std::size_t n,
+                   const McScanOptions& opt = {});
+
+extern template sim::Report mcscan<half, float>(acc::Device&,
+                                                acc::GlobalTensor<half>,
+                                                acc::GlobalTensor<float>,
+                                                std::size_t,
+                                                const McScanOptions&);
+extern template sim::Report mcscan<std::int8_t, std::int32_t>(
+    acc::Device&, acc::GlobalTensor<std::int8_t>,
+    acc::GlobalTensor<std::int32_t>, std::size_t, const McScanOptions&);
+
+}  // namespace ascend::kernels

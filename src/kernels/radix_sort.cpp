@@ -1,0 +1,333 @@
+#include "kernels/radix_sort.hpp"
+
+#include "kernels/common.hpp"
+#include "kernels/split.hpp"
+
+namespace ascend::kernels {
+
+using namespace acc;
+
+namespace {
+constexpr std::size_t kChunk = 8192;
+
+int vector_blocks(Device& dev, int blocks) {
+  return (blocks > 0 ? blocks : dev.config().num_ai_cores) *
+         dev.config().vec_per_core;
+}
+}  // namespace
+
+sim::Report radix_encode_kernel(Device& dev, GlobalTensor<half> keys,
+                                GlobalTensor<std::uint16_t> enc,
+                                GlobalTensor<std::int32_t> idx, std::size_t n,
+                                bool descending, int blocks,
+                                GlobalTensor<std::int32_t> idx_in) {
+  ASCAN_CHECK(keys.size() >= n && enc.size() >= n && idx.size() >= n,
+              "radix_encode: tensors too small");
+  const int nb = vector_blocks(dev, blocks);
+  const std::size_t chunks = num_tiles(n, kChunk);
+  auto bits = keys.reinterpret<std::uint16_t>();
+
+  return launch(
+      dev,
+      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "radix_encode"},
+      [&, n, chunks, nb, descending](KernelContext& ctx) {
+        const bool have_idx = idx_in.valid();
+        TPipe pipe(ctx);
+        TBuf kb(ctx, TPosition::VECIN), nb1(ctx, TPosition::VECCALC),
+            ob(ctx, TPosition::VECCALC), sb(ctx, TPosition::VECCALC),
+            eb(ctx, TPosition::VECOUT), ib(ctx, TPosition::VECOUT);
+        pipe.InitBuffer(kb, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(nb1, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(ob, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(sb, kChunk);
+        pipe.InitBuffer(eb, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(ib, kChunk * sizeof(std::int32_t));
+        auto k_ub = kb.Get<std::uint16_t>();
+        auto not_ub = nb1.Get<std::uint16_t>();
+        auto or_ub = ob.Get<std::uint16_t>();
+        auto sign_ub = sb.Get<std::int8_t>();
+        auto enc_ub = eb.Get<std::uint16_t>();
+        auto idx_ub = ib.Get<std::int32_t>();
+
+        const BlockShare share = block_share(chunks, nb, ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          DataCopy(ctx, k_ub, bits.sub(r.begin, r.len), r.len);
+          // sign bit set <=> bits > 0x7fff
+          CompareScalar(ctx, sign_ub, k_ub, std::uint16_t{0x7fff},
+                        CmpMode::GT, r.len);
+          Not(ctx, not_ub, k_ub, r.len);                         // negatives
+          Ors(ctx, or_ub, k_ub, std::uint16_t{0x8000}, r.len);   // positives
+          Select(ctx, enc_ub, sign_ub, not_ub, or_ub, r.len);
+          if (descending) Not(ctx, enc_ub, enc_ub, r.len);
+          DataCopy(ctx, enc.sub(r.begin, r.len), enc_ub, r.len);
+          if (have_idx) {
+            DataCopy(ctx, idx_ub, idx_in.sub(r.begin, r.len), r.len);
+          } else {
+            CreateVecIndex(ctx, idx_ub, static_cast<std::int32_t>(r.begin),
+                           r.len);
+          }
+          DataCopy(ctx, idx.sub(r.begin, r.len), idx_ub, r.len);
+        }
+      });
+}
+
+sim::Report radix_decode_kernel(Device& dev, GlobalTensor<std::uint16_t> enc,
+                                GlobalTensor<half> keys_out, std::size_t n,
+                                bool descending, int blocks) {
+  ASCAN_CHECK(enc.size() >= n && keys_out.size() >= n,
+              "radix_decode: tensors too small");
+  const int nb = vector_blocks(dev, blocks);
+  const std::size_t chunks = num_tiles(n, kChunk);
+  auto out_bits = keys_out.reinterpret<std::uint16_t>();
+
+  return launch(
+      dev,
+      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "radix_decode"},
+      [&, n, chunks, nb, descending](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf eb(ctx, TPosition::VECIN), nb1(ctx, TPosition::VECCALC),
+            ab(ctx, TPosition::VECCALC), sb(ctx, TPosition::VECCALC),
+            kb(ctx, TPosition::VECOUT);
+        pipe.InitBuffer(eb, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(nb1, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(ab, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(sb, kChunk);
+        pipe.InitBuffer(kb, kChunk * sizeof(std::uint16_t));
+        auto enc_ub = eb.Get<std::uint16_t>();
+        auto not_ub = nb1.Get<std::uint16_t>();
+        auto and_ub = ab.Get<std::uint16_t>();
+        auto pos_ub = sb.Get<std::int8_t>();
+        auto key_ub = kb.Get<std::uint16_t>();
+
+        const BlockShare share = block_share(chunks, nb, ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          DataCopy(ctx, enc_ub, enc.sub(r.begin, r.len), r.len);
+          if (descending) Not(ctx, enc_ub, enc_ub, r.len);
+          // encoded positives have the MSB set
+          CompareScalar(ctx, pos_ub, enc_ub, std::uint16_t{0x7fff},
+                        CmpMode::GT, r.len);
+          Ands(ctx, and_ub, enc_ub, std::uint16_t{0x7fff}, r.len);
+          Not(ctx, not_ub, enc_ub, r.len);
+          Select(ctx, key_ub, pos_ub, and_ub, not_ub, r.len);
+          DataCopy(ctx, out_bits.sub(r.begin, r.len), key_ub, r.len);
+        }
+      });
+}
+
+sim::Report radix_extract_kernel(Device& dev, GlobalTensor<std::uint16_t> enc,
+                                 GlobalTensor<std::int8_t> mask, std::size_t n,
+                                 int bit, int blocks) {
+  ASCAN_CHECK(enc.size() >= n && mask.size() >= n,
+              "radix_extract: tensors too small");
+  ASCAN_CHECK(bit >= 0 && bit < 16, "radix_extract: bad bit " << bit);
+  const int nb = vector_blocks(dev, blocks);
+  const std::size_t chunks = num_tiles(n, kChunk);
+
+  return launch(
+      dev, {.block_dim = nb, .mode = LaunchMode::VectorOnly,
+            .name = "radix_extract"},
+      [&, n, chunks, nb, bit](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf eb(ctx, TPosition::VECIN), tb(ctx, TPosition::VECCALC),
+            mb(ctx, TPosition::VECOUT);
+        pipe.InitBuffer(eb, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(tb, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(mb, kChunk);
+        auto enc_ub = eb.Get<std::uint16_t>();
+        auto t_ub = tb.Get<std::uint16_t>();
+        auto m_ub = mb.Get<std::int8_t>();
+
+        const BlockShare share = block_share(chunks, nb, ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          DataCopy(ctx, enc_ub, enc.sub(r.begin, r.len), r.len);
+          ShiftRights(ctx, t_ub, enc_ub, bit, r.len);  // RadixSingle (§5)
+          Ands(ctx, t_ub, t_ub, std::uint16_t{1}, r.len);
+          Xors(ctx, t_ub, t_ub, std::uint16_t{1}, r.len);  // Not: 0-bits first
+          Cast(ctx, m_ub, t_ub.reinterpret<std::int16_t>(), r.len);
+          DataCopy(ctx, mask.sub(r.begin, r.len), m_ub, r.len);
+        }
+      });
+}
+
+namespace {
+
+/// Shared pass driver over encoded keys already in enc_a/idx_a.
+/// Leaves the sorted keys in enc_a/idx_a (an even number of passes
+/// ping-pongs back).
+sim::Report radix_passes(Device& dev, GlobalTensor<std::uint16_t> enc_a,
+                         GlobalTensor<std::int32_t> idx_a,
+                         GlobalTensor<std::uint16_t> enc_b,
+                         GlobalTensor<std::int32_t> idx_b,
+                         GlobalTensor<std::int8_t> mask, std::size_t n,
+                         const RadixSortOptions& opt, int nbits = 16) {
+  ASCAN_ASSERT(nbits % 2 == 0, "radix pass count must be even");
+  sim::Report rep;
+  GlobalTensor<std::uint16_t> src_k = enc_a, dst_k = enc_b;
+  GlobalTensor<std::int32_t> src_i = idx_a, dst_i = idx_b;
+  for (int bit = 0; bit < nbits; ++bit) {
+    rep += radix_extract_kernel(dev, src_k, mask, n, bit, opt.blocks);
+    auto sr = split_ind<std::uint16_t>(
+        dev, src_k, src_i, mask, dst_k, dst_i, n,
+        {.s = opt.s, .blocks = opt.blocks});
+    rep += sr.report;
+    std::swap(src_k, dst_k);
+    std::swap(src_i, dst_i);
+  }
+  return rep;  // even pass count: results are back in enc_a/idx_a
+}
+
+}  // namespace
+
+sim::Report radix_sort_f16(Device& dev, GlobalTensor<half> keys,
+                           GlobalTensor<half> keys_out,
+                           GlobalTensor<std::int32_t> idx_out, std::size_t n,
+                           const RadixSortOptions& opt,
+                           GlobalTensor<std::int32_t> idx_in) {
+  ASCAN_CHECK(valid_tile_size(opt.s), "radix_sort: invalid tile size");
+  ASCAN_CHECK(keys.size() >= n && keys_out.size() >= n && idx_out.size() >= n,
+              "radix_sort: tensors too small");
+  sim::Report rep;
+  if (n == 0) {
+    rep.launches = 1;
+    rep.time_s = dev.config().launch_overhead_s;
+    return rep;
+  }
+
+  auto enc_a = dev.alloc<std::uint16_t>(n);
+  auto enc_b = dev.alloc<std::uint16_t>(n);
+  auto idx_b = dev.alloc<std::int32_t>(n);
+  auto mask = dev.alloc<std::int8_t>(n);
+
+  rep += radix_encode_kernel(dev, keys, enc_a.tensor(), idx_out, n,
+                             opt.descending, opt.blocks, idx_in);
+  rep += radix_passes(dev, enc_a.tensor(), idx_out, enc_b.tensor(),
+                      idx_b.tensor(), mask.tensor(), n, opt);
+  rep += radix_decode_kernel(dev, enc_a.tensor(), keys_out, n, opt.descending,
+                             opt.blocks);
+  return rep;
+}
+
+sim::Report radix_sort_u16(Device& dev, GlobalTensor<std::uint16_t> keys,
+                           GlobalTensor<std::uint16_t> keys_out,
+                           GlobalTensor<std::int32_t> idx_out, std::size_t n,
+                           const RadixSortOptions& opt) {
+  ASCAN_CHECK(valid_tile_size(opt.s), "radix_sort: invalid tile size");
+  ASCAN_CHECK(!opt.descending, "radix_sort_u16 supports ascending order");
+  ASCAN_CHECK(keys.size() >= n && keys_out.size() >= n && idx_out.size() >= n,
+              "radix_sort: tensors too small");
+  sim::Report rep;
+  if (n == 0) {
+    rep.launches = 1;
+    rep.time_s = dev.config().launch_overhead_s;
+    return rep;
+  }
+
+  auto enc_b = dev.alloc<std::uint16_t>(n);
+  auto idx_b = dev.alloc<std::int32_t>(n);
+  auto mask = dev.alloc<std::int8_t>(n);
+
+  // Prep kernel: copy keys into the working buffer, emit identity indices.
+  const int nb = vector_blocks(dev, opt.blocks);
+  const std::size_t chunks = num_tiles(n, kChunk);
+  rep += launch(
+      dev,
+      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "radix_prep"},
+      [&, n, chunks, nb](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf kb(ctx, TPosition::VECIN), ib(ctx, TPosition::VECOUT);
+        pipe.InitBuffer(kb, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(ib, kChunk * sizeof(std::int32_t));
+        auto k_ub = kb.Get<std::uint16_t>();
+        auto idx_ub = ib.Get<std::int32_t>();
+        const BlockShare share = block_share(chunks, nb, ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          DataCopy(ctx, k_ub, keys.sub(r.begin, r.len), r.len);
+          DataCopy(ctx, keys_out.sub(r.begin, r.len), k_ub, r.len);
+          CreateVecIndex(ctx, idx_ub, static_cast<std::int32_t>(r.begin),
+                         r.len);
+          DataCopy(ctx, idx_out.sub(r.begin, r.len), idx_ub, r.len);
+        }
+      });
+  rep += radix_passes(dev, keys_out, idx_out, enc_b.tensor(), idx_b.tensor(),
+                      mask.tensor(), n, opt);
+  return rep;
+}
+
+sim::Report radix_sort_u8(Device& dev, GlobalTensor<std::uint8_t> keys,
+                          GlobalTensor<std::uint8_t> keys_out,
+                          GlobalTensor<std::int32_t> idx_out, std::size_t n,
+                          const RadixSortOptions& opt) {
+  ASCAN_CHECK(valid_tile_size(opt.s), "radix_sort: invalid tile size");
+  ASCAN_CHECK(!opt.descending, "radix_sort_u8 supports ascending order");
+  ASCAN_CHECK(keys.size() >= n && keys_out.size() >= n && idx_out.size() >= n,
+              "radix_sort: tensors too small");
+  sim::Report rep;
+  if (n == 0) {
+    rep.launches = 1;
+    rep.time_s = dev.config().launch_overhead_s;
+    return rep;
+  }
+
+  auto enc_a = dev.alloc<std::uint16_t>(n);
+  auto enc_b = dev.alloc<std::uint16_t>(n);
+  auto idx_b = dev.alloc<std::int32_t>(n);
+  auto mask = dev.alloc<std::int8_t>(n);
+  auto ea = enc_a.tensor();
+
+  // Prep: widen u8 keys to the u16 working format, emit identity indices.
+  const int nb = vector_blocks(dev, opt.blocks);
+  const std::size_t chunks = num_tiles(n, kChunk);
+  rep += launch(
+      dev,
+      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "radix_prep8"},
+      [&, n, chunks, nb](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf kb(ctx, TPosition::VECIN), wb(ctx, TPosition::VECCALC),
+            ib(ctx, TPosition::VECOUT);
+        pipe.InitBuffer(kb, kChunk);
+        pipe.InitBuffer(wb, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(ib, kChunk * sizeof(std::int32_t));
+        auto k_ub = kb.Get<std::uint8_t>();
+        auto w_ub = wb.Get<std::uint16_t>();
+        auto idx_ub = ib.Get<std::int32_t>();
+        const BlockShare share = block_share(chunks, nb, ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          DataCopy(ctx, k_ub, keys.sub(r.begin, r.len), r.len);
+          Cast(ctx, w_ub, k_ub, r.len);
+          DataCopy(ctx, ea.sub(r.begin, r.len), w_ub, r.len);
+          CreateVecIndex(ctx, idx_ub, static_cast<std::int32_t>(r.begin),
+                         r.len);
+          DataCopy(ctx, idx_out.sub(r.begin, r.len), idx_ub, r.len);
+        }
+      });
+  // Only 8 split passes: the whole point of the low-bit-width regime.
+  rep += radix_passes(dev, ea, idx_out, enc_b.tensor(), idx_b.tensor(),
+                      mask.tensor(), n, opt, /*nbits=*/8);
+  // Narrow the sorted keys back to u8.
+  rep += launch(
+      dev, {.block_dim = nb, .mode = LaunchMode::VectorOnly,
+            .name = "radix_narrow8"},
+      [&, n, chunks, nb](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf wb(ctx, TPosition::VECIN), kb(ctx, TPosition::VECOUT);
+        pipe.InitBuffer(wb, kChunk * sizeof(std::uint16_t));
+        pipe.InitBuffer(kb, kChunk);
+        auto w_ub = wb.Get<std::uint16_t>();
+        auto k_ub = kb.Get<std::uint8_t>();
+        const BlockShare share = block_share(chunks, nb, ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          DataCopy(ctx, w_ub, ea.sub(r.begin, r.len), r.len);
+          Cast(ctx, k_ub, w_ub.reinterpret<std::int16_t>(), r.len);
+          DataCopy(ctx, keys_out.sub(r.begin, r.len), k_ub, r.len);
+        }
+      });
+  return rep;
+}
+
+}  // namespace ascend::kernels

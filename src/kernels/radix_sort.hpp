@@ -1,0 +1,76 @@
+// LSB radix sort (§5): one stable split per bit, with the splits' scans
+// running on the cube units via MCScan (int8 masks, int32 offsets).
+//
+// fp16 keys are made radix-sortable by the classic encoding (invert the
+// MSB of positives, all bits of negatives — Knuth ex. 5.2.5-8/9, also used
+// on the CM-2 [9]); RadixSingle, a vector-only kernel, extracts each pass's
+// radix with ShiftRight/And/Not before the split executes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+struct RadixSortOptions {
+  std::size_t s = 128;       ///< MCScan tile size for the split scans
+  int blocks = 0;            ///< AI cores (0 = all)
+  bool descending = false;   ///< sort order
+};
+
+/// Stable sort of fp16 keys; writes sorted keys and their original indices
+/// (the torch.sort contract, §6.3). When `idx_in` is valid it is carried as
+/// the payload instead of the identity indices (used by top-k to keep the
+/// original positions through a final ordering pass).
+sim::Report radix_sort_f16(acc::Device& dev, acc::GlobalTensor<half> keys,
+                           acc::GlobalTensor<half> keys_out,
+                           acc::GlobalTensor<std::int32_t> idx_out,
+                           std::size_t n, const RadixSortOptions& opt = {},
+                           acc::GlobalTensor<std::int32_t> idx_in = {});
+
+/// Stable ascending sort of 8-bit keys: only 8 split passes — the
+/// low-precision regime where the paper expects "an additional performance
+/// improvement (2x) ... without further development effort" (§6.3).
+sim::Report radix_sort_u8(acc::Device& dev,
+                          acc::GlobalTensor<std::uint8_t> keys,
+                          acc::GlobalTensor<std::uint8_t> keys_out,
+                          acc::GlobalTensor<std::int32_t> idx_out,
+                          std::size_t n, const RadixSortOptions& opt = {});
+
+/// Stable ascending sort of unsigned 16-bit keys (no float encoding).
+sim::Report radix_sort_u16(acc::Device& dev,
+                           acc::GlobalTensor<std::uint16_t> keys,
+                           acc::GlobalTensor<std::uint16_t> keys_out,
+                           acc::GlobalTensor<std::int32_t> idx_out,
+                           std::size_t n, const RadixSortOptions& opt = {});
+
+// --- Building-block kernels (shared with the baseline sort) -----------------
+
+/// Vector kernel: encodes fp16 bit patterns into order-preserving uint16
+/// (complemented when descending) and emits identity indices (or copies
+/// `idx_in` when valid).
+sim::Report radix_encode_kernel(acc::Device& dev, acc::GlobalTensor<half> keys,
+                                acc::GlobalTensor<std::uint16_t> enc,
+                                acc::GlobalTensor<std::int32_t> idx,
+                                std::size_t n, bool descending, int blocks = 0,
+                                acc::GlobalTensor<std::int32_t> idx_in = {});
+
+/// Vector kernel: decodes uint16 back to fp16 keys.
+sim::Report radix_decode_kernel(acc::Device& dev,
+                                acc::GlobalTensor<std::uint16_t> enc,
+                                acc::GlobalTensor<half> keys_out,
+                                std::size_t n, bool descending,
+                                int blocks = 0);
+
+/// RadixSingle (§5): builds the pass-`bit` split mask (1 where the bit is
+/// 0, so zero-bit elements go first) using ShiftRight / And / Not.
+sim::Report radix_extract_kernel(acc::Device& dev,
+                                 acc::GlobalTensor<std::uint16_t> enc,
+                                 acc::GlobalTensor<std::int8_t> mask,
+                                 std::size_t n, int bit, int blocks = 0);
+
+}  // namespace ascend::kernels

@@ -1,0 +1,35 @@
+// Multi-core reduction (sum) — the companion primitive of [12]
+// ("Accelerating Reduction and Scan Using Tensor Core Units"), included to
+// exercise the cube unit's accumulation buffer: every tile is multiplied
+// into the same L0C accumulator (C += A @ 1_s), so a block's whole share
+// reduces without leaving the cube core; one Fixpipe drains s partial sums
+// per block and a final vector pass folds them.
+#pragma once
+
+#include <cstddef>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+struct ReduceOptions {
+  std::size_t s = 128;
+  int blocks = 0;
+};
+
+struct ReduceResult {
+  sim::Report report;
+  float value = 0.0f;
+};
+
+/// Sum of x[0..n) using the cube units' accumulate-in-L0C path.
+ReduceResult reduce_cube(acc::Device& dev, acc::GlobalTensor<half> x,
+                         std::size_t n, const ReduceOptions& opt = {});
+
+/// Vector-only baseline reduction (ReduceSum over UB chunks, all AIVs).
+ReduceResult reduce_vector(acc::Device& dev, acc::GlobalTensor<half> x,
+                           std::size_t n, int blocks = 0);
+
+}  // namespace ascend::kernels

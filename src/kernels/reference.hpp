@@ -1,0 +1,85 @@
+// CPU reference ("golden") implementations of every operator in the
+// library. These define functional correctness for the device kernels; the
+// test suite compares device results against them, exactly (integer-valued
+// inputs) or within accumulated-rounding tolerances (general floats).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dtype.hpp"
+#include "common/half.hpp"
+
+namespace ascend::ref {
+
+/// Inclusive prefix sum with a wide accumulator (the cube path accumulates
+/// float16 inputs in float32 / int8 in int32), cast to Out per element.
+template <typename In, typename Out>
+std::vector<Out> inclusive_scan(std::span<const In> x);
+
+/// Exclusive prefix sum (first element 0).
+template <typename In, typename Out>
+std::vector<Out> exclusive_scan(std::span<const In> x);
+
+/// Batched inclusive scan over `batch` rows of length `len` (row-major).
+template <typename In, typename Out>
+std::vector<Out> batched_inclusive_scan(std::span<const In> x,
+                                        std::size_t batch, std::size_t len);
+
+struct SplitResult {
+  std::vector<half> values;
+  std::vector<std::int32_t> indices;  ///< original input positions
+  std::size_t num_true = 0;
+};
+
+/// Stable split: elements with mask != 0 first, then the rest; relative
+/// order preserved in both groups (paper §5).
+SplitResult split(std::span<const half> x, std::span<const std::int8_t> mask);
+
+/// Compress / masked_select: only the mask != 0 elements, in order.
+std::vector<half> compress(std::span<const half> x,
+                           std::span<const std::int8_t> mask);
+
+struct SortResult {
+  std::vector<half> values;
+  std::vector<std::int32_t> indices;
+};
+
+/// Stable ascending sort returning values and original indices (the
+/// PyTorch sort() contract the paper's radix sort satisfies).
+SortResult stable_sort(std::span<const half> x, bool descending = false);
+
+/// Stable ascending sort of unsigned 16-bit keys with indices.
+struct SortResultU16 {
+  std::vector<std::uint16_t> values;
+  std::vector<std::int32_t> indices;
+};
+SortResultU16 stable_sort_u16(std::span<const std::uint16_t> x);
+
+struct TopKResult {
+  std::vector<half> values;           ///< descending
+  std::vector<std::int32_t> indices;
+};
+
+/// Largest k elements in descending order (ties broken by lower index
+/// first, matching a stable descending sort).
+TopKResult topk(std::span<const half> x, std::size_t k);
+
+/// The Llama-3 top-p sampling pipeline (paper §5, §6.5): sort probabilities
+/// descending, cumulative-sum, mask out tokens once the cumulative sum
+/// exceeds p (keeping at least one), renormalise, then inverse-transform
+/// sample with the uniform draw u in [0,1). Returns the sampled token id.
+std::int32_t top_p_sample(std::span<const half> probs, double p, double u);
+
+/// Inverse-transform weighted sampling: index i with probability
+/// w[i] / sum(w), given uniform u in [0,1).
+std::int32_t multinomial(std::span<const half> weights, double u);
+
+/// Encodes fp16 bit patterns so unsigned integer comparison matches float
+/// ordering (flip MSB of positives, all bits of negatives) — the radix
+/// pre-processing step of §5; decode inverts it.
+std::uint16_t radix_encode_f16(half h);
+half radix_decode_f16(std::uint16_t bits);
+
+}  // namespace ascend::ref

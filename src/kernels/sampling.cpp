@@ -1,0 +1,171 @@
+#include "kernels/sampling.hpp"
+
+#include <algorithm>
+
+#include "kernels/common.hpp"
+#include "kernels/mcscan.hpp"
+#include "kernels/radix_sort.hpp"
+#include "kernels/sort_baseline.hpp"
+#include "kernels/vec_cumsum.hpp"
+
+namespace ascend::kernels {
+
+using namespace acc;
+
+namespace {
+constexpr std::size_t kChunk = 8192;
+}  // namespace
+
+template <typename T>
+std::size_t count_below(Device& dev, GlobalTensor<T> cum, std::size_t m,
+                        double theta, sim::Report& rep, int blocks) {
+  if (m == 0) return 0;
+  const int nb = (blocks > 0 ? blocks : dev.config().num_ai_cores) *
+                 dev.config().vec_per_core;
+  const std::size_t chunks = num_tiles(m, kChunk);
+  const int active = std::min<int>(nb, static_cast<int>(chunks));
+  auto counts = dev.alloc<std::int32_t>(static_cast<std::size_t>(active), 0);
+  auto counts_gm = counts.tensor();
+  const T theta_t = static_cast<T>(theta);
+
+  rep += launch(
+      dev,
+      {.block_dim = active, .mode = LaunchMode::VectorOnly,
+       .name = "count_below"},
+      [&, m, chunks, theta_t](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf cb(ctx, TPosition::VECIN), mb(ctx, TPosition::VECCALC),
+            wb(ctx, TPosition::VECCALC), sb(ctx, TPosition::VECCALC);
+        pipe.InitBuffer(cb, kChunk * sizeof(T));
+        pipe.InitBuffer(mb, kChunk);
+        pipe.InitBuffer(wb, kChunk * sizeof(std::int32_t));
+        pipe.InitBuffer(sb, 64);
+        auto c_ub = cb.Get<T>();
+        auto m_ub = mb.Get<std::int8_t>();
+        auto w_ub = wb.Get<std::int32_t>();
+        auto s_ub = sb.Get<std::int32_t>();
+
+        std::int32_t total = 0;
+        const BlockShare share =
+            block_share(chunks, ctx.GetBlockDim(), ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, m, kChunk);
+          DataCopy(ctx, c_ub, cum.sub(r.begin, r.len), r.len);
+          CompareScalar(ctx, m_ub, c_ub, theta_t, CmpMode::LE, r.len);
+          Cast(ctx, w_ub, m_ub, r.len);
+          ReduceSum(ctx, s_ub, w_ub, r.len);
+          total += GetValue(ctx, s_ub, 0);
+        }
+        SetValue(ctx, s_ub, 0, total);
+        DataCopy(ctx,
+                 counts_gm.sub(static_cast<std::size_t>(ctx.GetBlockIdx()), 1),
+                 s_ub, 1);
+      });
+
+  std::size_t count = 0;
+  for (int b = 0; b < active; ++b) {
+    count += static_cast<std::size_t>(counts[static_cast<std::size_t>(b)]);
+  }
+  rep += dev.host_sync_report();
+  return count;
+}
+
+template std::size_t count_below<float>(Device&, GlobalTensor<float>,
+                                        std::size_t, double, sim::Report&,
+                                        int);
+template std::size_t count_below<half>(Device&, GlobalTensor<half>,
+                                       std::size_t, double, sim::Report&, int);
+
+TopPResult top_p_sample(Device& dev, GlobalTensor<half> probs, std::size_t n,
+                        double p, double u, const SamplingOptions& opt) {
+  ASCAN_CHECK(n >= 1 && probs.size() >= n, "top_p: bad input");
+  ASCAN_CHECK(p > 0.0 && p <= 1.0, "top_p: p must be in (0, 1]");
+  ASCAN_CHECK(u >= 0.0 && u < 1.0, "top_p: u must be in [0, 1)");
+  TopPResult result;
+
+  auto sorted = dev.alloc<half>(n);
+  auto sorted_idx = dev.alloc<std::int32_t>(n);
+
+  // 1) Sort the token probabilities in descending order.
+  if (opt.use_baseline_ops) {
+    result.report += sort_baseline_f16(dev, probs, sorted.tensor(),
+                                       sorted_idx.tensor(), n,
+                                       /*descending=*/true);
+  } else {
+    result.report += radix_sort_f16(
+        dev, probs, sorted.tensor(), sorted_idx.tensor(), n,
+        {.s = opt.s, .blocks = opt.blocks, .descending = true});
+  }
+
+  // 2) Cumulative sum of the sorted probabilities (the 17th scan).
+  sim::Report scan_rep;
+  auto cum32 = dev.alloc<float>(opt.use_baseline_ops ? 0 : n);
+  auto cum16 = dev.alloc<half>(opt.use_baseline_ops ? n : 0);
+  if (opt.use_baseline_ops) {
+    scan_rep = vec_cumsum(dev, sorted.tensor(), cum16.tensor(), n);
+  } else {
+    scan_rep = mcscan<half, float>(dev, sorted.tensor(), cum32.tensor(), n,
+                                   {.s = opt.s, .blocks = opt.blocks});
+  }
+  result.report += scan_rep;
+
+  // 3) Nucleus size: the Llama-3 rule keeps token i while the cumulative
+  //    sum *before* it is <= p, i.e. kept = count(cum - prob <= p). Since
+  //    cum is monotone, cum[i] - prob[i] = cum[i-1], so this is
+  //    1 + count(cum <= p) clipped to n (and at least 1).
+  std::size_t kept;
+  if (opt.use_baseline_ops) {
+    kept = count_below<half>(dev, cum16.tensor(), n, p, result.report,
+                             opt.blocks);
+  } else {
+    kept = count_below<float>(dev, cum32.tensor(), n, p, result.report,
+                              opt.blocks);
+  }
+  kept = std::min(n, kept + 1);
+  result.nucleus = kept;
+
+  // 4) Inverse-transform draw within the nucleus prefix, reusing the same
+  //    cumulative sums: theta = u * cum[kept-1]; the sampled position is
+  //    the number of cum values <= theta.
+  const double total = opt.use_baseline_ops
+                           ? double(float(cum16[kept - 1]))
+                           : double(cum32[kept - 1]);
+  result.report += dev.host_sync_report();
+  const double theta = u * total;
+  std::size_t pos;
+  if (opt.use_baseline_ops) {
+    pos = count_below<half>(dev, cum16.tensor(), kept, theta, result.report,
+                            opt.blocks);
+  } else {
+    pos = count_below<float>(dev, cum32.tensor(), kept, theta, result.report,
+                             opt.blocks);
+  }
+  pos = std::min(pos, kept - 1);
+  result.token = sorted_idx[pos];
+  result.report += dev.host_sync_report();
+  return result;
+}
+
+WeightedSampleResult weighted_sample(Device& dev, GlobalTensor<half> weights,
+                                     std::size_t n, double u,
+                                     const SamplingOptions& opt) {
+  ASCAN_CHECK(n >= 1 && weights.size() >= n, "weighted_sample: bad input");
+  ASCAN_CHECK(u >= 0.0 && u < 1.0, "weighted_sample: u must be in [0, 1)");
+  WeightedSampleResult result;
+
+  auto cum = dev.alloc<float>(n);
+  result.report += mcscan<half, float>(dev, weights, cum.tensor(), n,
+                                       {.s = opt.s, .blocks = opt.blocks});
+  const double total = cum[n - 1];
+  result.report += dev.host_sync_report();
+  ASCAN_CHECK(total > 0.0, "weighted_sample: zero total weight");
+
+  const double theta = u * total;
+  const std::size_t pos =
+      count_below<float>(dev, cum.tensor(), n, theta, result.report,
+                         opt.blocks);
+  result.index = static_cast<std::int32_t>(std::min(pos, n - 1));
+  return result;
+}
+
+}  // namespace ascend::kernels

@@ -1,0 +1,61 @@
+// Scan-based sampling operators (§5): top-p (nucleus) sampling as in the
+// Llama-3 pipeline, and inverse-transform weighted sampling.
+//
+// Top-p with the radix sort is "a scan-intensive operator": 16 scans for
+// the fp16 radix sort plus one cumulative-sum scan — the 17 scans per batch
+// the paper counts. After the descending sort, the nucleus is a *prefix* of
+// the sorted array, so the final inverse-transform draw reuses the same
+// cumulative sums: a count-below kernel finds the sampled position.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+struct SamplingOptions {
+  std::size_t s = 128;
+  int blocks = 0;
+  bool use_baseline_ops = false;  ///< torch.sort + torch.cumsum pipeline
+};
+
+struct TopPResult {
+  sim::Report report;
+  std::int32_t token = -1;    ///< sampled original index
+  std::size_t nucleus = 0;    ///< tokens kept by the top-p mask
+};
+
+/// Draws one token from probs[0..n) with nucleus parameter p, using the
+/// uniform variate u in [0,1). With use_baseline_ops the sort and scan run
+/// on the baseline kernels (the "PyTorch" series of Fig. 13); otherwise on
+/// radix sort + MCScan (the paper's s = 32/64/128 series).
+TopPResult top_p_sample(acc::Device& dev, acc::GlobalTensor<half> probs,
+                        std::size_t n, double p, double u,
+                        const SamplingOptions& opt = {});
+
+struct WeightedSampleResult {
+  sim::Report report;
+  std::int32_t index = -1;
+};
+
+/// Inverse-transform sampling: returns i with probability w[i]/sum(w).
+/// Unlike the torch.multinomial baseline (support capped at 2^24, §5),
+/// the support size is unbounded.
+WeightedSampleResult weighted_sample(acc::Device& dev,
+                                     acc::GlobalTensor<half> weights,
+                                     std::size_t n, double u,
+                                     const SamplingOptions& opt = {});
+
+/// Building block: counts elements of the monotone array cum[0..m) that
+/// are <= theta (vector compare + reduce, one count per block summed on
+/// the host). Exposed for tests.
+template <typename T>
+std::size_t count_below(acc::Device& dev, acc::GlobalTensor<T> cum,
+                        std::size_t m, double theta, sim::Report& rep,
+                        int blocks = 0);
+
+}  // namespace ascend::kernels

@@ -1,0 +1,183 @@
+#include "kernels/scan_strategies.hpp"
+
+#include "kernels/common.hpp"
+
+namespace ascend::kernels {
+
+using namespace acc;
+
+namespace {
+constexpr std::size_t kTile = 8192;
+
+sim::Report empty_launch(Device& dev) {
+  sim::Report r;
+  r.launches = 1;
+  r.time_s = dev.config().launch_overhead_s;
+  return r;
+}
+}  // namespace
+
+sim::Report stream_scan(Device& dev, GlobalTensor<half> x,
+                        GlobalTensor<float> y, std::size_t n,
+                        const StrategyOptions& opt) {
+  ASCAN_CHECK(x.size() >= n && y.size() >= n, "stream_scan: tensors too small");
+  if (n == 0) return empty_launch(dev);
+
+  const int nb = opt.blocks > 0 ? opt.blocks : dev.config().num_vec_cores();
+  const std::size_t tiles = num_tiles(n, kTile);
+  // Running totals published tile-by-tile through GM — the StreamScan
+  // adjacent-block dependency.
+  auto totals = dev.alloc<float>(tiles, 0.0f);
+  auto totals_gm = totals.tensor();
+
+  return launch(
+      dev,
+      {.block_dim = static_cast<int>(
+           std::min<std::size_t>(static_cast<std::size_t>(nb), tiles)),
+       .mode = LaunchMode::VectorOnly,
+       .name = "stream_scan"},
+      [&, n, tiles](KernelContext& ctx) {
+        auto& ready = ctx.shared().flags("total_ready", tiles);
+        const auto blocks = static_cast<std::size_t>(ctx.GetBlockDim());
+        const auto b = static_cast<std::size_t>(ctx.GetBlockIdx());
+
+        TPipe pipe(ctx);
+        TQue in_q(ctx, TPosition::VECIN);
+        pipe.InitBuffer(in_q, 3, kTile * sizeof(half));
+        TBuf wide_buf(ctx, TPosition::VECCALC), out_buf(ctx, TPosition::VECOUT),
+            sum_buf(ctx, TPosition::VECCALC), tot_buf(ctx, TPosition::VECIN);
+        pipe.InitBuffer(wide_buf, kTile * sizeof(float));
+        pipe.InitBuffer(out_buf, kTile * sizeof(float));
+        pipe.InitBuffer(sum_buf, 64);
+        pipe.InitBuffer(tot_buf, 64);
+
+        auto wide = wide_buf.Get<float>();
+        auto out = out_buf.Get<float>();
+        auto sum = sum_buf.Get<float>();
+        auto tot = tot_buf.Get<float>();
+
+        auto fetch = [&](std::size_t t) {
+          const TileRange r = tile_range(t, n, kTile);
+          auto chunk = in_q.AllocTensor<half>();
+          DataCopy(ctx, chunk, x.sub(r.begin, r.len), r.len);
+          in_q.EnQue(chunk);
+        };
+        if (b < tiles) fetch(b);
+        for (std::size_t t = b; t < tiles; t += blocks) {
+          const TileRange r = tile_range(t, n, kTile);
+          if (t + blocks < tiles) fetch(t + blocks);
+          auto chunk = in_q.DeQue<half>();
+          Cast(ctx, wide, chunk, r.len);
+          in_q.FreeTensor(chunk);
+
+          // Publish this tile's running total as early as possible: local
+          // reduce, then one GM round trip to the predecessor's total.
+          ReduceSum(ctx, sum, wide, r.len);
+          const float local_total = GetValue(ctx, sum, 0);
+          float prefix = 0.0f;
+          if (t > 0) {
+            ready.wait(ctx, t - 1);
+            DataCopy(ctx, tot, totals_gm.sub(t - 1, 1), 1);
+            prefix = GetValue(ctx, tot, 0);
+          }
+          SetValue(ctx, tot, 0, prefix + local_total);
+          DataCopy(ctx, totals_gm.sub(t, 1), tot, 1);
+          ready.set(ctx, t);
+
+          // Local inclusive scan (the CumSum vector primitive) + offset.
+          CumSum(ctx, out, wide, r.len);
+          Adds(ctx, out, out, prefix, r.len);
+          DataCopy(ctx, y.sub(r.begin, r.len), out, r.len);
+        }
+      });
+}
+
+sim::Report lookback_scan(Device& dev, GlobalTensor<half> x,
+                          GlobalTensor<float> y, std::size_t n,
+                          const StrategyOptions& opt) {
+  ASCAN_CHECK(x.size() >= n && y.size() >= n,
+              "lookback_scan: tensors too small");
+  if (n == 0) return empty_launch(dev);
+
+  const int nb_req = opt.blocks > 0 ? opt.blocks : dev.config().num_vec_cores();
+  const std::size_t tiles = num_tiles(n, kTile);
+  const auto blocks =
+      std::min<std::size_t>(static_cast<std::size_t>(nb_req), tiles);
+  // Per-tile aggregates published through GM. A tile's exclusive prefix is
+  // its owner's previous-tile inclusive prefix (kept in a scalar register)
+  // plus the aggregates of the in-flight window — the decoupled look-back.
+  auto aggregates = dev.alloc<float>(tiles, 0.0f);
+  auto agg_gm = aggregates.tensor();
+
+  return launch(
+      dev,
+      {.block_dim = static_cast<int>(blocks), .mode = LaunchMode::VectorOnly,
+       .name = "lookback_scan"},
+      [&, n, tiles, blocks](KernelContext& ctx) {
+        auto& agg_ready = ctx.shared().flags("agg_ready", tiles);
+        const auto b = static_cast<std::size_t>(ctx.GetBlockIdx());
+
+        TPipe pipe(ctx);
+        TQue in_q(ctx, TPosition::VECIN);
+        pipe.InitBuffer(in_q, 3, kTile * sizeof(half));
+        TBuf wide_buf(ctx, TPosition::VECCALC), out_buf(ctx, TPosition::VECOUT),
+            sum_buf(ctx, TPosition::VECCALC), win_buf(ctx, TPosition::VECIN);
+        pipe.InitBuffer(wide_buf, kTile * sizeof(float));
+        pipe.InitBuffer(out_buf, kTile * sizeof(float));
+        pipe.InitBuffer(sum_buf, 64);
+        pipe.InitBuffer(win_buf, blocks * sizeof(float) + 64);
+
+        auto wide = wide_buf.Get<float>();
+        auto out = out_buf.Get<float>();
+        auto sum = sum_buf.Get<float>();
+        auto window = win_buf.Get<float>();
+
+        auto fetch = [&](std::size_t t) {
+          const TileRange r = tile_range(t, n, kTile);
+          auto chunk = in_q.AllocTensor<half>();
+          DataCopy(ctx, chunk, x.sub(r.begin, r.len), r.len);
+          in_q.EnQue(chunk);
+        };
+        if (b < tiles) fetch(b);
+        float own_prefix = 0.0f;  // inclusive prefix of this core's last tile
+        bool own_prefix_valid = false;
+        for (std::size_t t = b; t < tiles; t += blocks) {
+          const TileRange r = tile_range(t, n, kTile);
+          if (t + blocks < tiles) fetch(t + blocks);
+          auto chunk = in_q.DeQue<half>();
+          Cast(ctx, wide, chunk, r.len);
+          in_q.FreeTensor(chunk);
+
+          // Publish the aggregate immediately (no serial dependency).
+          ReduceSum(ctx, sum, wide, r.len);
+          const float aggregate = GetValue(ctx, sum, 0);
+          SetValue(ctx, sum, 0, aggregate);
+          DataCopy(ctx, agg_gm.sub(t, 1), sum, 1);
+          agg_ready.set(ctx, t);
+
+          // Look back: this core knows its own previous inclusive prefix;
+          // only the window of other cores' in-flight tiles is missing.
+          const std::size_t win_begin =
+              own_prefix_valid ? t - blocks + 1 : 0;
+          float prefix = own_prefix_valid ? own_prefix : 0.0f;
+          if (t > 0 && win_begin <= t - 1) {
+            for (std::size_t j = win_begin; j <= t - 1; ++j) {
+              agg_ready.wait(ctx, j);
+            }
+            const std::size_t win_len = t - win_begin;
+            DataCopy(ctx, window, agg_gm.sub(win_begin, win_len), win_len);
+            ReduceSum(ctx, sum, window, win_len);
+            prefix = prefix + GetValue(ctx, sum, 0);
+          }
+
+          CumSum(ctx, out, wide, r.len);
+          Adds(ctx, out, out, prefix, r.len);
+          DataCopy(ctx, y.sub(r.begin, r.len), out, r.len);
+
+          own_prefix = prefix + aggregate;
+          own_prefix_valid = true;
+        }
+      });
+}
+
+}  // namespace ascend::kernels

@@ -1,0 +1,44 @@
+// Alternative multi-core scan strategies from the literature (§2.1), built
+// on the same AscendC layer so they can be compared head-to-head with
+// MCScan on the simulated 910B:
+//
+//  * StreamScan [48]: single-pass, 2N global-memory traffic, with a strict
+//    serial dependency between adjacent tiles — each tile's prefix is
+//    published through GM and consumed by the next tile's owner, so every
+//    tile boundary pays a full GM round-trip latency.
+//  * Decoupled look-back [36]: also single-pass 2N, but each tile
+//    publishes its *aggregate* early and its *inclusive prefix* when known;
+//    consumers walk back over predecessors' aggregates instead of waiting
+//    for the full serial chain, which substantially shortens the critical
+//    path.
+//
+// Both are vector-only here (the cube's local scans would add a GM round
+// trip and break the 2N property — one reason the paper's MCScan uses the
+// SSA-style structure instead on this architecture, §3.1/§4.3).
+#pragma once
+
+#include <cstddef>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+struct StrategyOptions {
+  int blocks = 0;  ///< vector cores to use (0 = all)
+};
+
+/// StreamScan: inclusive scan, fp16 -> fp32, 2N traffic, adjacent-tile
+/// serial dependency.
+sim::Report stream_scan(acc::Device& dev, acc::GlobalTensor<half> x,
+                        acc::GlobalTensor<float> y, std::size_t n,
+                        const StrategyOptions& opt = {});
+
+/// Decoupled look-back: inclusive scan, fp16 -> fp32, 2N traffic,
+/// aggregate/prefix two-phase flags per tile.
+sim::Report lookback_scan(acc::Device& dev, acc::GlobalTensor<half> x,
+                          acc::GlobalTensor<float> y, std::size_t n,
+                          const StrategyOptions& opt = {});
+
+}  // namespace ascend::kernels

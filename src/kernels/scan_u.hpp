@@ -1,0 +1,25 @@
+// ScanU (Algorithm 1): single-cube-core scan.
+//
+// The cube unit computes s consecutive local scans of tiles of size s with
+// one matrix multiplication per l = s^2 tile (A_s @ U_s computes the row
+// scans of the row-major tile view), writes the result to GM, and a single
+// vector core completes the prefix sum by adding the running partial to
+// each s-row and reading the row's last value back into a scalar register
+// (the serial dependency that bounds this kernel).
+#pragma once
+
+#include <cstddef>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+/// Inclusive scan of x[0..n) into y[0..n) using one AI core (1 cube + 1
+/// vector sub-core). `s` is the matrix tile edge (16/32/64/128).
+sim::Report scan_u(acc::Device& dev, acc::GlobalTensor<half> x,
+                   acc::GlobalTensor<half> y, std::size_t n,
+                   std::size_t s = 128);
+
+}  // namespace ascend::kernels

@@ -1,0 +1,156 @@
+#include "kernels/segmented_scan.hpp"
+
+#include "kernels/common.hpp"
+
+namespace ascend::kernels {
+
+using namespace acc;
+
+namespace {
+constexpr std::size_t kChunk = 4096;  // UB budget: several f32 scratches
+}  // namespace
+
+sim::Report segmented_scan(Device& dev, GlobalTensor<half> x,
+                           GlobalTensor<std::int8_t> flags,
+                           GlobalTensor<float> y, std::size_t n,
+                           const SegmentedScanOptions& opt) {
+  ASCAN_CHECK(x.size() >= n && flags.size() >= n && y.size() >= n,
+              "segmented_scan: tensors too small");
+  if (n == 0) {
+    sim::Report r;
+    r.launches = 1;
+    r.time_s = dev.config().launch_overhead_s;
+    return r;
+  }
+
+  const sim::MachineConfig& cfg = dev.config();
+  const int blocks = opt.blocks > 0 ? opt.blocks : cfg.num_ai_cores;
+  const int nb = blocks * cfg.vec_per_core;
+  const std::size_t chunks = num_tiles(n, kChunk);
+  const auto workers =
+      std::min<std::size_t>(static_cast<std::size_t>(nb), chunks);
+
+  // Per-worker aggregates: (has_start, tail sum after the last start).
+  auto agg_flag = dev.alloc<std::int32_t>(workers, 0);
+  auto agg_tail = dev.alloc<float>(workers, 0.0f);
+  auto af_gm = agg_flag.tensor();
+  auto at_gm = agg_tail.tensor();
+
+  return launch(
+      dev,
+      {.block_dim = static_cast<int>(workers),
+       .mode = LaunchMode::VectorOnly,
+       .name = "segmented_scan"},
+      [&, n, chunks, workers](KernelContext& ctx) {
+        const auto w = static_cast<std::size_t>(ctx.GetBlockIdx());
+        TPipe pipe(ctx);
+        TQue xin(ctx, TPosition::VECIN), fin(ctx, TPosition::VECIN);
+        pipe.InitBuffer(xin, 2, kChunk * sizeof(half));
+        pipe.InitBuffer(fin, 2, kChunk);
+        TBuf wb(ctx, TPosition::VECCALC), csb(ctx, TPosition::VECCALC),
+            csxb(ctx, TPosition::VECCALC), sidb(ctx, TPosition::VECCALC),
+            baseb(ctx, TPosition::VECCALC), gatherb(ctx, TPosition::VECOUT),
+            smallb(ctx, TPosition::VECCALC);
+        pipe.InitBuffer(wb, kChunk * sizeof(float));
+        pipe.InitBuffer(csb, kChunk * sizeof(float));
+        pipe.InitBuffer(csxb, (kChunk + 1) * sizeof(float));
+        pipe.InitBuffer(sidb, kChunk * sizeof(std::int32_t));
+        pipe.InitBuffer(baseb, (kChunk + 1) * sizeof(float));
+        pipe.InitBuffer(gatherb, kChunk * sizeof(float));
+        pipe.InitBuffer(smallb, 256);
+
+        auto wide = wb.Get<float>();
+        auto cs = csb.Get<float>();
+        auto csx = csxb.Get<float>();
+        auto segid = sidb.Get<std::int32_t>();
+        auto bases = baseb.Get<float>();
+        auto out = gatherb.Get<float>();
+        auto small = smallb.Get<float>();
+        auto small_i = smallb.Get<std::int32_t>();
+
+        const BlockShare share = block_share(chunks, ctx.GetBlockDim(),
+                                             ctx.GetBlockIdx());
+
+        // Processes one chunk given the carry (sum of the open segment so
+        // far); returns the updated (has_start, carry).
+        auto process = [&](std::size_t c, bool emit, bool& has_start,
+                           float& carry) {
+          const TileRange r = tile_range(c, n, kChunk);
+          auto xin_t = xin.AllocTensor<half>();
+          DataCopy(ctx, xin_t, x.sub(r.begin, r.len), r.len);
+          auto fin_t = fin.AllocTensor<std::int8_t>();
+          DataCopy(ctx, fin_t, flags.sub(r.begin, r.len), r.len);
+
+          Cast(ctx, wide, xin_t, r.len);
+          xin.FreeTensor(xin_t);
+          CumSum(ctx, cs, wide, r.len);                 // inclusive sums
+          Sub(ctx, csx, cs, wide, r.len);               // exclusive sums
+          // Segment ids local to the chunk: cumsum of the flags.
+          Cast(ctx, segid, fin_t, r.len);
+          CumSum(ctx, segid, segid, r.len);
+          // Per-start bases: the exclusive sum at each flagged position.
+          const std::size_t starts =
+              GatherMask(ctx, bases.sub(1, kChunk), csx, fin_t, r.len);
+          fin.FreeTensor(fin_t);
+
+          if (emit) {
+            // Slot 0 carries the running segment: y = cs - base + carry
+            // for segid 0 elements, i.e. base[0] = -carry.
+            SetValue(ctx, bases, 0, -carry);
+            Gather(ctx, out, bases, segid, r.len);
+            Sub(ctx, out, cs, out, r.len);
+            DataCopy(ctx, y.sub(r.begin, r.len), out, r.len);
+            // Carry out: the value of the last element's running segment.
+            carry = GetValue(ctx, out, r.len - 1);
+            has_start = has_start || starts > 0;
+          } else {
+            // Aggregate-only pass (phase I): tail = cs[last] - csx at the
+            // last start (or previous carry + total when no start).
+            const float total = GetValue(ctx, cs, r.len - 1);
+            if (starts > 0) {
+              const float last_base =
+                  GetValue(ctx, bases, starts);  // slot `starts` (1-based)
+              carry = total - last_base;
+              has_start = true;
+            } else {
+              carry = carry + total;
+            }
+          }
+        };
+
+        // ---- Phase I: this worker's (has_start, tail) aggregate.
+        bool has_start = false;
+        float tail = 0.0f;
+        for (std::size_t c = share.begin; c < share.begin + share.count;
+             ++c) {
+          process(c, /*emit=*/false, has_start, tail);
+        }
+        SetValue(ctx, small_i, 0, has_start ? 1 : 0);
+        DataCopy(ctx, af_gm.sub(w, 1), small_i, 1);
+        SetValue(ctx, small, 1, tail);
+        DataCopy(ctx, at_gm.sub(w, 1), small.sub(1, 1), 1);
+
+        ctx.SyncAll();
+
+        // ---- Phase II: fold predececessors' aggregates right-to-left
+        // until one with a start; that is this worker's carry-in.
+        auto all_f = smallb.Get<std::int32_t>().sub(8, workers);
+        auto all_t = baseb.Get<float>().sub(0, workers);
+        if (w > 0) {
+          DataCopy(ctx, all_f, af_gm, workers);
+          DataCopy(ctx, all_t, at_gm, workers);
+        }
+        float carry = 0.0f;
+        for (std::size_t j = w; j-- > 0;) {
+          carry += GetValue(ctx, all_t, j);
+          if (GetValue(ctx, all_f, j) != 0) break;
+        }
+        bool hs = false;
+        for (std::size_t c = share.begin; c < share.begin + share.count;
+             ++c) {
+          process(c, /*emit=*/true, hs, carry);
+        }
+      });
+}
+
+}  // namespace ascend::kernels

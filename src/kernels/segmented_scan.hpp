@@ -1,0 +1,36 @@
+// Segmented inclusive scan — the classic scan-vector primitive of Blelloch
+// [6, 7] (the paper's §2.4 umbrella of scan applications): given values x
+// and a 0/1 flag array marking segment starts, compute the prefix sums
+// restarting at every flagged position.
+//
+// Multi-core structure mirrors MCScan: phase I computes each sub-chunk's
+// aggregate under the segmented-sum semigroup
+//     (has_start, tail) ∘ (has_start', tail') =
+//         (has_start | has_start', has_start' ? tail' : tail + tail')
+// on the vector cores; after SyncAll, phase II folds the predecessors'
+// aggregates into a carry and rebuilds the per-element result in the UB
+// from existing primitives only: CumSum over values and flags, GatherMask
+// to collect per-segment bases, and Gather to broadcast them back.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+struct SegmentedScanOptions {
+  int blocks = 0;  ///< AI cores (0 = all); vector cores do the work
+};
+
+/// y[i] = sum of x[j] for j in (last flagged position <= i) .. i.
+/// Position 0 implicitly starts a segment. fp16 values, fp32 output.
+sim::Report segmented_scan(acc::Device& dev, acc::GlobalTensor<half> x,
+                           acc::GlobalTensor<std::int8_t> flags,
+                           acc::GlobalTensor<float> y, std::size_t n,
+                           const SegmentedScanOptions& opt = {});
+
+}  // namespace ascend::kernels

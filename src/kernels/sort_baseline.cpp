@@ -1,0 +1,220 @@
+#include "kernels/sort_baseline.hpp"
+
+#include <algorithm>
+
+#include "kernels/common.hpp"
+#include "kernels/radix_sort.hpp"
+
+namespace ascend::kernels {
+
+using namespace acc;
+
+namespace {
+
+constexpr std::size_t kSeg = 8192;    ///< UB-resident segment length
+constexpr std::size_t kMerge = 4096;  ///< streaming-merge chunk length
+
+/// Streams the merge of runs A = [a_begin, a_begin+a_len) and
+/// B = [b_begin, ...) into out[o_begin, ...) using UB chunks. The scalar
+/// unit steers the data-dependent chunk consumption (one scalar decision
+/// per chunk), the vector unit merges.
+void merge_runs(KernelContext& ctx, GlobalTensor<std::uint16_t> keys,
+                GlobalTensor<std::int32_t> idx,
+                GlobalTensor<std::uint16_t> keys_out,
+                GlobalTensor<std::int32_t> idx_out, std::size_t a_begin,
+                std::size_t a_len, std::size_t b_begin, std::size_t b_len,
+                std::size_t o_begin, const LocalTensor<std::uint16_t>& ka,
+                const LocalTensor<std::int32_t>& ia,
+                const LocalTensor<std::uint16_t>& kb,
+                const LocalTensor<std::int32_t>& ib,
+                const LocalTensor<std::uint16_t>& ko,
+                const LocalTensor<std::int32_t>& io) {
+  std::size_t ia_pos = 0, ib_pos = 0, out = 0;
+  const std::size_t total = a_len + b_len;
+  while (out < total) {
+    const std::size_t take = std::min(kMerge, total - out);
+    // Scalar-unit steering: find how many elements of each run feed the
+    // next chunk (two-pointer over GM-resident keys).
+    std::size_t na = 0, nb = 0;
+    {
+      std::size_t pa = ia_pos, pb = ib_pos;
+      for (std::size_t k = 0; k < take; ++k) {
+        const bool from_b =
+            pa >= a_len ||
+            (pb < b_len &&
+             keys.data()[b_begin + pb] < keys.data()[a_begin + pa]);
+        if (from_b) {
+          ++pb;
+        } else {
+          ++pa;
+        }
+      }
+      na = pa - ia_pos;
+      nb = pb - ib_pos;
+      ctx.record_compute(sim::EngineKind::Scalar,
+                         ctx.cfg().scalar_read_cycles, "merge.steer", {}, {});
+    }
+    if (na > 0) {
+      DataCopy(ctx, ka, keys.sub(a_begin + ia_pos, na), na);
+      DataCopy(ctx, ia, idx.sub(a_begin + ia_pos, na), na);
+    }
+    if (nb > 0) {
+      DataCopy(ctx, kb, keys.sub(b_begin + ib_pos, nb), nb);
+      DataCopy(ctx, ib, idx.sub(b_begin + ib_pos, nb), nb);
+    }
+    MergeSorted(ctx, ko, io, ka, ia, na, kb, ib, nb);
+    DataCopy(ctx, keys_out.sub(o_begin + out, take), ko, take);
+    DataCopy(ctx, idx_out.sub(o_begin + out, take), io, take);
+    ia_pos += na;
+    ib_pos += nb;
+    out += take;
+  }
+}
+
+}  // namespace
+
+sim::Report sort_baseline_f16(Device& dev, GlobalTensor<half> keys,
+                              GlobalTensor<half> keys_out,
+                              GlobalTensor<std::int32_t> idx_out,
+                              std::size_t n, bool descending) {
+  ASCAN_CHECK(keys.size() >= n && keys_out.size() >= n && idx_out.size() >= n,
+              "sort_baseline: tensors too small");
+  sim::Report rep;
+  if (n == 0) {
+    rep.launches = 1;
+    rep.time_s = dev.config().launch_overhead_s;
+    return rep;
+  }
+
+  const int nv = dev.config().num_vec_cores();
+  auto enc_a = dev.alloc<std::uint16_t>(n);
+  auto enc_b = dev.alloc<std::uint16_t>(n);
+  auto idx_a = dev.alloc<std::int32_t>(n);
+  auto idx_b = dev.alloc<std::int32_t>(n);
+
+  rep += radix_encode_kernel(dev, keys, enc_a.tensor(), idx_a.tensor(), n,
+                             descending);
+
+  // --- Phase 1: sort 8K segments entirely inside the UB. -------------------
+  const std::size_t segs = num_tiles(n, kSeg);
+  rep += launch(
+      dev,
+      {.block_dim = nv, .mode = LaunchMode::VectorOnly, .name = "seg_sort"},
+      [&, n, segs, nv](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf k1(ctx, TPosition::VECIN), i1(ctx, TPosition::VECIN),
+            k2(ctx, TPosition::VECCALC), i2(ctx, TPosition::VECCALC);
+        pipe.InitBuffer(k1, kSeg * sizeof(std::uint16_t));
+        pipe.InitBuffer(i1, kSeg * sizeof(std::int32_t));
+        pipe.InitBuffer(k2, kSeg * sizeof(std::uint16_t));
+        pipe.InitBuffer(i2, kSeg * sizeof(std::int32_t));
+        auto ka = k1.Get<std::uint16_t>();
+        auto ia = i1.Get<std::int32_t>();
+        auto kb = k2.Get<std::uint16_t>();
+        auto ib = i2.Get<std::int32_t>();
+
+        auto enc = enc_a.tensor();
+        auto idx = idx_a.tensor();
+        const BlockShare share = block_share(segs, nv, ctx.GetBlockIdx());
+        for (std::size_t sg = share.begin; sg < share.begin + share.count;
+             ++sg) {
+          const TileRange r = tile_range(sg, n, kSeg);
+          DataCopy(ctx, ka, enc.sub(r.begin, r.len), r.len);
+          DataCopy(ctx, ia, idx.sub(r.begin, r.len), r.len);
+          Sort32(ctx, ka, ia, r.len);
+          // Local merge passes: 32 -> 64 -> ... -> segment, ping-ponging
+          // between the two UB buffers.
+          auto* src_k = &ka;
+          auto* src_i = &ia;
+          auto* dst_k = &kb;
+          auto* dst_i = &ib;
+          for (std::size_t w = 32; w < r.len; w *= 2) {
+            for (std::size_t off = 0; off < r.len; off += 2 * w) {
+              const std::size_t la = std::min(w, r.len - off);
+              const std::size_t lb =
+                  off + la >= r.len ? 0 : std::min(w, r.len - off - la);
+              MergeSorted(ctx, dst_k->sub(off, la + lb),
+                          dst_i->sub(off, la + lb), src_k->sub(off, la),
+                          src_i->sub(off, la),
+                          la, src_k->sub(off + la, lb), src_i->sub(off + la, lb),
+                          lb);
+            }
+            std::swap(src_k, dst_k);
+            std::swap(src_i, dst_i);
+          }
+          DataCopy(ctx, enc.sub(r.begin, r.len), *src_k, r.len);
+          DataCopy(ctx, idx.sub(r.begin, r.len), *src_i, r.len);
+        }
+      });
+
+  // --- Phase 2: global merge tree, one launch per level. -------------------
+  GlobalTensor<std::uint16_t> src_k = enc_a.tensor(), dst_k = enc_b.tensor();
+  GlobalTensor<std::int32_t> src_i = idx_a.tensor(), dst_i = idx_b.tensor();
+  for (std::size_t run = kSeg; run < n; run *= 2) {
+    const std::size_t pairs = num_tiles(n, 2 * run);
+    const int active = static_cast<int>(
+        std::min<std::size_t>(pairs, static_cast<std::size_t>(nv)));
+    rep += launch(
+        dev, {.block_dim = active, .mode = LaunchMode::VectorOnly,
+              .name = "merge_level"},
+        [&, n, run, pairs, active](KernelContext& ctx) {
+          TPipe pipe(ctx);
+          TBuf k1(ctx, TPosition::VECIN), i1(ctx, TPosition::VECIN),
+              k2(ctx, TPosition::VECIN), i2(ctx, TPosition::VECIN),
+              k3(ctx, TPosition::VECOUT), i3(ctx, TPosition::VECOUT);
+          pipe.InitBuffer(k1, kMerge * sizeof(std::uint16_t));
+          pipe.InitBuffer(i1, kMerge * sizeof(std::int32_t));
+          pipe.InitBuffer(k2, kMerge * sizeof(std::uint16_t));
+          pipe.InitBuffer(i2, kMerge * sizeof(std::int32_t));
+          pipe.InitBuffer(k3, kMerge * sizeof(std::uint16_t));
+          pipe.InitBuffer(i3, kMerge * sizeof(std::int32_t));
+          auto ka = k1.Get<std::uint16_t>();
+          auto ia = i1.Get<std::int32_t>();
+          auto kb = k2.Get<std::uint16_t>();
+          auto ib = i2.Get<std::int32_t>();
+          auto ko = k3.Get<std::uint16_t>();
+          auto io = i3.Get<std::int32_t>();
+
+          const BlockShare share =
+              block_share(pairs, active, ctx.GetBlockIdx());
+          for (std::size_t p = share.begin; p < share.begin + share.count;
+               ++p) {
+            const std::size_t a_begin = p * 2 * run;
+            const std::size_t a_len = std::min(run, n - a_begin);
+            const std::size_t b_begin = a_begin + a_len;
+            const std::size_t b_len =
+                b_begin >= n ? 0 : std::min(run, n - b_begin);
+            merge_runs(ctx, src_k, src_i, dst_k, dst_i, a_begin, a_len,
+                       b_begin, b_len, a_begin, ka, ia, kb, ib, ko, io);
+          }
+        });
+    std::swap(src_k, dst_k);
+    std::swap(src_i, dst_i);
+  }
+
+  rep += radix_decode_kernel(dev, src_k, keys_out, n, descending);
+  // The indices live in a working buffer; copy them into the caller's.
+  {
+    const std::size_t chunks = num_tiles(n, kSeg);
+    rep += launch(
+        dev, {.block_dim = nv, .mode = LaunchMode::VectorOnly,
+              .name = "idx_copy"},
+        [&, n, chunks, nv](KernelContext& ctx) {
+          TPipe pipe(ctx);
+          TQue q(ctx, TPosition::VECIN);
+          pipe.InitBuffer(q, 2, kSeg * sizeof(std::int32_t));
+          const BlockShare share = block_share(chunks, nv, ctx.GetBlockIdx());
+          for (std::size_t c = share.begin; c < share.begin + share.count;
+               ++c) {
+            const TileRange r = tile_range(c, n, kSeg);
+            auto t = q.AllocTensor<std::int32_t>();
+            DataCopy(ctx, t, src_i.sub(r.begin, r.len), r.len);
+            DataCopy(ctx, idx_out.sub(r.begin, r.len), t, r.len);
+            q.FreeTensor(t);
+          }
+        });
+  }
+  return rep;
+}
+
+}  // namespace ascend::kernels

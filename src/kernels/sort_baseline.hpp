@@ -1,0 +1,28 @@
+// Baseline sort — the torch.sort() comparator of Fig. 11.
+//
+// The Ascend PyTorch sort kernel is closed source; the paper's data shows
+// it beats radix sort below ~525K elements and loses by a growing factor
+// (up to 3.3x) above. This baseline reproduces that behaviour with a
+// vector-only merge sort: every 8K segment is sorted in the UB (Sort32 +
+// local merge passes, no GM round trips), then log2(n/8K) global merge
+// levels stream pairs of runs through the UB (MergeSorted). Upper levels
+// have fewer pairs than vector cores, so the tree serialises at the top —
+// the poor large-n scaling the paper measures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+/// Stable sort of fp16 keys with original indices (torch.sort contract).
+sim::Report sort_baseline_f16(acc::Device& dev, acc::GlobalTensor<half> keys,
+                              acc::GlobalTensor<half> keys_out,
+                              acc::GlobalTensor<std::int32_t> idx_out,
+                              std::size_t n, bool descending = false);
+
+}  // namespace ascend::kernels

@@ -1,0 +1,241 @@
+#include "kernels/split.hpp"
+
+#include "kernels/common.hpp"
+#include "kernels/mcscan.hpp"
+
+namespace ascend::kernels {
+
+using namespace acc;
+
+namespace {
+
+sim::Report empty_launch(Device& dev) {
+  sim::Report r;
+  r.launches = 1;
+  r.time_s = dev.config().launch_overhead_s;
+  return r;
+}
+
+}  // namespace
+
+template <typename K>
+SplitReport split_ind(Device& dev, GlobalTensor<K> keys,
+                      GlobalTensor<std::int32_t> idx_in,
+                      GlobalTensor<std::int8_t> mask, GlobalTensor<K> keys_out,
+                      GlobalTensor<std::int32_t> idx_out, std::size_t n,
+                      const SplitOptions& opt) {
+  static_assert(sizeof(K) == 2, "split_ind keys are 16-bit (paper §5)");
+  ASCAN_CHECK(keys.size() >= n && mask.size() >= n && keys_out.size() >= n &&
+                  idx_out.size() >= n,
+              "split_ind: tensors too small");
+  ASCAN_CHECK(!idx_in.valid() || idx_in.size() >= n,
+              "split_ind: payload index tensor too small");
+  SplitReport result;
+  if (n == 0) {
+    result.report = empty_launch(dev);
+    return result;
+  }
+
+  // 1) Exclusive scan of the mask gives every true element's destination
+  //    offset (§5: "executes an exclusive scan using MCScan on the mask").
+  auto offsets = dev.alloc<std::int32_t>(n);
+  auto off_gm = offsets.tensor();
+  result.report = mcscan<std::int8_t, std::int32_t>(
+      dev, mask, off_gm, n, {.s = opt.s, .blocks = opt.blocks, .exclusive = true});
+
+  // 2) Host sync: total number of true elements (the false group's base).
+  const std::size_t total_true =
+      static_cast<std::size_t>(offsets[n - 1]) + (mask.data()[n - 1] ? 1 : 0);
+  result.report += dev.host_sync_report();
+  result.num_true = total_true;
+
+  // 3) Gather kernel: per tile, compact trues and falses with GatherMask
+  //    and write both groups at their scanned offsets.
+  const int nb = (opt.blocks > 0 ? opt.blocks : dev.config().num_ai_cores) *
+                 dev.config().vec_per_core;
+  constexpr std::size_t kChunk = 8192;
+  const std::size_t chunks = num_tiles(n, kChunk);
+  const bool have_idx = idx_in.valid();
+
+  result.report += launch(
+      dev,
+      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "split_ind"},
+      [&, n, total_true, chunks, nb, have_idx](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf kb(ctx, TPosition::VECIN), mb(ctx, TPosition::VECIN),
+            nmb(ctx, TPosition::VECCALC), ib(ctx, TPosition::VECIN),
+            kg(ctx, TPosition::VECOUT), ig(ctx, TPosition::VECOUT),
+            ob(ctx, TPosition::VECIN);
+        pipe.InitBuffer(kb, kChunk * sizeof(K));
+        pipe.InitBuffer(mb, kChunk);
+        pipe.InitBuffer(nmb, kChunk);
+        pipe.InitBuffer(ib, kChunk * sizeof(std::int32_t));
+        pipe.InitBuffer(kg, kChunk * sizeof(K));
+        pipe.InitBuffer(ig, kChunk * sizeof(std::int32_t));
+        pipe.InitBuffer(ob, 64);
+
+        auto keys_ub = kb.Get<K>();
+        auto mask_ub = mb.Get<std::int8_t>();
+        auto nmask_ub = nmb.Get<std::int8_t>();
+        auto idx_ub = ib.Get<std::int32_t>();
+        auto kgath = kg.Get<K>();
+        auto igath = ig.Get<std::int32_t>();
+        auto off_ub = ob.Get<std::int32_t>();
+
+        const BlockShare share = block_share(chunks, nb, ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          // This tile's true-group base comes from the scanned offsets.
+          DataCopy(ctx, off_ub, off_gm.sub(r.begin, 1), 1);
+          const std::size_t base_true =
+              static_cast<std::size_t>(GetValue(ctx, off_ub, 0));
+          const std::size_t base_false =
+              total_true + (r.begin - base_true);
+
+          DataCopy(ctx, keys_ub, keys.sub(r.begin, r.len), r.len);
+          DataCopy(ctx, mask_ub, mask.sub(r.begin, r.len), r.len);
+          if (have_idx) {
+            DataCopy(ctx, idx_ub, idx_in.sub(r.begin, r.len), r.len);
+          } else {
+            CreateVecIndex(ctx, idx_ub, static_cast<std::int32_t>(r.begin),
+                           r.len);
+          }
+
+          const std::size_t nt = GatherMask(ctx, kgath, keys_ub, mask_ub,
+                                            r.len);
+          if (nt > 0) {
+            DataCopy(ctx, keys_out.sub(base_true, nt), kgath, nt);
+          }
+          GatherMask(ctx, igath, idx_ub, mask_ub, r.len);
+          if (nt > 0) {
+            DataCopy(ctx, idx_out.sub(base_true, nt), igath, nt);
+          }
+
+          Xors(ctx, nmask_ub, mask_ub, std::int8_t{1}, r.len);
+          const std::size_t nf = GatherMask(ctx, kgath, keys_ub, nmask_ub,
+                                            r.len);
+          if (nf > 0) {
+            DataCopy(ctx, keys_out.sub(base_false, nf), kgath, nf);
+          }
+          GatherMask(ctx, igath, idx_ub, nmask_ub, r.len);
+          if (nf > 0) {
+            DataCopy(ctx, idx_out.sub(base_false, nf), igath, nf);
+          }
+        }
+      });
+  return result;
+}
+
+template SplitReport split_ind<half>(Device&, GlobalTensor<half>,
+                                     GlobalTensor<std::int32_t>,
+                                     GlobalTensor<std::int8_t>,
+                                     GlobalTensor<half>,
+                                     GlobalTensor<std::int32_t>, std::size_t,
+                                     const SplitOptions&);
+template SplitReport split_ind<std::uint16_t>(
+    Device&, GlobalTensor<std::uint16_t>, GlobalTensor<std::int32_t>,
+    GlobalTensor<std::int8_t>, GlobalTensor<std::uint16_t>,
+    GlobalTensor<std::int32_t>, std::size_t, const SplitOptions&);
+
+SplitReport compress(Device& dev, GlobalTensor<half> x,
+                     GlobalTensor<std::int8_t> mask, GlobalTensor<half> out,
+                     std::size_t n, const SplitOptions& opt) {
+  ASCAN_CHECK(x.size() >= n && mask.size() >= n, "compress: tensors too small");
+  SplitReport result;
+  if (n == 0) {
+    result.report = empty_launch(dev);
+    return result;
+  }
+
+  auto offsets = dev.alloc<std::int32_t>(n);
+  auto off_gm = offsets.tensor();
+  result.report = mcscan<std::int8_t, std::int32_t>(
+      dev, mask, off_gm, n,
+      {.s = opt.s, .blocks = opt.blocks, .exclusive = true});
+
+  const std::size_t total_true =
+      static_cast<std::size_t>(offsets[n - 1]) + (mask.data()[n - 1] ? 1 : 0);
+  result.report += dev.host_sync_report();
+  result.num_true = total_true;
+  ASCAN_CHECK(out.size() >= total_true, "compress: output tensor too small");
+
+  const int nb = (opt.blocks > 0 ? opt.blocks : dev.config().num_ai_cores) *
+                 dev.config().vec_per_core;
+  constexpr std::size_t kChunk = 16384;
+  const std::size_t chunks = num_tiles(n, kChunk);
+
+  result.report += launch(
+      dev,
+      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "compress"},
+      [&, n, chunks, nb](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf kb(ctx, TPosition::VECIN), mb(ctx, TPosition::VECIN),
+            kg(ctx, TPosition::VECOUT), ob(ctx, TPosition::VECIN);
+        pipe.InitBuffer(kb, kChunk * sizeof(half));
+        pipe.InitBuffer(mb, kChunk);
+        pipe.InitBuffer(kg, kChunk * sizeof(half));
+        pipe.InitBuffer(ob, 64);
+        auto x_ub = kb.Get<half>();
+        auto mask_ub = mb.Get<std::int8_t>();
+        auto gath = kg.Get<half>();
+        auto off_ub = ob.Get<std::int32_t>();
+
+        const BlockShare share = block_share(chunks, nb, ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          DataCopy(ctx, off_ub, off_gm.sub(r.begin, 1), 1);
+          const std::size_t base =
+              static_cast<std::size_t>(GetValue(ctx, off_ub, 0));
+          DataCopy(ctx, x_ub, x.sub(r.begin, r.len), r.len);
+          DataCopy(ctx, mask_ub, mask.sub(r.begin, r.len), r.len);
+          const std::size_t nt = GatherMask(ctx, gath, x_ub, mask_ub, r.len);
+          if (nt > 0) DataCopy(ctx, out.sub(base, nt), gath, nt);
+        }
+      });
+  return result;
+}
+
+SplitReport masked_select_baseline(Device& dev, GlobalTensor<half> x,
+                                   GlobalTensor<std::int8_t> mask,
+                                   GlobalTensor<half> out, std::size_t n) {
+  ASCAN_CHECK(x.size() >= n && mask.size() >= n,
+              "masked_select: tensors too small");
+  SplitReport result;
+  if (n == 0) {
+    result.report = empty_launch(dev);
+    return result;
+  }
+  constexpr std::size_t kChunk = 8192;
+  const std::size_t chunks = num_tiles(n, kChunk);
+  std::size_t total = 0;
+  result.report += launch(
+      dev,
+      {.block_dim = 1, .mode = LaunchMode::VectorOnly,
+       .name = "masked_select_baseline"},
+      [&, n, chunks](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf kb(ctx, TPosition::VECIN), mb(ctx, TPosition::VECIN),
+            kg(ctx, TPosition::VECOUT);
+        pipe.InitBuffer(kb, kChunk * sizeof(half));
+        pipe.InitBuffer(mb, kChunk);
+        pipe.InitBuffer(kg, kChunk * sizeof(half));
+        auto x_ub = kb.Get<half>();
+        auto mask_ub = mb.Get<std::int8_t>();
+        auto gath = kg.Get<half>();
+        for (std::size_t c = 0; c < chunks; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          DataCopy(ctx, x_ub, x.sub(r.begin, r.len), r.len);
+          DataCopy(ctx, mask_ub, mask.sub(r.begin, r.len), r.len);
+          const std::size_t cnt =
+              ScalarCompact(ctx, gath, x_ub, mask_ub, r.len);
+          ASCAN_CHECK(out.size() >= total + cnt,
+                      "masked_select: output tensor too small");
+          if (cnt > 0) DataCopy(ctx, out.sub(total, cnt), gath, cnt);
+          total += cnt;
+        }
+      });
+  result.num_true = total;
+  return result;
+}
+
+}  // namespace ascend::kernels

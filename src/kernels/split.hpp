@@ -1,0 +1,65 @@
+// SplitInd (§5): stable split of an array by a 0/1 mask, returning the
+// permuted values and their original indices.
+//
+// Implementation per the paper: an exclusive MCScan over the int8 mask
+// yields each element's destination offset; a vector gather kernel then
+// compacts the true elements (GatherMask) and the false elements (mask
+// complement) per tile and writes both groups to their scanned offsets in
+// GM. The stable order follows from the offsets being a prefix sum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+struct SplitOptions {
+  std::size_t s = 128;  ///< MCScan tile size for the mask scan
+  int blocks = 0;       ///< AI cores (0 = all)
+};
+
+struct SplitReport {
+  sim::Report report;
+  std::size_t num_true = 0;  ///< elements placed in the first group
+};
+
+/// Splits keys[0..n) (and, when idx_in is valid, their payload indices;
+/// otherwise the identity indices) by mask into keys_out/idx_out.
+/// K is half or uint16_t (the radix passes operate on encoded keys).
+template <typename K>
+SplitReport split_ind(acc::Device& dev, acc::GlobalTensor<K> keys,
+                      acc::GlobalTensor<std::int32_t> idx_in,
+                      acc::GlobalTensor<std::int8_t> mask,
+                      acc::GlobalTensor<K> keys_out,
+                      acc::GlobalTensor<std::int32_t> idx_out, std::size_t n,
+                      const SplitOptions& opt = {});
+
+extern template SplitReport split_ind<half>(
+    acc::Device&, acc::GlobalTensor<half>, acc::GlobalTensor<std::int32_t>,
+    acc::GlobalTensor<std::int8_t>, acc::GlobalTensor<half>,
+    acc::GlobalTensor<std::int32_t>, std::size_t, const SplitOptions&);
+extern template SplitReport split_ind<std::uint16_t>(
+    acc::Device&, acc::GlobalTensor<std::uint16_t>,
+    acc::GlobalTensor<std::int32_t>, acc::GlobalTensor<std::int8_t>,
+    acc::GlobalTensor<std::uint16_t>, acc::GlobalTensor<std::int32_t>,
+    std::size_t, const SplitOptions&);
+
+/// Compress (§5): keeps only the mask != 0 elements (torch.masked_select).
+/// Returns the kept count in SplitReport::num_true.
+SplitReport compress(acc::Device& dev, acc::GlobalTensor<half> x,
+                     acc::GlobalTensor<std::int8_t> mask,
+                     acc::GlobalTensor<half> out, std::size_t n,
+                     const SplitOptions& opt = {});
+
+/// The unoptimised torch.masked_select baseline: a scalar loop using
+/// neither vector nor cube units (paper §6.2).
+SplitReport masked_select_baseline(acc::Device& dev,
+                                   acc::GlobalTensor<half> x,
+                                   acc::GlobalTensor<std::int8_t> mask,
+                                   acc::GlobalTensor<half> out, std::size_t n);
+
+}  // namespace ascend::kernels

@@ -1,0 +1,410 @@
+#include "kernels/topk.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+#include "kernels/radix_sort.hpp"
+#include "kernels/sort_baseline.hpp"
+#include "kernels/split.hpp"
+
+namespace ascend::kernels {
+
+using namespace acc;
+
+namespace {
+
+constexpr std::size_t kChunk = 8192;
+
+/// Vector kernel: mask[i] = (x[i] > pivot).
+sim::Report compare_gt_kernel(Device& dev, GlobalTensor<half> x,
+                              GlobalTensor<std::int8_t> mask, std::size_t n,
+                              half pivot, int blocks) {
+  const int nb = (blocks > 0 ? blocks : dev.config().num_ai_cores) *
+                 dev.config().vec_per_core;
+  const std::size_t chunks = num_tiles(n, kChunk);
+  return launch(
+      dev,
+      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "cmp_gt"},
+      [&, n, chunks, nb, pivot](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf xb(ctx, TPosition::VECIN), mb(ctx, TPosition::VECOUT);
+        pipe.InitBuffer(xb, kChunk * sizeof(half));
+        pipe.InitBuffer(mb, kChunk);
+        auto x_ub = xb.Get<half>();
+        auto m_ub = mb.Get<std::int8_t>();
+        const BlockShare share = block_share(chunks, nb, ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          DataCopy(ctx, x_ub, x.sub(r.begin, r.len), r.len);
+          CompareScalar(ctx, m_ub, x_ub, pivot, CmpMode::GT, r.len);
+          DataCopy(ctx, mask.sub(r.begin, r.len), m_ub, r.len);
+        }
+      });
+}
+
+/// Copies a key+index range device-side (banking confirmed winners).
+sim::Report copy_pairs_kernel(Device& dev, GlobalTensor<half> keys,
+                              GlobalTensor<std::int32_t> idx,
+                              GlobalTensor<half> keys_dst,
+                              GlobalTensor<std::int32_t> idx_dst,
+                              std::size_t n) {
+  const int nb = std::max(
+      1, std::min(dev.config().num_vec_cores(),
+                  static_cast<int>(num_tiles(n, kChunk))));
+  const std::size_t chunks = num_tiles(n, kChunk);
+  return launch(
+      dev,
+      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "copy_pairs"},
+      [&, n, chunks, nb](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf kb(ctx, TPosition::VECIN), ib(ctx, TPosition::VECIN);
+        pipe.InitBuffer(kb, kChunk * sizeof(half));
+        pipe.InitBuffer(ib, kChunk * sizeof(std::int32_t));
+        auto k_ub = kb.Get<half>();
+        auto i_ub = ib.Get<std::int32_t>();
+        const BlockShare share = block_share(chunks, nb, ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count; ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          DataCopy(ctx, k_ub, keys.sub(r.begin, r.len), r.len);
+          DataCopy(ctx, keys_dst.sub(r.begin, r.len), k_ub, r.len);
+          DataCopy(ctx, i_ub, idx.sub(r.begin, r.len), r.len);
+          DataCopy(ctx, idx_dst.sub(r.begin, r.len), i_ub, r.len);
+        }
+      });
+}
+
+}  // namespace
+
+sim::Report topk_f16(Device& dev, GlobalTensor<half> x,
+                     GlobalTensor<half> values_out,
+                     GlobalTensor<std::int32_t> idx_out, std::size_t n,
+                     std::size_t k, const TopKOptions& opt) {
+  ASCAN_CHECK(k >= 1 && k <= n, "topk: need 1 <= k <= n");
+  ASCAN_CHECK(x.size() >= n && values_out.size() >= k && idx_out.size() >= k,
+              "topk: tensors too small");
+  sim::Report rep;
+
+  // Working candidate set (keys + original indices), ping-pong buffers.
+  auto keys_a = dev.alloc<half>(n);
+  auto keys_b = dev.alloc<half>(n);
+  auto idx_a = dev.alloc<std::int32_t>(n);
+  auto idx_b = dev.alloc<std::int32_t>(n);
+  auto mask = dev.alloc<std::int8_t>(n);
+  // Banked winners (elements proven to be in the top k).
+  auto bank_keys = dev.alloc<half>(k);
+  auto bank_idx = dev.alloc<std::int32_t>(k);
+
+  // Seed the candidate set = the whole input with identity indices
+  // (radix_encode's identity-index path would also do; reuse split's prep
+  // by a plain copy + iota kernel).
+  {
+    const int nb = dev.config().num_vec_cores();
+    const std::size_t chunks = num_tiles(n, kChunk);
+    rep += launch(
+        dev,
+        {.block_dim = std::min<int>(nb, static_cast<int>(chunks)),
+         .mode = LaunchMode::VectorOnly,
+         .name = "topk_prep"},
+        [&, n, chunks](KernelContext& ctx) {
+          TPipe pipe(ctx);
+          TBuf kb(ctx, TPosition::VECIN), ib(ctx, TPosition::VECOUT);
+          pipe.InitBuffer(kb, kChunk * sizeof(half));
+          pipe.InitBuffer(ib, kChunk * sizeof(std::int32_t));
+          auto k_ub = kb.Get<half>();
+          auto i_ub = ib.Get<std::int32_t>();
+          const BlockShare share =
+              block_share(chunks, ctx.GetBlockDim(), ctx.GetBlockIdx());
+          for (std::size_t c = share.begin; c < share.begin + share.count;
+               ++c) {
+            const TileRange r = tile_range(c, n, kChunk);
+            DataCopy(ctx, k_ub, x.sub(r.begin, r.len), r.len);
+            DataCopy(ctx, keys_a.tensor().sub(r.begin, r.len), k_ub, r.len);
+            CreateVecIndex(ctx, i_ub, static_cast<std::int32_t>(r.begin),
+                           r.len);
+            DataCopy(ctx, idx_a.tensor().sub(r.begin, r.len), i_ub, r.len);
+          }
+        });
+  }
+
+  GlobalTensor<half> cur_k = keys_a.tensor(), nxt_k = keys_b.tensor();
+  GlobalTensor<std::int32_t> cur_i = idx_a.tensor(), nxt_i = idx_b.tensor();
+  std::size_t cur_len = n;
+  std::size_t need = k;
+  std::size_t banked = 0;
+  Rng pivot_rng(0x70cb5eed);
+  int stall = 0;
+
+  while (need > 0 && cur_len > need) {
+    // Host-side pivot selection: median of three samples (one host sync).
+    half samples[3];
+    for (auto& sv : samples) {
+      sv = cur_k.data()[pivot_rng.next_below(cur_len)];
+    }
+    std::sort(std::begin(samples), std::end(samples),
+              [](half a, half b) { return float(a) < float(b); });
+    const half pivot = samples[1];
+    rep += dev.host_sync_report();
+
+    rep += compare_gt_kernel(dev, cur_k, mask.tensor(), cur_len, pivot,
+                             opt.blocks);
+    auto sr = split_ind<half>(dev, cur_k, cur_i, mask.tensor(), nxt_k, nxt_i,
+                              cur_len, {.s = opt.s, .blocks = opt.blocks});
+    rep += sr.report;
+    const std::size_t m = sr.num_true;  // elements strictly above the pivot
+
+    if (m == need) {
+      rep += copy_pairs_kernel(dev, nxt_k, nxt_i,
+                               bank_keys.tensor().sub(banked, m),
+                               bank_idx.tensor().sub(banked, m), m);
+      banked += m;
+      need = 0;
+      break;
+    }
+    if (m > need) {
+      // Winners are among the trues.
+      if (m == cur_len) {
+        ++stall;  // pivot below the whole candidate set (duplicates)
+      } else {
+        stall = 0;
+      }
+      std::swap(cur_k, nxt_k);
+      std::swap(cur_i, nxt_i);
+      cur_len = m;
+    } else {
+      // All trues are winners; keep selecting among the falses.
+      if (m > 0) {
+        rep += copy_pairs_kernel(dev, nxt_k, nxt_i,
+                                 bank_keys.tensor().sub(banked, m),
+                                 bank_idx.tensor().sub(banked, m), m);
+        banked += m;
+        need -= m;
+      } else {
+        ++stall;
+      }
+      const std::size_t f = cur_len - m;
+      // Falses sit after the trues in the split output.
+      rep += copy_pairs_kernel(dev, nxt_k.sub(m, f), nxt_i.sub(m, f), cur_k,
+                               cur_i, f);
+      cur_len = f;
+    }
+    if (stall >= 2) break;  // duplicate-heavy input: finish by sorting
+  }
+
+  if (need > 0) {
+    // The remaining candidates straddle the boundary (or the pivot loop
+    // stalled on duplicates): order them and take the top `need`.
+    auto sorted_k = dev.alloc<half>(cur_len);
+    auto sorted_i = dev.alloc<std::int32_t>(cur_len);
+    rep += radix_sort_f16(dev, cur_k.sub(0, cur_len), sorted_k.tensor(),
+                          sorted_i.tensor(), cur_len,
+                          {.s = opt.s, .blocks = opt.blocks,
+                           .descending = true},
+                          cur_i.sub(0, cur_len));
+    rep += copy_pairs_kernel(dev, sorted_k.tensor(), sorted_i.tensor(),
+                             bank_keys.tensor().sub(banked, need),
+                             bank_idx.tensor().sub(banked, need), need);
+    banked += need;
+    need = 0;
+  }
+  ASCAN_ASSERT(banked == k);
+
+  // Final ordering of the k winners (descending, payload indices).
+  rep += radix_sort_f16(dev, bank_keys.tensor(), values_out, idx_out, k,
+                        {.s = opt.s, .blocks = opt.blocks, .descending = true},
+                        bank_idx.tensor());
+  return rep;
+}
+
+namespace {
+
+/// The streaming candidate-list kernel behind the baseline top-k: every
+/// vector core keeps its running top-k (sorted) in the UB, merging each
+/// incoming chunk into it; the per-core lists are then merged on one core.
+/// This is why the device's baseline is hard to beat while k fits the UB
+/// (k <= 4096) — exactly the regime where the paper "could not improve the
+/// performance of the baseline top-k".
+constexpr std::size_t kBaselineUbK = 4096;
+
+sim::Report topk_streaming_baseline(Device& dev, GlobalTensor<half> x,
+                                    GlobalTensor<half> values_out,
+                                    GlobalTensor<std::int32_t> idx_out,
+                                    std::size_t n, std::size_t k) {
+  const int nv = dev.config().num_vec_cores();
+  const std::size_t chunks = num_tiles(n, kChunk);
+  const int active = std::min<int>(nv, static_cast<int>(chunks));
+  // Per-block candidate lists (keys sign-flipped so ascending merges give
+  // stable descending order), gathered in GM for the final merge.
+  auto cand_keys = dev.alloc<half>(static_cast<std::size_t>(active) * k);
+  auto cand_idx =
+      dev.alloc<std::int32_t>(static_cast<std::size_t>(active) * k);
+  auto cand_len = dev.alloc<std::int32_t>(static_cast<std::size_t>(active), 0);
+
+  auto ck = cand_keys.tensor();
+  auto ci = cand_idx.tensor();
+  auto cl = cand_len.tensor();
+
+  sim::Report rep = launch(
+      dev,
+      {.block_dim = active, .mode = LaunchMode::VectorOnly,
+       .name = "topk_baseline_stream"},
+      [&, n, k, chunks](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf kc(ctx, TPosition::VECIN), ic(ctx, TPosition::VECIN),
+            ks(ctx, TPosition::VECCALC), is(ctx, TPosition::VECCALC),
+            km(ctx, TPosition::VECCALC), im(ctx, TPosition::VECCALC);
+        pipe.InitBuffer(kc, kChunk * sizeof(half));
+        pipe.InitBuffer(ic, kChunk * sizeof(std::int32_t));
+        pipe.InitBuffer(ks, kChunk * sizeof(half));
+        pipe.InitBuffer(is, kChunk * sizeof(std::int32_t));
+        pipe.InitBuffer(km, (kChunk + kBaselineUbK) * sizeof(half));
+        pipe.InitBuffer(im, (kChunk + kBaselineUbK) * sizeof(std::int32_t));
+        auto chunk_k = kc.Get<half>();
+        auto chunk_i = ic.Get<std::int32_t>();
+        auto scratch_k = ks.Get<half>();
+        auto scratch_i = is.Get<std::int32_t>();
+        auto merged_k = km.Get<half>();
+        auto merged_i = im.Get<std::int32_t>();
+        // Candidates live at the tail of the merged buffer between chunks.
+        std::size_t cand = 0;  // current candidate count
+
+        const BlockShare share =
+            block_share(chunks, ctx.GetBlockDim(), ctx.GetBlockIdx());
+        for (std::size_t c = share.begin; c < share.begin + share.count;
+             ++c) {
+          const TileRange r = tile_range(c, n, kChunk);
+          DataCopy(ctx, chunk_k, x.sub(r.begin, r.len), r.len);
+          // Sign-flip so ascending == original descending (stable).
+          Xors(ctx, chunk_k.reinterpret<std::uint16_t>(),
+               chunk_k.reinterpret<std::uint16_t>(), std::uint16_t{0x8000},
+               r.len);
+          CreateVecIndex(ctx, chunk_i, static_cast<std::int32_t>(r.begin),
+                         r.len);
+          // Sort the chunk: Sort32 then local merge passes.
+          Sort32(ctx, chunk_k, chunk_i, r.len);
+          auto* sk = &chunk_k;
+          auto* si = &chunk_i;
+          auto* dk = &scratch_k;
+          auto* di = &scratch_i;
+          for (std::size_t w = 32; w < r.len; w *= 2) {
+            for (std::size_t off = 0; off < r.len; off += 2 * w) {
+              const std::size_t la = std::min(w, r.len - off);
+              const std::size_t lb =
+                  off + la >= r.len ? 0 : std::min(w, r.len - off - la);
+              MergeSorted(ctx, dk->sub(off, la + lb), di->sub(off, la + lb),
+                          sk->sub(off, la), si->sub(off, la), la,
+                          sk->sub(off + la, lb), si->sub(off + la, lb), lb);
+            }
+            std::swap(sk, dk);
+            std::swap(si, di);
+          }
+          // An odd number of merge passes leaves the sorted chunk in the
+          // scratch buffer, which we need below: normalise to chunk_k.
+          if (sk != &chunk_k) {
+            DataCopyLocal(ctx, chunk_k, *sk, r.len);
+            DataCopyLocal(ctx, chunk_i, *si, r.len);
+          }
+          // Merge candidates (earlier stream positions: ties first) with
+          // the sorted chunk, keep the best k.
+          if (cand > 0) {
+            DataCopyLocal(ctx, scratch_k, merged_k.sub(kChunk, cand), cand);
+            DataCopyLocal(ctx, scratch_i, merged_i.sub(kChunk, cand), cand);
+          }
+          MergeSorted(ctx, merged_k, merged_i, scratch_k, scratch_i, cand,
+                      chunk_k, chunk_i, r.len);
+          cand = std::min(k, cand + r.len);
+          // Stash the surviving candidates at the buffer tail.
+          DataCopyLocal(ctx, merged_k.sub(kChunk, cand), merged_k, cand);
+          DataCopyLocal(ctx, merged_i.sub(kChunk, cand), merged_i, cand);
+        }
+        // Publish this block's candidates.
+        const auto b = static_cast<std::size_t>(ctx.GetBlockIdx());
+        if (cand > 0) {
+          DataCopy(ctx, ck.sub(b * k, cand), merged_k.sub(kChunk, cand),
+                   cand);
+          DataCopy(ctx, ci.sub(b * k, cand), merged_i.sub(kChunk, cand),
+                   cand);
+        }
+        auto len_ub = is.Get<std::int32_t>();
+        SetValue(ctx, len_ub, 0, static_cast<std::int32_t>(cand));
+        DataCopy(ctx, cl.sub(b, 1), len_ub, 1);
+      });
+
+  // Final single-core merge of the per-block lists (block order keeps
+  // stability: lower blocks hold lower original indices).
+  rep += launch(
+      dev,
+      {.block_dim = 1, .mode = LaunchMode::VectorOnly,
+       .name = "topk_baseline_final"},
+      [&, k, active](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TBuf ra(ctx, TPosition::VECCALC), rb(ctx, TPosition::VECCALC),
+            rc(ctx, TPosition::VECIN), rl(ctx, TPosition::VECIN),
+            ia(ctx, TPosition::VECCALC), ib2(ctx, TPosition::VECCALC),
+            ic2(ctx, TPosition::VECIN);
+        pipe.InitBuffer(ra, 2 * kBaselineUbK * sizeof(half));
+        pipe.InitBuffer(rb, 2 * kBaselineUbK * sizeof(half));
+        pipe.InitBuffer(rc, kBaselineUbK * sizeof(half));
+        pipe.InitBuffer(rl, 256);
+        pipe.InitBuffer(ia, 2 * kBaselineUbK * sizeof(std::int32_t));
+        pipe.InitBuffer(ib2, 2 * kBaselineUbK * sizeof(std::int32_t));
+        pipe.InitBuffer(ic2, kBaselineUbK * sizeof(std::int32_t));
+        auto run_k = ra.Get<half>();
+        auto out_k = rb.Get<half>();
+        auto blk_k = rc.Get<half>();
+        auto len_ub = rl.Get<std::int32_t>();
+        auto run_i = ia.Get<std::int32_t>();
+        auto out_i = ib2.Get<std::int32_t>();
+        auto blk_i = ic2.Get<std::int32_t>();
+
+        std::size_t have = 0;
+        for (int b = 0; b < active; ++b) {
+          DataCopy(ctx, len_ub, cl.sub(static_cast<std::size_t>(b), 1), 1);
+          const auto len =
+              static_cast<std::size_t>(GetValue(ctx, len_ub, 0));
+          if (len == 0) continue;
+          DataCopy(ctx, blk_k, ck.sub(static_cast<std::size_t>(b) * k, len),
+                   len);
+          DataCopy(ctx, blk_i, ci.sub(static_cast<std::size_t>(b) * k, len),
+                   len);
+          MergeSorted(ctx, out_k, out_i, run_k, run_i, have, blk_k, blk_i,
+                      len);
+          have = std::min(k, have + len);
+          DataCopyLocal(ctx, run_k, out_k, have);
+          DataCopyLocal(ctx, run_i, out_i, have);
+        }
+        // Flip the signs back and emit the final top-k.
+        Xors(ctx, run_k.reinterpret<std::uint16_t>(),
+             run_k.reinterpret<std::uint16_t>(), std::uint16_t{0x8000}, have);
+        DataCopy(ctx, values_out.sub(0, have), run_k, have);
+        DataCopy(ctx, idx_out.sub(0, have), run_i, have);
+      });
+  return rep;
+}
+
+}  // namespace
+
+sim::Report topk_baseline_f16(Device& dev, GlobalTensor<half> x,
+                              GlobalTensor<half> values_out,
+                              GlobalTensor<std::int32_t> idx_out,
+                              std::size_t n, std::size_t k) {
+  ASCAN_CHECK(k >= 1 && k <= n, "topk: need 1 <= k <= n");
+  ASCAN_CHECK(x.size() >= n && values_out.size() >= k && idx_out.size() >= k,
+              "topk: tensors too small");
+  if (k <= kBaselineUbK) {
+    // UB-resident candidate lists: the fast regime of the device baseline.
+    return topk_streaming_baseline(dev, x, values_out, idx_out, n, k);
+  }
+  // Large k falls back to a full sort (the regime where RadiK-style and
+  // split-based approaches win).
+  auto sorted_k = dev.alloc<half>(n);
+  auto sorted_i = dev.alloc<std::int32_t>(n);
+  sim::Report rep = sort_baseline_f16(dev, x, sorted_k.tensor(),
+                                      sorted_i.tensor(), n,
+                                      /*descending=*/true);
+  rep += copy_pairs_kernel(dev, sorted_k.tensor(), sorted_i.tensor(),
+                           values_out, idx_out, k);
+  return rep;
+}
+
+}  // namespace ascend::kernels

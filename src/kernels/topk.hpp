@@ -1,0 +1,39 @@
+// Top-k selection (§5): quickselect (partial quicksort) built on SplitInd,
+// plus the sort-based baseline it is compared against.
+//
+// The host drives the selection loop: pick a pivot (scalar read-back of a
+// few samples), build the (key > pivot) mask on the vector cores, SplitInd,
+// then recurse into whichever side still straddles the k boundary.
+// Elements proven to be in the top k are banked along the way; a final
+// descending radix sort orders the k winners (the torch.topk contract).
+// The paper reports this does *not* beat the baseline for k <= 4096 — our
+// benches reproduce that honestly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+struct TopKOptions {
+  std::size_t s = 128;
+  int blocks = 0;
+};
+
+/// Largest k of x[0..n), descending, with original indices.
+sim::Report topk_f16(acc::Device& dev, acc::GlobalTensor<half> x,
+                     acc::GlobalTensor<half> values_out,
+                     acc::GlobalTensor<std::int32_t> idx_out, std::size_t n,
+                     std::size_t k, const TopKOptions& opt = {});
+
+/// Baseline top-k: full baseline sort, then truncate to k.
+sim::Report topk_baseline_f16(acc::Device& dev, acc::GlobalTensor<half> x,
+                              acc::GlobalTensor<half> values_out,
+                              acc::GlobalTensor<std::int32_t> idx_out,
+                              std::size_t n, std::size_t k);
+
+}  // namespace ascend::kernels

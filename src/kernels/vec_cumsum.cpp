@@ -1,0 +1,56 @@
+#include "kernels/vec_cumsum.hpp"
+
+#include "kernels/common.hpp"
+
+namespace ascend::kernels {
+
+using namespace acc;
+
+sim::Report vec_cumsum(Device& dev, GlobalTensor<half> x, GlobalTensor<half> y,
+                       std::size_t n) {
+  ASCAN_CHECK(x.size() >= n && y.size() >= n, "vec_cumsum: tensors too small");
+  if (n == 0) {
+    sim::Report r;
+    r.launches = 1;
+    r.time_s = dev.config().launch_overhead_s;
+    return r;
+  }
+
+  // CumSumInfo(128, 128): process 16K-element chunks (the same tile volume
+  // as the cube kernels at s = 128, for a fair comparison).
+  constexpr std::size_t kChunk = 128 * 128;
+  const std::size_t tiles = num_tiles(n, kChunk);
+
+  return launch(
+      dev, {.block_dim = 1, .mode = LaunchMode::VectorOnly,
+            .name = "vec_cumsum"},
+      [&, n, tiles](KernelContext& ctx) {
+        TPipe pipe(ctx);
+        TQue in(ctx, TPosition::VECIN), out(ctx, TPosition::VECOUT);
+        pipe.InitBuffer(in, 2, kChunk * sizeof(half));
+        pipe.InitBuffer(out, 2, kChunk * sizeof(half));
+
+        half partial(0.0f);
+        auto fetch = [&](std::size_t t) {
+          const TileRange r = tile_range(t, n, kChunk);
+          auto src = in.AllocTensor<half>();
+          DataCopy(ctx, src, x.sub(r.begin, r.len), r.len);
+          in.EnQue(src);
+        };
+        if (tiles > 0) fetch(0);
+        for (std::size_t t = 0; t < tiles; ++t) {
+          const TileRange r = tile_range(t, n, kChunk);
+          if (t + 1 < tiles) fetch(t + 1);
+          auto chunk = in.DeQue<half>();
+          auto dst = out.AllocTensor<half>();
+          CumSum(ctx, dst, chunk, r.len);
+          in.FreeTensor(chunk);
+          Adds(ctx, dst, dst, partial, r.len);
+          partial = GetValue(ctx, dst, r.len - 1);
+          DataCopy(ctx, y.sub(r.begin, r.len), dst, r.len);
+          out.FreeTensor(dst);
+        }
+      });
+}
+
+}  // namespace ascend::kernels

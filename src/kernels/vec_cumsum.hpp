@@ -1,0 +1,22 @@
+// Vector-only scan baseline: the AscendC CumSum API path the paper
+// benchmarks against in Fig. 3 (labelled "vec_only"), and the stand-in for
+// the unoptimised torch.cumsum operator of Figs. 8 and 13.
+//
+// The kernel streams UB-sized chunks through one vector core, invokes the
+// CumSum macro instruction per chunk (CumSumInfo 128x128 tiling as in the
+// paper's comparison), and chains the chunks with a scalar partial.
+#pragma once
+
+#include <cstddef>
+
+#include "ascendc/ascendc.hpp"
+#include "common/half.hpp"
+#include "sim/report.hpp"
+
+namespace ascend::kernels {
+
+/// Inclusive scan of x[0..n) into y[0..n) on a single vector core.
+sim::Report vec_cumsum(acc::Device& dev, acc::GlobalTensor<half> x,
+                       acc::GlobalTensor<half> y, std::size_t n);
+
+}  // namespace ascend::kernels

@@ -1,0 +1,105 @@
+#include "sim/hbm_arbiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ascend::sim {
+
+namespace {
+constexpr double kEps = 1e-15;      // seconds; completion-time tolerance
+constexpr double kByteEps = 1e-6;   // bytes considered "done"
+}  // namespace
+
+std::uint32_t HbmArbiter::add_flow(double now, double bytes, double rate_cap,
+                                   double hbm_frac, double l2_frac) {
+  ASCAN_ASSERT(bytes > 0 && rate_cap > 0);
+  advance_to(now);
+  Flow f;
+  f.remaining = bytes;
+  f.cap = rate_cap;
+  f.hbm_frac = std::max(hbm_frac, 0.0);
+  f.l2_frac = std::max(l2_frac, 0.0);
+  f.active = true;
+  std::uint32_t handle;
+  // Reuse finished slots to keep the vector compact across long kernels.
+  if (!free_slots_cached_.empty()) {
+    handle = free_slots_cached_.back();
+    free_slots_cached_.pop_back();
+    flows_[handle] = f;
+  } else {
+    handle = static_cast<std::uint32_t>(flows_.size());
+    flows_.push_back(f);
+  }
+  ++active_count_;
+  recompute_rates();
+  return handle;
+}
+
+void HbmArbiter::advance_to(double now) {
+  const double dt = now - last_update_;
+  if (dt <= 0) {
+    last_update_ = std::max(last_update_, now);
+    return;
+  }
+  double hbm_demand = 0;
+  for (auto& f : flows_) {
+    if (!f.active) continue;
+    f.remaining -= f.rate * dt;
+    hbm_demand += f.rate * f.hbm_frac;
+  }
+  if (hbm_demand > 0) hbm_busy_time_ += dt;
+  last_update_ = now;
+}
+
+std::vector<std::uint32_t> HbmArbiter::advance_and_pop(double now) {
+  advance_to(now);
+  std::vector<std::uint32_t> done;
+  for (std::uint32_t i = 0; i < flows_.size(); ++i) {
+    Flow& f = flows_[i];
+    if (f.active && f.remaining <= kByteEps) {
+      f.active = false;
+      --active_count_;
+      done.push_back(i);
+      free_slots_cached_.push_back(i);
+    }
+  }
+  if (!done.empty() || active_count_ == 0) recompute_rates();
+  return done;
+}
+
+void HbmArbiter::recompute_rates() {
+  if (active_count_ == 0) {
+    next_completion_ = kInf;
+    return;
+  }
+  // Start at cap, then repeatedly throttle the pool that is oversubscribed.
+  for (auto& f : flows_) {
+    if (f.active) f.rate = f.cap;
+  }
+  auto throttle_pool = [&](double limit, double Flow::* frac) {
+    double use = 0;
+    for (const auto& f : flows_) {
+      if (f.active) use += f.rate * f.*frac;
+    }
+    if (use <= limit * (1 + 1e-9)) return false;
+    const double scale = limit / use;
+    for (auto& f : flows_) {
+      if (f.active && f.*frac > 0.0) f.rate *= scale;
+    }
+    return true;
+  };
+  for (int iter = 0; iter < 16; ++iter) {
+    bool changed = throttle_pool(hbm_bw_, &Flow::hbm_frac);
+    changed = throttle_pool(l2_bw_, &Flow::l2_frac) || changed;
+    if (!changed) break;
+  }
+  next_completion_ = kInf;
+  for (const auto& f : flows_) {
+    if (!f.active) continue;
+    ASCAN_ASSERT(f.rate > 0);
+    next_completion_ =
+        std::min(next_completion_, last_update_ + f.remaining / f.rate + kEps);
+  }
+}
+
+}  // namespace ascend::sim

@@ -1,0 +1,28 @@
+#include "sim/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace ascend::sim {
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Report& r) {
+  os << "time=" << format_time_s(r.time_s) << " launches=" << r.launches
+     << " gm_read=" << format_bytes(r.gm_read_bytes)
+     << " gm_write=" << format_bytes(r.gm_write_bytes)
+     << " l2_hit=" << format_bytes(r.l2_hit_bytes)
+     << " busy[cube=" << format_time_s(r.cube_busy_s)
+     << " vec=" << format_time_s(r.vec_busy_s)
+     << " mte=" << format_time_s(r.mte_busy_s)
+     << " hbm=" << format_time_s(r.hbm_busy_s) << "] ops=" << r.num_ops;
+  return os;
+}
+
+}  // namespace ascend::sim

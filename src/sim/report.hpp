@@ -1,0 +1,62 @@
+// Execution report produced by the timing pass of a kernel launch.
+//
+// All paper metrics derive from this: execution time, achieved bandwidth
+// (the caller supplies the "useful" byte count — input read + output
+// written — exactly as the paper reports GB/s), elements/s, and per-engine
+// utilisation for diagnosing whether a kernel is cube-, vector-, MTE- or
+// HBM-bound.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ascend::sim {
+
+struct Report {
+  double time_s = 0;  ///< simulated end-to-end time (incl. launch overhead)
+  int launches = 0;   ///< kernel launches aggregated into this report
+
+  std::uint64_t gm_read_bytes = 0;
+  std::uint64_t gm_write_bytes = 0;
+  std::uint64_t l2_hit_bytes = 0;
+
+  double cube_busy_s = 0;    ///< summed over all AIC compute engines
+  double vec_busy_s = 0;     ///< summed over all AIV compute engines
+  double mte_busy_s = 0;     ///< summed over all MTE engines
+  double scalar_busy_s = 0;  ///< summed over all scalar units
+  double hbm_busy_s = 0;     ///< time the HBM had at least one active flow
+
+  std::uint64_t num_ops = 0;
+
+  /// Aggregates sequentially launched kernels (times add).
+  Report& operator+=(const Report& o) {
+    time_s += o.time_s;
+    launches += o.launches;
+    gm_read_bytes += o.gm_read_bytes;
+    gm_write_bytes += o.gm_write_bytes;
+    l2_hit_bytes += o.l2_hit_bytes;
+    cube_busy_s += o.cube_busy_s;
+    vec_busy_s += o.vec_busy_s;
+    mte_busy_s += o.mte_busy_s;
+    scalar_busy_s += o.scalar_busy_s;
+    hbm_busy_s += o.hbm_busy_s;
+    num_ops += o.num_ops;
+    return *this;
+  }
+
+  /// Achieved bandwidth given the useful (paper-reported) bytes.
+  double bandwidth(std::uint64_t useful_bytes) const {
+    return time_s > 0 ? static_cast<double>(useful_bytes) / time_s : 0.0;
+  }
+  /// Elements per second for an n-element operator.
+  double elements_per_s(std::uint64_t n) const {
+    return time_s > 0 ? static_cast<double>(n) / time_s : 0.0;
+  }
+
+  std::string summary() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Report& r);
+
+}  // namespace ascend::sim

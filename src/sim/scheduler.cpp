@@ -1,0 +1,247 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "sim/hbm_arbiter.hpp"
+
+namespace ascend::sim {
+
+namespace {
+constexpr double kInf = 1e300;
+
+struct OpState {
+  const TraceOp* op = nullptr;
+  std::uint32_t engine = 0;        // dense engine index
+  std::uint32_t pending_deps = 0;  // explicit edges not yet finished
+  double start = 0;
+  double finish = -1;  // <0: not finished
+  bool started = false;
+  bool engine_released = false;
+};
+}  // namespace
+
+Report Scheduler::run(const KernelTrace& trace, Timeline* timeline) {
+  Report rep;
+  rep.launches = 1;
+
+  const std::uint32_t max_id = trace.max_op_id;
+  std::vector<OpState> st(max_id + 1);
+
+  // Dense engine indexing: subcore * kNumEngineKinds + kind.
+  const std::uint32_t num_subcores =
+      static_cast<std::uint32_t>(trace.per_subcore.size());
+  const std::uint32_t num_engines = num_subcores * kNumEngineKinds;
+
+  std::vector<std::vector<std::uint32_t>> fifo(num_engines);
+  std::vector<std::uint32_t> fifo_head(num_engines, 0);
+  std::vector<double> engine_free(num_engines, 0.0);
+  std::vector<double> engine_busy(num_engines, 0.0);
+
+  std::vector<std::vector<std::uint32_t>> dependents(max_id + 1);
+
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> barrier_ops;
+  std::unordered_map<std::uint32_t, std::uint32_t> barrier_started;
+
+  for (std::uint32_t s = 0; s < num_subcores; ++s) {
+    for (const TraceOp& op : trace.per_subcore[s]) {
+      OpState& o = st[op.id];
+      o.op = &op;
+      o.engine = s * kNumEngineKinds + static_cast<std::uint32_t>(op.engine);
+      fifo[o.engine].push_back(op.id);
+      for (std::uint8_t d = 0; d < op.num_deps; ++d) {
+        dependents[op.deps[d]].push_back(op.id);
+        ++o.pending_deps;
+      }
+      if (op.kind == TraceOp::Kind::Barrier) {
+        barrier_ops[op.barrier_epoch].push_back(op.id);
+      }
+      if (op.kind == TraceOp::Kind::Transfer) {
+        if (op.gm_write) {
+          rep.gm_write_bytes += op.bytes;
+        } else {
+          rep.gm_read_bytes += op.bytes;
+        }
+      }
+      ++rep.num_ops;
+    }
+  }
+
+  HbmArbiter arbiter(cfg_.hbm_bandwidth * cfg_.hbm_efficiency,
+                     cfg_.l2_bandwidth);
+
+  using Event = std::pair<double, std::uint32_t>;  // (time, op id)
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::unordered_map<std::uint32_t, std::uint32_t> flow_to_op;
+
+  double now = cfg_.launch_overhead_s;
+  std::uint64_t remaining_ops = rep.num_ops;
+
+  std::vector<std::uint32_t> hot_engines;
+  hot_engines.reserve(num_engines);
+  for (std::uint32_t e = 0; e < num_engines; ++e) {
+    if (!fifo[e].empty()) hot_engines.push_back(e);
+  }
+
+  auto on_finished = [&](std::uint32_t id, double t,
+                         std::vector<std::uint32_t>& hot) {
+    OpState& o = st[id];
+    if (o.finish >= 0) return;  // already completed
+    o.finish = t;
+    const std::uint32_t e = o.engine;
+    if (!o.engine_released) {
+      engine_free[e] = t;
+      engine_busy[e] += t - o.start;
+      o.engine_released = true;
+      hot.push_back(e);
+    }
+    for (std::uint32_t dep_id : dependents[id]) {
+      OpState& d = st[dep_id];
+      ASCAN_ASSERT(d.pending_deps > 0);
+      if (--d.pending_deps == 0) hot.push_back(d.engine);
+    }
+    --remaining_ops;
+  };
+
+  auto try_start = [&](std::uint32_t e) {
+    while (fifo_head[e] < fifo[e].size()) {
+      if (engine_free[e] > now + 1e-18) return;  // engine busy
+      const std::uint32_t id = fifo[e][fifo_head[e]];
+      OpState& o = st[id];
+      if (o.pending_deps > 0) return;  // head not ready yet
+      const TraceOp& op = *o.op;
+      o.started = true;
+      o.start = now;
+      ++fifo_head[e];
+      switch (op.kind) {
+        case TraceOp::Kind::Compute:
+        case TraceOp::Kind::FlagSet:
+        case TraceOp::Kind::FlagWait: {
+          const double dur = cfg_.cycles_to_s(op.cycles);
+          engine_free[e] = now + dur;
+          events.emplace(now + dur, id);
+          break;
+        }
+        case TraceOp::Kind::Transfer: {
+          const double setup = cfg_.cycles_to_s(op.cycles);
+          if (op.bytes == 0) {  // degenerate copy: just the setup cost
+            engine_free[e] = now + setup;
+            events.emplace(now + setup, id);
+            break;
+          }
+          // All GM traffic streams through the L2; misses and dirty
+          // write-backs additionally load the HBM pool.
+          double hbm_frac = 1.0;
+          double l2_frac = 1.0;
+          if (l2_ != nullptr && op.gm_addr != 0) {
+            const L2Access a = l2_->access(op.gm_addr, op.bytes, op.gm_write);
+            rep.l2_hit_bytes += a.hit_bytes;
+            hbm_frac = static_cast<double>(a.miss_bytes + a.writeback_bytes) /
+                       static_cast<double>(op.bytes);
+            if (op.gm_write) {
+              // Write-allocate: the written data lands in the L2; only the
+              // evicted dirty lines consume HBM bandwidth.
+              hbm_frac = static_cast<double>(a.writeback_bytes) /
+                         static_cast<double>(op.bytes);
+            }
+          }
+          const std::uint32_t flow = arbiter.add_flow(
+              now + setup, static_cast<double>(op.bytes), cfg_.mte_bandwidth,
+              hbm_frac, l2_frac);
+          flow_to_op[flow] = id;
+          engine_free[e] = kInf;  // MTE handles one DataCopy at a time
+          break;
+        }
+        case TraceOp::Kind::Barrier: {
+          engine_free[e] = kInf;  // blocks until the whole epoch arrives
+          auto& cnt = barrier_started[op.barrier_epoch];
+          ++cnt;
+          const auto& group = barrier_ops[op.barrier_epoch];
+          if (cnt == group.size()) {
+            const double t = now + cfg_.sync_all_s;
+            for (std::uint32_t bid : group) events.emplace(t, bid);
+          }
+          break;
+        }
+      }
+    }
+  };
+
+  while (remaining_ops > 0) {
+    for (std::uint32_t e : hot_engines) try_start(e);
+    hot_engines.clear();
+
+    const double t_event = events.empty() ? kInf : events.top().first;
+    const double t_flow = arbiter.next_completion_time();
+    const double t_next = std::min(t_event, t_flow);
+    ASCAN_ASSERT(t_next < kInf, "simulation deadlock with "
+                                    << remaining_ops << " ops unreachable");
+    now = std::max(now, t_next);
+
+    std::vector<std::uint32_t> hot;
+    while (!events.empty() && events.top().first <= now + 1e-18) {
+      const std::uint32_t id = events.top().second;
+      events.pop();
+      on_finished(id, now, hot);
+    }
+    for (std::uint32_t flow : arbiter.advance_and_pop(now)) {
+      auto it = flow_to_op.find(flow);
+      ASCAN_ASSERT(it != flow_to_op.end());
+      // The MTE engine is free to issue its next DMA as soon as the bytes
+      // have streamed; consumers of the data observe it one GM latency
+      // later (dependent edges resolve at now + latency).
+      OpState& o = st[it->second];
+      if (!o.engine_released) {
+        engine_free[o.engine] = now;
+        engine_busy[o.engine] += now - o.start;
+        o.engine_released = true;
+        hot.push_back(o.engine);
+      }
+      events.emplace(now + cfg_.gm_latency_s, it->second);
+      flow_to_op.erase(it);
+    }
+    hot_engines = std::move(hot);
+  }
+
+  rep.time_s = now;
+  rep.hbm_busy_s = arbiter.hbm_busy_time();
+
+  if (timeline != nullptr) {
+    timeline->is_cube_subcore = trace.is_cube_subcore;
+    timeline->total_s = now;
+    timeline->events.reserve(rep.num_ops);
+    for (std::uint32_t su = 0; su < num_subcores; ++su) {
+      for (const TraceOp& op : trace.per_subcore[su]) {
+        const OpState& o = st[op.id];
+        timeline->events.push_back({op.tag, su, op.engine, op.kind, o.start,
+                                    o.finish, op.bytes});
+      }
+    }
+  }
+
+  for (std::uint32_t s = 0; s < num_subcores; ++s) {
+    const bool cube =
+        s < trace.is_cube_subcore.size() && trace.is_cube_subcore[s];
+    for (int k = 0; k < kNumEngineKinds; ++k) {
+      const double busy = engine_busy[s * kNumEngineKinds + k];
+      switch (static_cast<EngineKind>(k)) {
+        case EngineKind::Compute:
+          (cube ? rep.cube_busy_s : rep.vec_busy_s) += busy;
+          break;
+        case EngineKind::Scalar:
+          rep.scalar_busy_s += busy;
+          break;
+        default:
+          rep.mte_busy_s += busy;
+          break;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace ascend::sim

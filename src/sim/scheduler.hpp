@@ -1,0 +1,45 @@
+// Discrete-event scheduler: replays a KernelTrace against the machine model
+// and produces the simulated execution time.
+//
+// Semantics:
+//  * Each (sub-core, engine) pair is an in-order FIFO: an op starts only
+//    when it is the engine's oldest unstarted op AND all its dependency
+//    edges have completed. This mirrors the per-engine instruction queues of
+//    the DaVinci core (§3.1 of the paper): MTEs and compute engines run in
+//    parallel, synchronised explicitly.
+//  * Kind::Compute ops occupy their engine for `cycles / clock`.
+//  * Kind::Transfer ops stream through the HbmArbiter; their duration is
+//    setup + fluid completion under shared-bandwidth arbitration, with the
+//    L2 model deciding the HBM/L2 byte split in deterministic start order.
+//  * Kind::Barrier ops are grouped by epoch; every sub-core's barrier
+//    completes simultaneously once all of them are ready (SyncAll).
+//  * Launch overhead is added before time zero's first op.
+//
+// Determinism: ties are broken by op id, the L2 is queried in event order,
+// and the trace itself is independent of host-thread interleaving.
+#pragma once
+
+#include "sim/config.hpp"
+#include "sim/l2_cache.hpp"
+#include "sim/report.hpp"
+#include "sim/timeline.hpp"
+#include "sim/trace.hpp"
+
+namespace ascend::sim {
+
+class Scheduler {
+ public:
+  /// `l2` persists across launches of one device so inter-kernel reuse is
+  /// modelled (pass nullptr to disable the L2).
+  Scheduler(const MachineConfig& cfg, L2Cache* l2) : cfg_(cfg), l2_(l2) {}
+
+  /// Computes the simulated report for one kernel launch. When `timeline`
+  /// is non-null, every op's scheduled interval is recorded into it.
+  Report run(const KernelTrace& trace, Timeline* timeline = nullptr);
+
+ private:
+  const MachineConfig& cfg_;
+  L2Cache* l2_;
+};
+
+}  // namespace ascend::sim

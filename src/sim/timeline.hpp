@@ -1,0 +1,31 @@
+// Optional per-op timeline capture: when a Timeline is attached to a
+// launch, the scheduler records every op's scheduled interval so the
+// execution can be inspected (and exported to chrome://tracing — see
+// trace_export.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace ascend::sim {
+
+struct TimelineEvent {
+  std::string name;       ///< op tag ("mmad", "datacopy.in", ...)
+  std::uint32_t subcore;  ///< global sub-core index
+  EngineKind engine;
+  TraceOp::Kind kind;
+  double start_s;
+  double end_s;
+  std::uint64_t bytes;  ///< for transfers
+};
+
+struct Timeline {
+  std::vector<TimelineEvent> events;
+  std::vector<bool> is_cube_subcore;
+  double total_s = 0;
+};
+
+}  // namespace ascend::sim

@@ -1,0 +1,55 @@
+#include "sim/trace_export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace ascend::sim {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+void export_chrome_trace(const Timeline& tl, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  // Process-name metadata per sub-core.
+  for (std::size_t s = 0; s < tl.is_cube_subcore.size(); ++s) {
+    if (!first) os << ",\n";
+    first = false;
+    const bool cube = tl.is_cube_subcore[s];
+    os << "{\"ph\":\"M\",\"pid\":" << s
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+       << (cube ? "AIC" : "AIV") << " subcore " << s << "\"}}";
+  }
+  for (const auto& e : tl.events) {
+    if (!first) os << ",\n";
+    first = false;
+    const double ts_us = e.start_s * 1e6;
+    const double dur_us = (e.end_s - e.start_s) * 1e6;
+    os << "{\"ph\":\"X\",\"pid\":" << e.subcore << ",\"tid\":"
+       << static_cast<int>(e.engine) << ",\"name\":\"" << escape(e.name)
+       << "\",\"cat\":\"" << engine_name(e.engine) << "\",\"ts\":" << ts_us
+       << ",\"dur\":" << dur_us << ",\"args\":{\"bytes\":" << e.bytes
+       << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void export_chrome_trace_file(const Timeline& tl, const std::string& path) {
+  std::ofstream f(path);
+  ASCAN_CHECK(f.good(), "cannot open trace file " << path);
+  export_chrome_trace(tl, f);
+  ASCAN_CHECK(f.good(), "failed writing trace file " << path);
+}
+
+}  // namespace ascend::sim

@@ -1,0 +1,23 @@
+// chrome://tracing (Perfetto-compatible) export of a captured Timeline:
+// one process row per sub-core (named AIC/AIV), one thread row per engine
+// (scalar, MTE1/2/3, compute), complete ("X") events in microseconds.
+//
+// Open the produced JSON in chrome://tracing or https://ui.perfetto.dev to
+// see the pipeline overlap the simulator computed — double buffering,
+// cube/vector parallelism, SyncAll alignment, HBM contention stretches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/timeline.hpp"
+
+namespace ascend::sim {
+
+/// Writes the timeline as Chrome Trace Event JSON.
+void export_chrome_trace(const Timeline& tl, std::ostream& os);
+
+/// Convenience: writes to a file; throws on I/O failure.
+void export_chrome_trace_file(const Timeline& tl, const std::string& path);
+
+}  // namespace ascend::sim

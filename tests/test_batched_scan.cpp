@@ -1,0 +1,115 @@
+// Functional tests of the batched scan schedules (§4.2).
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "kernels/batched_scan.hpp"
+#include "kernels/reference.hpp"
+#include "test_helpers.hpp"
+
+namespace ascend::kernels {
+namespace {
+
+using acc::Device;
+using BatchedFn = sim::Report (*)(Device&, acc::GlobalTensor<half>,
+                                  acc::GlobalTensor<half>, std::size_t,
+                                  std::size_t, const BatchedScanOptions&);
+
+struct Case {
+  const char* name;
+  BatchedFn fn;
+};
+
+class BatchedScan
+    : public ::testing::TestWithParam<
+          std::tuple<Case, std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(BatchedScan, RowsMatchReferenceExactly) {
+  const auto [c, batch, len, s] = GetParam();
+  Device dev;
+  const std::size_t total = batch * len;
+  // Keep each row's scan exact: ones only at sparse positions.
+  std::vector<half> host(total);
+  Rng rng(batch * 131 + len);
+  const double p = std::min(0.5, 1000.0 / static_cast<double>(len));
+  for (auto& v : host) v = half(rng.bernoulli(p) ? 1.0f : 0.0f);
+  auto x = dev.upload(host);
+  auto y = dev.alloc<half>(total, half(-1.0f));
+  c.fn(dev, x.tensor(), y.tensor(), batch, len, {.s = s});
+  const auto want = ref::batched_inclusive_scan<half, half>(
+      std::span<const half>(host), batch, len);
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(float(y[i]), float(want[i]))
+        << c.name << " batch=" << batch << " len=" << len << " s=" << s
+        << " i=" << i << " (row " << i / len << ", col " << i % len << ")";
+  }
+}
+
+const Case kCases[] = {
+    {"scan_u_based", &batched_scan_u},
+    {"scan_ul1_based", &batched_scan_ul1},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BatchedScan,
+    ::testing::Combine(::testing::ValuesIn(kCases),
+                       ::testing::Values<std::size_t>(1, 2, 7, 40, 64),
+                       ::testing::Values<std::size_t>(100, 4096, 20000),
+                       ::testing::Values<std::size_t>(128)),
+    [](const auto& ti) {
+      return std::string(std::get<0>(ti.param).name) + "_b" +
+             std::to_string(std::get<1>(ti.param)) + "_l" +
+             std::to_string(std::get<2>(ti.param));
+    });
+
+TEST(BatchedScanSmallTile, WorksWithS32) {
+  Device dev;
+  const std::size_t batch = 5, len = 2000;  // scans stay fp16-exact (< 2048)
+  std::vector<half> host(batch * len, half(1.0f));
+  auto x = dev.upload(host);
+  auto y = dev.alloc<half>(batch * len, half(0.0f));
+  batched_scan_u(dev, x.tensor(), y.tensor(), batch, len, {.s = 32});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t j = 0; j < len; j += 271) {
+      ASSERT_EQ(float(y[b * len + j]), static_cast<float>(j + 1))
+          << b << "," << j;
+    }
+  }
+}
+
+TEST(BatchedScanSchedule, ComplementaryRegimes) {
+  // Fig. 5: ScanU-based wins for large batch & short rows; ScanUL1-based
+  // wins for small batch & long rows.
+  Device dev;
+  {
+    const std::size_t batch = 40, len = 1024;
+    auto x = dev.alloc<half>(batch * len, half(0.0f));
+    auto y = dev.alloc<half>(batch * len, half(0.0f));
+    const double tu =
+        batched_scan_u(dev, x.tensor(), y.tensor(), batch, len, {}).time_s;
+    const double tul =
+        batched_scan_ul1(dev, x.tensor(), y.tensor(), batch, len, {}).time_s;
+    EXPECT_LT(tu, tul) << "many short rows should favour the ScanU schedule";
+  }
+  {
+    const std::size_t batch = 4, len = 1 << 18;
+    auto x = dev.alloc<half>(batch * len, half(0.0f));
+    auto y = dev.alloc<half>(batch * len, half(0.0f));
+    const double tu =
+        batched_scan_u(dev, x.tensor(), y.tensor(), batch, len, {}).time_s;
+    const double tul =
+        batched_scan_ul1(dev, x.tensor(), y.tensor(), batch, len, {}).time_s;
+    EXPECT_LT(tul, tu) << "few long rows should favour the ScanUL1 schedule";
+  }
+}
+
+TEST(BatchedScanEdge, EmptyBatchIsANoOp) {
+  Device dev;
+  auto x = dev.alloc<half>(4, half(1.0f));
+  auto y = dev.alloc<half>(4, half(-2.0f));
+  batched_scan_u(dev, x.tensor(), y.tensor(), 0, 4, {});
+  EXPECT_EQ(float(y[0]), -2.0f);
+}
+
+}  // namespace
+}  // namespace ascend::kernels

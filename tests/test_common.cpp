@@ -1,0 +1,141 @@
+// Tests for the common substrate: checks, math helpers, RNG, table printer.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/dtype.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace ascend {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    ASCAN_CHECK(false, "value=" << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value=42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { ASCAN_CHECK(1 + 1 == 2); }
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 128), 1);
+  EXPECT_EQ(ceil_div<std::size_t>(0, 8), 0u);
+}
+
+TEST(MathUtil, AlignUp) {
+  EXPECT_EQ(align_up(13, 8), 16);
+  EXPECT_EQ(align_up(16, 8), 16);
+  EXPECT_EQ(align_up(0, 8), 0);
+}
+
+TEST(MathUtil, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+  EXPECT_EQ(log2_floor(1), 0);
+  EXPECT_EQ(log2_floor(1023), 9);
+  EXPECT_EQ(log2_floor(1024), 10);
+}
+
+TEST(DType, SizesAndNames) {
+  EXPECT_EQ(dtype_size(DType::f16), 2u);
+  EXPECT_EQ(dtype_size(DType::i8), 1u);
+  EXPECT_EQ(dtype_size(DType::i32), 4u);
+  EXPECT_EQ(dtype_name(DType::f16), "f16");
+  EXPECT_EQ(dtype_of_v<half>, DType::f16);
+  EXPECT_EQ(dtype_of_v<std::int8_t>, DType::i8);
+  static_assert(std::is_same_v<cube_accum_t<half>, float>);
+  static_assert(std::is_same_v<cube_accum_t<std::int8_t>, std::int32_t>);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NextBelowUnbiasedSmoke) {
+  Rng r(11);
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[r.next_below(4)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, MaskDensity) {
+  Rng r(5);
+  auto m = r.mask_i8(100000, 0.3);
+  std::size_t ones = 0;
+  for (auto v : m) {
+    EXPECT_TRUE(v == 0 || v == 1);
+    ones += static_cast<std::size_t>(v);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / 100000.0, 0.3, 0.02);
+}
+
+TEST(Rng, TokenProbsNormalised) {
+  Rng r(9);
+  auto p = r.token_probs_f16(4096);
+  double total = 0;
+  for (auto v : p) {
+    EXPECT_GE(float(v), 0.0f);
+    total += float(v);
+  }
+  EXPECT_NEAR(total, 1.0, 0.05);  // fp16 rounding tolerance
+}
+
+TEST(Table, FormatsAlignedRows) {
+  Table t({"n", "time", "label"});
+  t.add_row({std::int64_t{1024}, 3.14159, std::string("scanU")});
+  t.add_row({std::int64_t{65536}, 2.0, std::string("x")});
+  std::ostringstream os;
+  t.print(os, 3);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("scanU"), std::string::npos);
+  EXPECT_NE(s.find("65536"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), Error);
+}
+
+TEST(Format, SiAndBytes) {
+  EXPECT_EQ(format_si(1500.0, "B/s"), "1.5 KB/s");
+  EXPECT_EQ(format_bytes(2048), "2 KiB");
+  EXPECT_EQ(format_time_s(2.5e-6), "2.5 us");
+  EXPECT_EQ(format_time_s(0.25), "250 ms");
+}
+
+}  // namespace
+}  // namespace ascend

@@ -1,0 +1,209 @@
+// Failure-injection tests: every misuse of the programming model or the
+// operator APIs must fail loudly (throw) rather than corrupt state, and a
+// failing sub-core must never deadlock its siblings.
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "ascendc/ascendc.hpp"
+#include "kernels/mcscan.hpp"
+#include "kernels/radix_sort.hpp"
+#include "kernels/sampling.hpp"
+#include "kernels/segmented_scan.hpp"
+#include "kernels/split.hpp"
+#include "kernels/topk.hpp"
+#include "test_helpers.hpp"
+
+namespace ascend {
+namespace {
+
+using acc::Device;
+using acc::KernelContext;
+using acc::LaunchMode;
+using acc::TPosition;
+
+sim::MachineConfig small_cfg() {
+  auto cfg = sim::MachineConfig::ascend_910b4();
+  cfg.num_ai_cores = 2;
+  return cfg;
+}
+
+TEST(FailureInjection, ThrowBeforeSyncAllDoesNotDeadlockSiblings) {
+  Device dev(small_cfg());
+  std::atomic<int> reached{0};
+  EXPECT_THROW(
+      acc::launch(dev, {.block_dim = 2, .mode = LaunchMode::Mix},
+                  [&](KernelContext& c) {
+                    if (c.is_cube() && c.GetBlockIdx() == 0) {
+                      throw Error("boom");
+                    }
+                    ++reached;
+                    c.SyncAll();  // must be poisoned, not hang
+                    ++reached;
+                  }),
+      Error);
+  // The five surviving sub-cores (2 blocks x 3 minus the thrower) reached
+  // the barrier and were released by the poison; none of them completed
+  // the epilogue (the barrier can never complete with a dead member).
+  EXPECT_EQ(reached.load(), 5);
+}
+
+TEST(FailureInjection, ThrowBeforeFlagSetPoisonsWaiters) {
+  Device dev(small_cfg());
+  EXPECT_THROW(
+      acc::launch(dev, {.block_dim = 1, .mode = LaunchMode::Mix},
+                  [&](KernelContext& c) {
+                    auto& f = c.shared().flags("never_set", 1);
+                    if (c.is_cube()) throw Error("producer died");
+                    if (c.GetSubBlockIdx() == 0) f.wait(c, 0);  // poisoned
+                  }),
+      Error);
+}
+
+TEST(FailureInjection, ScratchpadOverflowInsideKernel) {
+  Device dev(small_cfg());
+  EXPECT_THROW(
+      acc::launch(dev, {.block_dim = 1, .mode = LaunchMode::VectorOnly},
+                  [&](KernelContext& c) {
+                    acc::TPipe pipe(c);
+                    acc::TBuf b(c, TPosition::VECCALC);
+                    pipe.InitBuffer(b, dev.config().ub_bytes + 1);
+                  }),
+      Error);
+}
+
+TEST(FailureInjection, L0OverflowOnCubeCore) {
+  Device dev(small_cfg());
+  EXPECT_THROW(
+      acc::launch(dev, {.block_dim = 1, .mode = LaunchMode::CubeOnly},
+                  [&](KernelContext& c) {
+                    acc::TPipe pipe(c);
+                    acc::TQue q(c, TPosition::A2);
+                    pipe.InitBuffer(q, 3, 32 << 10);  // 96K > 64K L0A
+                  }),
+      Error);
+}
+
+TEST(FailureInjection, DataCopyOutOfRange) {
+  Device dev(small_cfg());
+  auto x = dev.alloc<half>(64, half(0.0f));
+  auto xt = x.tensor();
+  EXPECT_THROW(
+      acc::launch(dev, {.block_dim = 1, .mode = LaunchMode::VectorOnly},
+                  [&](KernelContext& c) {
+                    acc::TPipe pipe(c);
+                    acc::TBuf b(c, TPosition::VECIN);
+                    pipe.InitBuffer(b, 64);
+                    auto t = b.Get<half>();
+                    acc::DataCopy(c, t, xt, 65);  // src too small
+                  }),
+      Error);
+}
+
+TEST(FailureInjection, GatherIndexOutOfRange) {
+  Device dev(small_cfg());
+  EXPECT_THROW(
+      acc::launch(dev, {.block_dim = 1, .mode = LaunchMode::VectorOnly},
+                  [&](KernelContext& c) {
+                    acc::TPipe pipe(c);
+                    acc::TBuf sb(c, TPosition::VECCALC),
+                        ib(c, TPosition::VECCALC), db(c, TPosition::VECCALC);
+                    pipe.InitBuffer(sb, 64);
+                    pipe.InitBuffer(ib, 64);
+                    pipe.InitBuffer(db, 64);
+                    auto src = sb.Get<float>();
+                    auto idx = ib.Get<std::int32_t>();
+                    auto dst = db.Get<float>();
+                    idx[0] = 1000;  // out of range
+                    acc::Gather(c, dst, src, idx, 1);
+                  }),
+      Error);
+}
+
+TEST(FailureInjection, DoubleDeQueOnEmptyQueue) {
+  Device dev(small_cfg());
+  EXPECT_THROW(
+      acc::launch(dev, {.block_dim = 1, .mode = LaunchMode::VectorOnly},
+                  [&](KernelContext& c) {
+                    acc::TPipe pipe(c);
+                    acc::TQue q(c, TPosition::VECIN);
+                    pipe.InitBuffer(q, 1, 64);
+                    (void)q.DeQue<half>();  // nothing enqueued
+                  }),
+      Error);
+}
+
+TEST(FailureInjection, ForeignTensorReturnedToQueue) {
+  Device dev(small_cfg());
+  EXPECT_THROW(
+      acc::launch(dev, {.block_dim = 1, .mode = LaunchMode::VectorOnly},
+                  [&](KernelContext& c) {
+                    acc::TPipe pipe(c);
+                    acc::TQue q1(c, TPosition::VECIN), q2(c, TPosition::VECIN);
+                    pipe.InitBuffer(q1, 1, 64);
+                    pipe.InitBuffer(q2, 1, 64);
+                    auto t = q1.AllocTensor<half>();
+                    q2.FreeTensor(t);  // wrong queue
+                  }),
+      Error);
+}
+
+// --- Operator argument validation across the public kernels ----------------
+
+TEST(FailureInjection, OperatorsRejectUndersizedOutputs) {
+  Device dev;
+  auto x = dev.alloc<half>(100, half(0.0f));
+  auto small_f = dev.alloc<float>(10);
+  auto small_h = dev.alloc<half>(10);
+  auto small_i = dev.alloc<std::int32_t>(10);
+  auto mask = dev.alloc<std::int8_t>(100, std::int8_t{1});
+
+  EXPECT_THROW((kernels::mcscan<half, float>(dev, x.tensor(),
+                                             small_f.tensor(), 100, {})),
+               Error);
+  EXPECT_THROW(kernels::radix_sort_f16(dev, x.tensor(), small_h.tensor(),
+                                       small_i.tensor(), 100, {}),
+               Error);
+  EXPECT_THROW(kernels::split_ind<half>(dev, x.tensor(), {}, mask.tensor(),
+                                        small_h.tensor(), small_i.tensor(),
+                                        100, {}),
+               Error);
+  EXPECT_THROW(kernels::segmented_scan(dev, x.tensor(), mask.tensor(),
+                                       small_f.tensor(), 100, {}),
+               Error);
+}
+
+TEST(FailureInjection, SamplersRejectBadParameters) {
+  Device dev;
+  auto probs = dev.alloc<half>(16, half(0.0625f));
+  EXPECT_THROW(kernels::top_p_sample(dev, probs.tensor(), 16, 0.0, 0.5, {}),
+               Error);  // p = 0
+  EXPECT_THROW(kernels::top_p_sample(dev, probs.tensor(), 16, 1.5, 0.5, {}),
+               Error);  // p > 1
+  EXPECT_THROW(kernels::top_p_sample(dev, probs.tensor(), 16, 0.9, 1.0, {}),
+               Error);  // u = 1
+  EXPECT_THROW(kernels::top_p_sample(dev, probs.tensor(), 0, 0.9, 0.5, {}),
+               Error);  // empty
+  auto zeros = dev.alloc<half>(8, half(0.0f));
+  EXPECT_THROW(kernels::weighted_sample(dev, zeros.tensor(), 8, 0.5, {}),
+               Error);  // zero total weight
+}
+
+TEST(FailureInjection, DeviceStateUnchangedAfterRejectedCall) {
+  Device dev;
+  auto x = dev.alloc<half>(64, half(2.0f));
+  auto y = dev.alloc<float>(64, -7.0f);
+  EXPECT_THROW(
+      (kernels::mcscan<half, float>(dev, x.tensor(), y.tensor(), 64,
+                                    {.s = 99})),
+      Error);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(y[i], -7.0f) << "output touched by rejected call";
+  }
+  // The device still works after the failure.
+  kernels::mcscan<half, float>(dev, x.tensor(), y.tensor(), 64, {});
+  EXPECT_EQ(y[63], 128.0f);
+}
+
+}  // namespace
+}  // namespace ascend

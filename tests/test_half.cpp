@@ -1,0 +1,156 @@
+// Unit tests for the IEEE binary16 implementation.
+#include "common/half.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace ascend {
+namespace {
+
+TEST(Half, ZeroAndSignedZero) {
+  EXPECT_EQ(half(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(float(half::from_bits(0x8000u)), 0.0f);
+  EXPECT_TRUE(std::signbit(float(half::from_bits(0x8000u))));
+}
+
+TEST(Half, ExactSmallIntegers) {
+  // All integers up to 2048 are exactly representable.
+  for (int i = -2048; i <= 2048; ++i) {
+    EXPECT_EQ(float(half(static_cast<float>(i))), static_cast<float>(i))
+        << "i=" << i;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(half(1.0f).bits(), 0x3c00u);
+  EXPECT_EQ(half(-2.0f).bits(), 0xc000u);
+  EXPECT_EQ(half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7bffu);  // max finite
+  EXPECT_EQ(half(1.0f / 1024.0f / 16384.0f).bits(), 0x0001u);  // 2^-24 min sub
+}
+
+TEST(Half, RoundTripAllFiniteBitPatterns) {
+  // Every finite half converts to float and back bit-exactly.
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const half h = half::from_bits(static_cast<std::uint16_t>(b));
+    if (h.isnan()) continue;
+    const half round_tripped = half(float(h));
+    EXPECT_EQ(round_tripped.bits(), h.bits()) << "bits=" << b;
+  }
+}
+
+TEST(Half, NanPropagation) {
+  const half qnan = half::quiet_nan();
+  EXPECT_TRUE(qnan.isnan());
+  EXPECT_TRUE(std::isnan(float(qnan)));
+  EXPECT_TRUE(half(std::numeric_limits<float>::quiet_NaN()).isnan());
+  EXPECT_FALSE(qnan == qnan);  // NaN compares unequal to itself
+}
+
+TEST(Half, InfinityBehaviour) {
+  EXPECT_TRUE(half::infinity().isinf());
+  EXPECT_EQ(float(half::infinity()), std::numeric_limits<float>::infinity());
+  // Overflow on conversion saturates to infinity.
+  EXPECT_TRUE(half(1e6f).isinf());
+  EXPECT_TRUE(half(-1e6f).isinf());
+  EXPECT_TRUE(half(65520.0f).isinf());   // rounds up to inf (tie to even)
+  EXPECT_EQ(half(65519.0f).bits(), 0x7bffu);  // rounds down to max finite
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1 and 1+2^-10: ties to even (1.0).
+  EXPECT_EQ(half(1.0f + 0x1.0p-11f).bits(), half(1.0f).bits());
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even.
+  EXPECT_EQ(half(1.0f + 3 * 0x1.0p-11f).bits(),
+            half(1.0f + 0x1.0p-9f).bits());
+  // Slightly above halfway rounds up.
+  EXPECT_EQ(half(1.0f + 0x1.1p-11f).bits(), half(1.0f + 0x1.0p-10f).bits());
+}
+
+TEST(Half, Subnormals) {
+  const float min_sub = 0x1.0p-24f;
+  EXPECT_EQ(half(min_sub).bits(), 0x0001u);
+  EXPECT_EQ(float(half::from_bits(0x0001u)), min_sub);
+  // Largest subnormal: (1023/1024) * 2^-14.
+  const float max_sub = 1023.0f / 1024.0f * 0x1.0p-14f;
+  EXPECT_EQ(half(max_sub).bits(), 0x03ffu);
+  // Values below half the minimum subnormal flush to zero.
+  EXPECT_EQ(half(0x1.0p-26f).bits(), 0x0000u);
+  // Halfway between 0 and min subnormal: ties to even (zero).
+  EXPECT_EQ(half(0x1.0p-25f).bits(), 0x0000u);
+  // Just above halfway rounds up to the min subnormal.
+  EXPECT_EQ(half(0x1.2p-25f).bits(), 0x0001u);
+}
+
+TEST(Half, Arithmetic) {
+  EXPECT_EQ(float(half(1.5f) + half(2.25f)), 3.75f);
+  EXPECT_EQ(float(half(2.0f) * half(3.0f)), 6.0f);
+  EXPECT_EQ(float(half(7.0f) - half(2.0f)), 5.0f);
+  EXPECT_EQ(float(half(8.0f) / half(2.0f)), 4.0f);
+  EXPECT_EQ(float(-half(3.0f)), -3.0f);
+  half h(1.0f);
+  h += half(1.0f);
+  EXPECT_EQ(float(h), 2.0f);
+}
+
+TEST(Half, ArithmeticRoundsResult) {
+  // 2048 + 1 is not representable (spacing is 2 at that magnitude): RNE
+  // keeps 2048.
+  EXPECT_EQ(float(half(2048.0f) + half(1.0f)), 2048.0f);
+  // 2049 rounds to 2048 on conversion already.
+  EXPECT_EQ(float(half(2049.0f)), 2048.0f);
+  EXPECT_EQ(float(half(2051.0f)), 2052.0f);
+}
+
+TEST(Half, Comparisons) {
+  EXPECT_LT(half(1.0f), half(2.0f));
+  EXPECT_GT(half(2.0f), half(-3.0f));
+  EXPECT_LE(half(2.0f), half(2.0f));
+  EXPECT_EQ(half(0.0f), half(-0.0f));  // +0 == -0
+}
+
+TEST(Half, ComparisonConsistentWithFloatForRandomPairs) {
+  // half's operators must agree with the float promotion semantics for
+  // every non-NaN pair (sampled).
+  std::uint32_t state = 0x1234567u;
+  auto next = [&] {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<std::uint16_t>(state >> 16);
+  };
+  for (int i = 0; i < 50000; ++i) {
+    const half a = half::from_bits(next());
+    const half b = half::from_bits(next());
+    if (a.isnan() || b.isnan()) continue;
+    EXPECT_EQ(a < b, float(a) < float(b));
+    EXPECT_EQ(a == b, float(a) == float(b));
+    EXPECT_EQ(a <= b, float(a) <= float(b));
+  }
+}
+
+TEST(Half, AdditionCommutesAndNegationInverts) {
+  std::uint32_t state = 99u;
+  auto next = [&] {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<std::uint16_t>(state >> 16);
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const half a = half::from_bits(next());
+    const half b = half::from_bits(next());
+    if (a.isnan() || b.isnan() || a.isinf() || b.isinf()) continue;
+    EXPECT_EQ((a + b).bits(), (b + a).bits());
+    EXPECT_EQ((-(-a)).bits(), a.bits());
+  }
+}
+
+TEST(Half, EpsilonAndLimits) {
+  EXPECT_EQ(float(half::epsilon()), 0x1.0p-10f);
+  EXPECT_EQ(float(half::max()), 65504.0f);
+  EXPECT_EQ(float(half::lowest()), -65504.0f);
+}
+
+}  // namespace
+}  // namespace ascend

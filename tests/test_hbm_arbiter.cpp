@@ -1,0 +1,119 @@
+// Tests for the fluid-flow HBM/L2 bandwidth arbiter.
+#include "sim/hbm_arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ascend::sim {
+namespace {
+
+constexpr double kHbm = 600e9;  // 800 GB/s at 75% streaming efficiency
+constexpr double kL2 = 800e9;
+constexpr double kMte = 128e9;
+
+// Convenience: a fully-missing flow (HBM + L2 demand).
+std::uint32_t add_miss(HbmArbiter& a, double t, double bytes) {
+  return a.add_flow(t, bytes, kMte, /*hbm=*/1.0, /*l2=*/1.0);
+}
+// A fully L2-resident flow.
+std::uint32_t add_hit(HbmArbiter& a, double t, double bytes) {
+  return a.add_flow(t, bytes, kMte, /*hbm=*/0.0, /*l2=*/1.0);
+}
+
+TEST(HbmArbiter, SingleFlowRunsAtCap) {
+  HbmArbiter a(kHbm, kL2);
+  add_miss(a, 0.0, 128e3);
+  EXPECT_NEAR(a.next_completion_time(), 128e3 / kMte, 1e-12);
+  auto done = a.advance_and_pop(a.next_completion_time());
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(a.idle());
+}
+
+TEST(HbmArbiter, ManyMissingFlowsShareHbm) {
+  HbmArbiter a(kHbm, kL2);
+  // 10 missing flows capped at 128 GB/s: demand 1.28 TB/s against the
+  // 600 GB/s HBM pool -> 60 GB/s each.
+  for (int i = 0; i < 10; ++i) add_miss(a, 0.0, 60e3);
+  EXPECT_NEAR(a.next_completion_time(), 60e3 / 60e9, 1e-9);
+}
+
+TEST(HbmArbiter, FewFlowsNotThrottled) {
+  HbmArbiter a(kHbm, kL2);
+  for (int i = 0; i < 4; ++i) add_miss(a, 0.0, 128e3);
+  EXPECT_NEAR(a.next_completion_time(), 128e3 / kMte, 1e-9);
+}
+
+TEST(HbmArbiter, L2ResidentFlowsUseL2Pool) {
+  HbmArbiter a(kHbm, kL2);
+  // 10 L2-hit flows: demand 1.28 TB/s against the 800 GB/s L2 pool
+  // -> 80 GB/s each; the HBM pool is untouched.
+  for (int i = 0; i < 10; ++i) add_hit(a, 0.0, 80e3);
+  EXPECT_NEAR(a.next_completion_time(), 80e3 / 80e9, 1e-9);
+  a.advance_and_pop(a.next_completion_time());
+  EXPECT_DOUBLE_EQ(a.hbm_busy_time(), 0.0);
+}
+
+TEST(HbmArbiter, WritebackHeavyFlowLoadsHbmHarder) {
+  HbmArbiter a(kHbm, kL2);
+  // One flow whose every byte also evicts a dirty byte (hbm_frac 2.0,
+  // e.g. a streaming read through a dirty cache): the HBM pool allows
+  // rate = 600/2 = 300 GB/s, above the MTE cap, so the cap still rules.
+  a.add_flow(0.0, 128e3, kMte, /*hbm=*/2.0, /*l2=*/1.0);
+  EXPECT_NEAR(a.next_completion_time(), 128e3 / kMte, 1e-9);
+  // Six such flows: HBM demand 6*2*128 = 1.536 TB/s -> scale to 50 GB/s.
+  HbmArbiter b(kHbm, kL2);
+  for (int i = 0; i < 6; ++i) b.add_flow(0.0, 50e3, kMte, 2.0, 1.0);
+  EXPECT_NEAR(b.next_completion_time(), 50e3 / 50e9, 1e-9);
+}
+
+TEST(HbmArbiter, MixedFlowsThrottleIndependently) {
+  HbmArbiter a(kHbm, kL2);
+  // 8 missing flows (HBM-bound) + 4 hit flows. HBM: 8*128 = 1024 > 600 ->
+  // missing flows at 75 GB/s. L2: 8*75 + 4*128 = 1112 > 800 -> everything
+  // scales again; the hit flows end slower than cap but faster than the
+  // missing ones.
+  for (int i = 0; i < 8; ++i) add_miss(a, 0.0, 1e9);
+  const auto h = add_hit(a, 0.0, 100e3);
+  (void)h;
+  const double t = a.next_completion_time();
+  EXPECT_GT(t, 100e3 / kMte);       // slower than unconstrained
+  EXPECT_LT(t, 100e3 / 50e9);       // but not starved
+}
+
+TEST(HbmArbiter, LateJoinerSlowsExistingFlow) {
+  HbmArbiter a(kHbm, kL2);
+  add_miss(a, 0.0, 128e3);  // alone at 128 GB/s
+  for (int i = 0; i < 9; ++i) add_miss(a, 0.5e-6, 1e9);
+  // After 0.5 us it has moved 64e3 bytes; then 10 flows share 600 GB/s.
+  EXPECT_NEAR(a.next_completion_time(), 0.5e-6 + 64e3 / 60e9, 1e-9);
+}
+
+TEST(HbmArbiter, CompletionFreesBandwidth) {
+  HbmArbiter a(kHbm, kL2);
+  add_miss(a, 0.0, 80e3);
+  add_miss(a, 0.0, 800e3);
+  double t1 = a.next_completion_time();
+  EXPECT_NEAR(t1, 80e3 / kMte, 1e-9);
+  EXPECT_EQ(a.advance_and_pop(t1).size(), 1u);
+  EXPECT_NEAR(a.next_completion_time(), 800e3 / kMte, 1e-9);
+}
+
+TEST(HbmArbiter, HbmBusyTimeAccumulates) {
+  HbmArbiter a(kHbm, kL2);
+  add_miss(a, 0.0, 128e3);
+  const double t = a.next_completion_time();
+  a.advance_and_pop(t);
+  EXPECT_NEAR(a.hbm_busy_time(), t, 1e-12);
+}
+
+TEST(HbmArbiter, SlotReuseAfterCompletion) {
+  HbmArbiter a(kHbm, kL2);
+  const auto h1 = add_miss(a, 0.0, 1e3);
+  const double t = a.next_completion_time();
+  auto done = a.advance_and_pop(t);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], h1);
+  EXPECT_EQ(add_miss(a, t, 1e3), h1);  // slot recycled
+}
+
+}  // namespace
+}  // namespace ascend::sim

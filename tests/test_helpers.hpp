@@ -1,0 +1,49 @@
+// Shared helpers for kernel tests: workload builders and fp16 comparison
+// with rounding-aware tolerances.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/half.hpp"
+#include "common/rng.hpp"
+
+namespace ascend::testing {
+
+/// 0/1-valued fp16 data whose inclusive scan stays integral and <= 2047,
+/// so every fp16 rounding step in any kernel is exact and device results
+/// must equal the reference bit-for-bit.
+inline std::vector<half> exact_scan_workload(std::size_t n,
+                                             std::uint64_t seed = 1) {
+  Rng rng(seed);
+  const double p =
+      n == 0 ? 0.0 : std::min(0.5, 1500.0 / static_cast<double>(n));
+  std::vector<half> x(n);
+  for (auto& v : x) v = half(rng.bernoulli(p) ? 1.0f : 0.0f);
+  return x;
+}
+
+/// Zero-mean fp16 noise: prefix sums random-walk around 0 (magnitude
+/// ~ sqrt(n)), avoiding fp16 range overflow for large n.
+inline std::vector<half> noise_workload(std::size_t n,
+                                        std::uint64_t seed = 2) {
+  Rng rng(seed);
+  std::vector<half> x(n);
+  for (auto& v : x) v = half(static_cast<float>(rng.uniform(-1.0, 1.0)));
+  return x;
+}
+
+/// Asserts |a-b| within `ulps` fp16 units-in-last-place of the larger
+/// magnitude, accumulated over `steps` sequential roundings.
+inline void expect_f16_near(float device, double reference, double max_abs,
+                            std::size_t steps, std::size_t i) {
+  // ulp of fp16 at magnitude m is about m * 2^-10.
+  const double ulp = std::max(std::abs(max_abs), 1.0) * 0x1.0p-10;
+  const double tol = ulp * (2.0 + static_cast<double>(steps));
+  EXPECT_NEAR(static_cast<double>(device), reference, tol) << "index " << i;
+}
+
+}  // namespace ascend::testing

@@ -1,0 +1,184 @@
+// Functional and timing tests of MCScan (Algorithm 3).
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "kernels/copy_kernel.hpp"
+#include "kernels/mcscan.hpp"
+#include "kernels/reference.hpp"
+#include "kernels/scan_u.hpp"
+#include "test_helpers.hpp"
+
+namespace ascend::kernels {
+namespace {
+
+using acc::Device;
+
+class McScanF16 : public ::testing::TestWithParam<
+                      std::tuple<std::size_t, std::size_t, int>> {};
+
+TEST_P(McScanF16, InclusiveMatchesReference) {
+  const auto [n, s, blocks] = GetParam();
+  Device dev;
+  auto x = dev.upload(testing::exact_scan_workload(n, n * 31 + s));
+  auto y = dev.alloc<float>(n, -1.0f);
+  mcscan<half, float>(dev, x.tensor(), y.tensor(), n,
+                      {.s = s, .blocks = blocks});
+  const auto want =
+      ref::inclusive_scan<half, float>(std::span<const half>(x.host()));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(y[i], want[i]) << "n=" << n << " s=" << s
+                             << " blocks=" << blocks << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, McScanF16,
+    ::testing::Combine(
+        ::testing::Values<std::size_t>(1, 100, 8192, 16384, 100000, 1 << 20),
+        ::testing::Values<std::size_t>(32, 128),
+        ::testing::Values(1, 3, 20)),
+    [](const auto& ti) {
+      return "n" + std::to_string(std::get<0>(ti.param)) + "_s" +
+             std::to_string(std::get<1>(ti.param)) + "_b" +
+             std::to_string(std::get<2>(ti.param));
+    });
+
+TEST(McScanExclusive, ShiftsByOneElement) {
+  const std::size_t n = 40000;
+  Device dev;
+  auto x = dev.upload(testing::exact_scan_workload(n, 7));
+  auto y = dev.alloc<float>(n, -1.0f);
+  mcscan<half, float>(dev, x.tensor(), y.tensor(), n, {.exclusive = true});
+  const auto want =
+      ref::exclusive_scan<half, float>(std::span<const half>(x.host()));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(y[i], want[i]) << i;
+  }
+  EXPECT_EQ(y[0], 0.0f);
+}
+
+TEST(McScanInt8, MaskScanExactInt32) {
+  const std::size_t n = 300000;
+  Device dev;
+  Rng rng(5);
+  auto mask_host = rng.mask_i8(n, 0.5);
+  auto x = dev.upload(mask_host);
+  auto y = dev.alloc<std::int32_t>(n, -1);
+  mcscan<std::int8_t, std::int32_t>(dev, x.tensor(), y.tensor(), n, {});
+  const auto want = ref::inclusive_scan<std::int8_t, std::int32_t>(
+      std::span<const std::int8_t>(mask_host));
+  for (std::size_t i = 0; i < n; i += 13) {
+    ASSERT_EQ(y[i], want[i]) << i;
+  }
+  ASSERT_EQ(y[n - 1], want[n - 1]);
+}
+
+TEST(McScanInt8, ExclusiveMaskScanForSplitOffsets) {
+  const std::size_t n = 70000;
+  Device dev;
+  Rng rng(11);
+  auto mask_host = rng.mask_i8(n, 0.3);
+  auto x = dev.upload(mask_host);
+  auto y = dev.alloc<std::int32_t>(n, -1);
+  mcscan<std::int8_t, std::int32_t>(dev, x.tensor(), y.tensor(), n,
+                                    {.exclusive = true});
+  const auto want = ref::exclusive_scan<std::int8_t, std::int32_t>(
+      std::span<const std::int8_t>(mask_host));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(y[i], want[i]) << i;
+  }
+}
+
+TEST(McScanInt8, NegativeValues) {
+  const std::size_t n = 50000;
+  Device dev;
+  Rng rng(3);
+  std::vector<std::int8_t> host(n);
+  for (auto& v : host) {
+    v = static_cast<std::int8_t>(static_cast<std::int64_t>(rng.next_below(201)) - 100);
+  }
+  auto x = dev.upload(host);
+  auto y = dev.alloc<std::int32_t>(n, 0);
+  mcscan<std::int8_t, std::int32_t>(dev, x.tensor(), y.tensor(), n, {});
+  const auto want = ref::inclusive_scan<std::int8_t, std::int32_t>(
+      std::span<const std::int8_t>(host));
+  for (std::size_t i = 0; i < n; i += 7) ASSERT_EQ(y[i], want[i]) << i;
+  ASSERT_EQ(y[n - 1], want[n - 1]);
+}
+
+TEST(McScanNoise, WithinFp32AccumulationTolerance) {
+  const std::size_t n = 1 << 19;
+  Device dev;
+  auto host = testing::noise_workload(n);
+  auto x = dev.upload(host);
+  auto y = dev.alloc<float>(n, 0.0f);
+  mcscan<half, float>(dev, x.tensor(), y.tensor(), n, {});
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += double(float(host[i]));
+    if (i % 1021 == 0 || i == n - 1) {
+      // fp32 accumulation drift only.
+      EXPECT_NEAR(y[i], acc, 0.25) << i;
+    }
+  }
+}
+
+TEST(McScanTiming, ScalesOverSingleCube) {
+  const std::size_t n = 1 << 22;
+  Device dev;
+  auto x = dev.alloc<half>(n, half(0.0f));
+  auto y16 = dev.alloc<half>(n, half(0.0f));
+  auto y32 = dev.alloc<float>(n, 0.0f);
+  const double t_u = scan_u(dev, x.tensor(), y16.tensor(), n, 128).time_s;
+  const double t_mc =
+      mcscan<half, float>(dev, x.tensor(), y32.tensor(), n, {}).time_s;
+  // Paper §6.1: MCScan saturates at 15.2x over ScanU on 20 AI cores.
+  EXPECT_GT(t_u / t_mc, 8.0);
+  EXPECT_LT(t_u / t_mc, 25.0);
+}
+
+TEST(McScanTiming, BandwidthBelowCopyCeiling) {
+  const std::size_t n = 1 << 22;
+  Device dev;
+  auto x = dev.alloc<half>(n, half(0.0f));
+  auto y = dev.alloc<float>(n, 0.0f);
+  auto xc = dev.alloc<half>(n, half(0.0f));
+  const auto rep = mcscan<half, float>(dev, x.tensor(), y.tensor(), n, {});
+  const auto copy = copy_kernel<half>(dev, x.tensor(), xc.tensor(), n);
+  const double scan_bw = rep.bandwidth(n * (sizeof(half) + sizeof(float)));
+  const double copy_bw = copy.bandwidth(n * 2 * sizeof(half));
+  EXPECT_LT(scan_bw, copy_bw);
+  // "Up to 37.5% of theoretical memory bandwidth" (800 GB/s).
+  EXPECT_GT(scan_bw, 0.20 * 800e9);
+  EXPECT_LT(scan_bw, 0.45 * 800e9);
+}
+
+TEST(McScanTiming, Int8HigherElementThroughputThanF16) {
+  const std::size_t n = 1 << 22;
+  Device dev;
+  auto xf = dev.alloc<half>(n, half(0.0f));
+  auto yf = dev.alloc<float>(n, 0.0f);
+  auto xi = dev.alloc<std::int8_t>(n, std::int8_t{0});
+  auto yi = dev.alloc<std::int32_t>(n, 0);
+  const auto rf = mcscan<half, float>(dev, xf.tensor(), yf.tensor(), n, {});
+  const auto ri =
+      mcscan<std::int8_t, std::int32_t>(dev, xi.tensor(), yi.tensor(), n, {});
+  // Fig. 9: ~10% more elements/s for int8.
+  EXPECT_GT(ri.elements_per_s(n), 1.02 * rf.elements_per_s(n));
+  EXPECT_LT(ri.elements_per_s(n), 1.5 * rf.elements_per_s(n));
+}
+
+TEST(McScanEdge, RejectsBadArguments) {
+  Device dev;
+  auto x = dev.alloc<half>(16, half(0.0f));
+  auto y = dev.alloc<float>(16, 0.0f);
+  EXPECT_THROW((mcscan<half, float>(dev, x.tensor(), y.tensor(), 16,
+                                    {.s = 77})),
+               Error);
+  EXPECT_THROW((mcscan<half, float>(dev, x.tensor(), y.tensor(), 32, {})),
+               Error);
+}
+
+}  // namespace
+}  // namespace ascend::kernels

@@ -1,0 +1,309 @@
+// Property-based tests: algebraic invariants every kernel must satisfy,
+// checked over randomized inputs and shapes.
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "kernels/batched_scan.hpp"
+#include "kernels/mcscan.hpp"
+#include "kernels/radix_sort.hpp"
+#include "kernels/reference.hpp"
+#include "kernels/sampling.hpp"
+#include "kernels/scan_u.hpp"
+#include "kernels/sort_baseline.hpp"
+#include "kernels/split.hpp"
+#include "test_helpers.hpp"
+
+namespace ascend::kernels {
+namespace {
+
+using acc::Device;
+
+class ScanProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+// scan(a)[i] + scan(b)[i] == scan(a+b)[i] for exact integer data
+// (linearity of the prefix-sum operator).
+TEST_P(ScanProperties, Linearity) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 1000 + rng.next_below(60000);
+  std::vector<half> a(n), b(n), ab(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int va = rng.bernoulli(0.02) ? 1 : 0;
+    const int vb = rng.bernoulli(0.02) ? 2 : 0;
+    a[i] = half(float(va));
+    b[i] = half(float(vb));
+    ab[i] = half(float(va + vb));
+  }
+  Device dev;
+  auto ga = dev.upload(a);
+  auto gb = dev.upload(b);
+  auto gab = dev.upload(ab);
+  auto ya = dev.alloc<float>(n);
+  auto yb = dev.alloc<float>(n);
+  auto yab = dev.alloc<float>(n);
+  mcscan<half, float>(dev, ga.tensor(), ya.tensor(), n, {});
+  mcscan<half, float>(dev, gb.tensor(), yb.tensor(), n, {});
+  mcscan<half, float>(dev, gab.tensor(), yab.tensor(), n, {});
+  for (std::size_t i = 0; i < n; i += 97) {
+    ASSERT_EQ(ya[i] + yb[i], yab[i]) << "seed=" << seed << " i=" << i;
+  }
+}
+
+// The last inclusive-scan entry equals the total reduction.
+TEST_P(ScanProperties, LastElementIsTotal) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xabc);
+  const std::size_t n = 500 + rng.next_below(40000);
+  std::vector<half> x(n);
+  std::int64_t total = 0;
+  for (auto& v : x) {
+    const int val = static_cast<int>(rng.next_below(3));
+    v = half(float(val));
+    total += val;
+  }
+  Device dev;
+  auto g = dev.upload(x);
+  auto y = dev.alloc<float>(n);
+  mcscan<half, float>(dev, g.tensor(), y.tensor(), n, {});
+  ASSERT_EQ(static_cast<std::int64_t>(y[n - 1]), total) << "seed=" << seed;
+}
+
+// exclusive[i] == inclusive[i-1], exclusive[0] == 0.
+TEST_P(ScanProperties, ExclusiveIsShiftedInclusive) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0x515);
+  const std::size_t n = 100 + rng.next_below(30000);
+  auto mask = rng.mask_i8(n, 0.35);
+  Device dev;
+  auto g = dev.upload(mask);
+  auto yin = dev.alloc<std::int32_t>(n);
+  auto yex = dev.alloc<std::int32_t>(n);
+  mcscan<std::int8_t, std::int32_t>(dev, g.tensor(), yin.tensor(), n, {});
+  mcscan<std::int8_t, std::int32_t>(dev, g.tensor(), yex.tensor(), n,
+                                    {.exclusive = true});
+  ASSERT_EQ(yex[0], 0);
+  for (std::size_t i = 1; i < n; i += 11) {
+    ASSERT_EQ(yex[i], yin[i - 1]) << "seed=" << seed << " i=" << i;
+  }
+}
+
+// A batched scan equals independent row scans.
+TEST_P(ScanProperties, BatchedEqualsPerRow) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xbb);
+  const std::size_t batch = 1 + rng.next_below(12);
+  const std::size_t len = 200 + rng.next_below(20000);
+  std::vector<half> x(batch * len);
+  for (auto& v : x) v = half(rng.bernoulli(0.05) ? 1.0f : 0.0f);
+  Device dev;
+  auto g = dev.upload(x);
+  auto y = dev.alloc<half>(batch * len);
+  batched_scan_u(dev, g.tensor(), y.tensor(), batch, len, {});
+  // Row-by-row single-core ScanU must agree.
+  for (std::size_t r = 0; r < batch; ++r) {
+    auto row_y = dev.alloc<half>(len);
+    scan_u(dev, g.tensor().sub(r * len, len), row_y.tensor(), len, 128);
+    for (std::size_t j = 0; j < len; j += 31) {
+      ASSERT_EQ(float(y[r * len + j]), float(row_y[j]))
+          << "seed=" << seed << " row=" << r << " col=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanProperties,
+                         ::testing::Values(1, 2, 3, 4, 5),
+                         [](const auto& ti) {
+                           return "seed" + std::to_string(ti.param);
+                         });
+
+class SortProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Sorted output is a permutation of the input (via indices) and ordered;
+// indices of equal keys ascend (stability).
+TEST_P(SortProperties, PermutationOrderStability) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 100 + rng.next_below(50000);
+  std::vector<half> keys(n);
+  for (auto& v : keys) {
+    v = half(static_cast<float>(rng.next_below(64)) - 32.0f);
+  }
+  Device dev;
+  auto g = dev.upload(keys);
+  auto ok = dev.alloc<half>(n);
+  auto oi = dev.alloc<std::int32_t>(n);
+  radix_sort_f16(dev, g.tensor(), ok.tensor(), oi.tensor(), n, {});
+
+  std::vector<bool> seen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(oi[i]);
+    ASSERT_LT(idx, n);
+    ASSERT_FALSE(seen[idx]) << "index used twice: " << idx;
+    seen[idx] = true;
+    // Values carried correctly.
+    ASSERT_EQ(ok[i].bits(), keys[idx].bits());
+    if (i > 0) {
+      ASSERT_LE(float(ok[i - 1]), float(ok[i])) << "order @" << i;
+      if (ok[i - 1].bits() == ok[i].bits()) {
+        ASSERT_LT(oi[i - 1], oi[i]) << "stability @" << i;
+      }
+    }
+  }
+}
+
+// Radix sort and baseline sort agree bit-for-bit (differential testing).
+TEST_P(SortProperties, RadixAgreesWithBaseline) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0x5047);
+  const std::size_t n = 1000 + rng.next_below(60000);
+  auto keys = rng.uniform_f16(n, -1000.0, 1000.0);
+  Device dev;
+  auto g = dev.upload(keys);
+  auto k1 = dev.alloc<half>(n);
+  auto i1 = dev.alloc<std::int32_t>(n);
+  auto k2 = dev.alloc<half>(n);
+  auto i2 = dev.alloc<std::int32_t>(n);
+  radix_sort_f16(dev, g.tensor(), k1.tensor(), i1.tensor(), n, {});
+  sort_baseline_f16(dev, g.tensor(), k2.tensor(), i2.tensor(), n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(k1[i].bits(), k2[i].bits()) << i;
+    ASSERT_EQ(i1[i], i2[i]) << i;
+  }
+}
+
+// Sorting an already-sorted array is the identity permutation composed
+// with stability (idempotence).
+TEST_P(SortProperties, Idempotent) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0x1de);
+  const std::size_t n = 1000 + rng.next_below(20000);
+  auto keys = rng.uniform_f16(n, 0.0, 1.0);
+  std::sort(keys.begin(), keys.end(),
+            [](half a, half b) { return float(a) < float(b); });
+  Device dev;
+  auto g = dev.upload(keys);
+  auto ok = dev.alloc<half>(n);
+  auto oi = dev.alloc<std::int32_t>(n);
+  radix_sort_f16(dev, g.tensor(), ok.tensor(), oi.tensor(), n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(ok[i].bits(), keys[i].bits());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortProperties,
+                         ::testing::Values(10, 11, 12, 13),
+                         [](const auto& ti) {
+                           return "seed" + std::to_string(ti.param);
+                         });
+
+class SplitProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Split output is a partition: trues (in order) then falses (in order),
+// and indices invert the permutation.
+TEST_P(SplitProperties, PartitionAndInverse) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 500 + rng.next_below(80000);
+  auto x = rng.uniform_f16(n, -2.0, 2.0);
+  auto mask = rng.mask_i8(n, rng.next_double());
+  Device dev;
+  auto gx = dev.upload(x);
+  auto gm = dev.upload(mask);
+  auto ov = dev.alloc<half>(n);
+  auto oi = dev.alloc<std::int32_t>(n);
+  const auto r = split_ind<half>(dev, gx.tensor(), {}, gm.tensor(),
+                                 ov.tensor(), oi.tensor(), n, {});
+  // Count check.
+  const auto expect_true = static_cast<std::size_t>(
+      std::count_if(mask.begin(), mask.end(), [](auto m) { return m != 0; }));
+  ASSERT_EQ(r.num_true, expect_true);
+  // Partition + order: indices in each half strictly increase.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(oi[i]);
+    ASSERT_EQ(mask[idx] != 0, i < r.num_true) << i;
+    ASSERT_EQ(ov[i].bits(), x[idx].bits()) << i;
+    if (i > 0 && i != r.num_true) {
+      ASSERT_LT(oi[i - 1], oi[i]) << "stable order @" << i;
+    }
+  }
+}
+
+// compress(x, mask) == first-half of split values.
+TEST_P(SplitProperties, CompressIsSplitPrefix) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xc0);
+  const std::size_t n = 500 + rng.next_below(40000);
+  auto x = rng.uniform_f16(n, 0.0, 1.0);
+  auto mask = rng.mask_i8(n, 0.5);
+  Device dev;
+  auto gx = dev.upload(x);
+  auto gm = dev.upload(mask);
+  auto sv = dev.alloc<half>(n);
+  auto si = dev.alloc<std::int32_t>(n);
+  auto cv = dev.alloc<half>(n);
+  const auto s = split_ind<half>(dev, gx.tensor(), {}, gm.tensor(),
+                                 sv.tensor(), si.tensor(), n, {});
+  const auto c = compress(dev, gx.tensor(), gm.tensor(), cv.tensor(), n, {});
+  ASSERT_EQ(s.num_true, c.num_true);
+  for (std::size_t i = 0; i < c.num_true; ++i) {
+    ASSERT_EQ(cv[i].bits(), sv[i].bits()) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitProperties,
+                         ::testing::Values(20, 21, 22, 23, 24),
+                         [](const auto& ti) {
+                           return "seed" + std::to_string(ti.param);
+                         });
+
+// Simulated time is deterministic across repeated identical launches.
+TEST(Determinism, RepeatedLaunchSameSimulatedTime) {
+  const std::size_t n = 200000;
+  auto run = [&] {
+    Device dev;
+    auto x = dev.alloc<half>(n, half(0.5f));
+    auto y = dev.alloc<float>(n);
+    return mcscan<half, float>(dev, x.tensor(), y.tensor(), n, {}).time_s;
+  };
+  const double t0 = run();
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(run(), t0);
+}
+
+// Simulated time is monotone in input size (same kernel, same machine).
+TEST(Monotonicity, TimeGrowsWithInput) {
+  Device dev;
+  double prev = 0.0;
+  for (std::size_t n : {1u << 14, 1u << 16, 1u << 18, 1u << 20}) {
+    auto x = dev.alloc<half>(n, half(0.0f));
+    auto y = dev.alloc<float>(n);
+    const double t =
+        mcscan<half, float>(dev, x.tensor(), y.tensor(), n, {}).time_s;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+// Weighted sampling: over a uniform sweep of u, empirical frequencies
+// track the weights (coarse chi-square-style bound).
+TEST(SamplingDistribution, FrequenciesTrackWeights) {
+  Device dev;
+  std::vector<half> w = {half(1.0f), half(3.0f), half(6.0f)};
+  auto g = dev.upload(w);
+  int counts[3] = {0, 0, 0};
+  const int draws = 200;
+  for (int i = 0; i < draws; ++i) {
+    const double u = (i + 0.5) / draws;
+    const auto r = weighted_sample(dev, g.tensor(), w.size(), u);
+    ASSERT_GE(r.index, 0);
+    ASSERT_LT(r.index, 3);
+    ++counts[r.index];
+  }
+  EXPECT_NEAR(counts[0], draws * 0.1, 3);
+  EXPECT_NEAR(counts[1], draws * 0.3, 3);
+  EXPECT_NEAR(counts[2], draws * 0.6, 3);
+}
+
+}  // namespace
+}  // namespace ascend::kernels

@@ -1,0 +1,260 @@
+// Tests for the discrete-event scheduler, using hand-built traces.
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ascend::sim {
+namespace {
+
+class TraceFixture {
+ public:
+  TraceFixture(int subcores, const MachineConfig& cfg) : cfg_(cfg) {
+    trace_.per_subcore.resize(static_cast<std::size_t>(subcores));
+    trace_.is_cube_subcore.assign(static_cast<std::size_t>(subcores), false);
+  }
+
+  std::uint32_t compute(int subcore, EngineKind eng, double cycles,
+                        std::initializer_list<std::uint32_t> deps = {}) {
+    TraceOp op;
+    op.id = next_id_++;
+    op.engine = eng;
+    op.kind = TraceOp::Kind::Compute;
+    op.cycles = cycles;
+    for (auto d : deps) op.add_dep(d);
+    trace_.per_subcore[static_cast<std::size_t>(subcore)].push_back(op);
+    return op.id;
+  }
+
+  std::uint32_t transfer(int subcore, EngineKind eng, std::uint64_t bytes,
+                         std::initializer_list<std::uint32_t> deps = {}) {
+    TraceOp op;
+    op.id = next_id_++;
+    op.engine = eng;
+    op.kind = TraceOp::Kind::Transfer;
+    op.cycles = cfg_.mte_issue_cycles;
+    op.bytes = bytes;
+    op.gm_addr = 0;  // disable L2 modelling in unit tests
+    for (auto d : deps) op.add_dep(d);
+    trace_.per_subcore[static_cast<std::size_t>(subcore)].push_back(op);
+    return op.id;
+  }
+
+  std::uint32_t barrier(int subcore, std::uint32_t epoch) {
+    TraceOp op;
+    op.id = next_id_++;
+    op.engine = EngineKind::Scalar;
+    op.kind = TraceOp::Kind::Barrier;
+    op.barrier_epoch = epoch;
+    trace_.per_subcore[static_cast<std::size_t>(subcore)].push_back(op);
+    return op.id;
+  }
+
+  Report run(Timeline* tl = nullptr) {
+    trace_.max_op_id = next_id_ - 1;
+    Scheduler sched(cfg_, nullptr);
+    return sched.run(trace_, tl);
+  }
+
+ private:
+  MachineConfig cfg_;
+  KernelTrace trace_;
+  std::uint32_t next_id_ = 1;
+};
+
+MachineConfig test_config() {
+  MachineConfig cfg;
+  cfg.launch_overhead_s = 0;  // cleaner arithmetic in unit tests
+  cfg.sync_all_s = 0;
+  cfg.mte_issue_cycles = 0;
+  cfg.gm_latency_s = 0;
+  cfg.hbm_efficiency = 1.0;
+  return cfg;
+}
+
+TEST(Scheduler, SingleComputeOpDuration) {
+  auto cfg = test_config();
+  TraceFixture f(1, cfg);
+  f.compute(0, EngineKind::Compute, 1800.0);
+  const Report r = f.run();
+  EXPECT_NEAR(r.time_s, 1800.0 / cfg.clock_hz, 1e-12);
+  EXPECT_EQ(r.num_ops, 1u);
+}
+
+TEST(Scheduler, SameEngineOpsSerialise) {
+  auto cfg = test_config();
+  TraceFixture f(1, cfg);
+  f.compute(0, EngineKind::Compute, 1000.0);
+  f.compute(0, EngineKind::Compute, 1000.0);
+  const Report r = f.run();
+  EXPECT_NEAR(r.time_s, 2000.0 / cfg.clock_hz, 1e-12);
+}
+
+TEST(Scheduler, DifferentEnginesOverlapWithoutDeps) {
+  auto cfg = test_config();
+  TraceFixture f(1, cfg);
+  f.compute(0, EngineKind::Compute, 1000.0);
+  f.compute(0, EngineKind::Mte2, 1000.0);
+  const Report r = f.run();
+  EXPECT_NEAR(r.time_s, 1000.0 / cfg.clock_hz, 1e-12);
+}
+
+TEST(Scheduler, DependencyForcesSequence) {
+  auto cfg = test_config();
+  TraceFixture f(1, cfg);
+  const auto a = f.compute(0, EngineKind::Mte2, 1000.0);
+  f.compute(0, EngineKind::Compute, 500.0, {a});
+  const Report r = f.run();
+  EXPECT_NEAR(r.time_s, 1500.0 / cfg.clock_hz, 1e-12);
+}
+
+TEST(Scheduler, PipeliningOverlapsStages) {
+  // Two-stage pipeline (MTE2 load then Compute), two tiles with
+  // independent buffers: total = load + max stages + compute, not 4 stages.
+  auto cfg = test_config();
+  TraceFixture f(1, cfg);
+  const auto a0 = f.compute(0, EngineKind::Mte2, 1000.0);
+  const auto c0 = f.compute(0, EngineKind::Compute, 1000.0, {a0});
+  (void)c0;
+  const auto a1 = f.compute(0, EngineKind::Mte2, 1000.0);
+  f.compute(0, EngineKind::Compute, 1000.0, {a1});
+  const Report r = f.run();
+  // load0 [0,1000], load1 [1000,2000], compute0 [1000,2000],
+  // compute1 [2000,3000].
+  EXPECT_NEAR(r.time_s, 3000.0 / cfg.clock_hz, 1e-9);
+}
+
+TEST(Scheduler, TransferDurationMatchesMteBandwidth) {
+  auto cfg = test_config();
+  TraceFixture f(1, cfg);
+  f.transfer(0, EngineKind::Mte2, 128000);
+  const Report r = f.run();
+  EXPECT_NEAR(r.time_s, 128000.0 / cfg.mte_bandwidth, 1e-9);
+  EXPECT_EQ(r.gm_read_bytes, 128000u);
+}
+
+TEST(Scheduler, ConcurrentTransfersHitHbmCeiling) {
+  auto cfg = test_config();
+  cfg.num_ai_cores = 20;
+  TraceFixture f(20, cfg);
+  // 20 sub-cores each read 128 KB concurrently: demand 20*128 GB/s
+  // = 2.56 TB/s against 800 GB/s -> each flow gets 40 GB/s.
+  for (int s = 0; s < 20; ++s) f.transfer(s, EngineKind::Mte2, 128 << 10);
+  const Report r = f.run();
+  EXPECT_NEAR(r.time_s, (128 << 10) / 40e9, 1e-9);
+}
+
+TEST(Scheduler, BarrierAlignsSubcores) {
+  auto cfg = test_config();
+  TraceFixture f(2, cfg);
+  f.compute(0, EngineKind::Compute, 1000.0);
+  const auto b0 = f.barrier(0, 1);
+  f.compute(0, EngineKind::Compute, 100.0, {b0});
+  f.compute(1, EngineKind::Compute, 5000.0);
+  const auto b1 = f.barrier(1, 1);
+  f.compute(1, EngineKind::Compute, 100.0, {b1});
+  const Report r = f.run();
+  // Slow sub-core dominates: 5000 + 100 cycles.
+  EXPECT_NEAR(r.time_s, 5100.0 / cfg.clock_hz, 1e-9);
+}
+
+TEST(Scheduler, CrossSubcoreDependency) {
+  auto cfg = test_config();
+  TraceFixture f(2, cfg);
+  const auto produce = f.compute(0, EngineKind::Mte3, 2000.0);
+  f.compute(1, EngineKind::Compute, 1000.0, {produce});
+  const Report r = f.run();
+  EXPECT_NEAR(r.time_s, 3000.0 / cfg.clock_hz, 1e-9);
+}
+
+TEST(Scheduler, LaunchOverheadAdds) {
+  auto cfg = test_config();
+  cfg.launch_overhead_s = 5e-6;
+  TraceFixture f(1, cfg);
+  f.compute(0, EngineKind::Compute, 1800.0);
+  const Report r = f.run();
+  EXPECT_NEAR(r.time_s, 5e-6 + 1e-6, 1e-12);
+}
+
+TEST(Scheduler, EngineBusyAccounting) {
+  auto cfg = test_config();
+  TraceFixture f(1, cfg);
+  f.compute(0, EngineKind::Compute, 1800.0);
+  f.compute(0, EngineKind::Scalar, 900.0);
+  const Report r = f.run();
+  EXPECT_NEAR(r.vec_busy_s, 1e-6, 1e-12);  // subcore not cube
+  EXPECT_NEAR(r.scalar_busy_s, 0.5e-6, 1e-12);
+}
+
+TEST(Scheduler, CubeAttribution) {
+  auto cfg = test_config();
+  TraceFixture f(1, cfg);
+  f.compute(0, EngineKind::Compute, 1800.0);
+  // Mark subcore 0 as a cube core via the fixture's trace: easiest is to
+  // re-run with a manual trace here.
+  KernelTrace tr;
+  tr.per_subcore.resize(1);
+  TraceOp op;
+  op.id = 1;
+  op.engine = EngineKind::Compute;
+  op.kind = TraceOp::Kind::Compute;
+  op.cycles = 1800.0;
+  tr.per_subcore[0].push_back(op);
+  tr.is_cube_subcore = {true};
+  tr.max_op_id = 1;
+  Scheduler sched(cfg, nullptr);
+  const Report r = sched.run(tr);
+  EXPECT_NEAR(r.cube_busy_s, 1e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(r.vec_busy_s, 0.0);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  auto cfg = test_config();
+  auto build_and_run = [&] {
+    TraceFixture f(4, cfg);
+    for (int s = 0; s < 4; ++s) {
+      auto t = f.transfer(s, EngineKind::Mte2, 64 << 10);
+      auto c = f.compute(s, EngineKind::Compute, 500.0 * (s + 1), {t});
+      f.transfer(s, EngineKind::Mte3, 64 << 10, {c});
+    }
+    return f.run().time_s;
+  };
+  EXPECT_DOUBLE_EQ(build_and_run(), build_and_run());
+}
+
+TEST(Scheduler, GmLatencyDelaysDependentsNotEngine) {
+  auto cfg = test_config();
+  cfg.gm_latency_s = 1e-6;
+  TraceFixture f(1, cfg);
+  // Two back-to-back transfers on the same MTE2: the engine streams them
+  // consecutively (latency does not serialise the engine)...
+  const auto t1 = f.transfer(0, EngineKind::Mte2, 128000);
+  const auto t2 = f.transfer(0, EngineKind::Mte2, 128000);
+  (void)t2;
+  // ...but a compute op depending on the first transfer's data waits the
+  // extra latency.
+  f.compute(0, EngineKind::Compute, 1800.0, {t1});
+  const Report r = f.run();
+  const double stream = 128000.0 / cfg.mte_bandwidth;
+  // Timeline: t1 streams [0, 1us], t2 streams [1us, 2us]; the compute
+  // starts at t1-data-visible = 1us + 1us latency = 2us, runs 1us.
+  EXPECT_NEAR(r.time_s, std::max(2 * stream + 1e-6, 2e-6 + 1e-6), 1e-9);
+}
+
+TEST(Scheduler, TimelineCaptureMatchesReport) {
+  auto cfg = test_config();
+  TraceFixture f(2, cfg);
+  f.compute(0, EngineKind::Compute, 1000.0);
+  const auto t = f.transfer(1, EngineKind::Mte2, 64000);
+  f.compute(1, EngineKind::Compute, 500.0, {t});
+  Timeline tl;
+  const Report r = f.run(&tl);
+  ASSERT_EQ(tl.events.size(), 3u);
+  EXPECT_DOUBLE_EQ(tl.total_s, r.time_s);
+  for (const auto& e : tl.events) {
+    EXPECT_LE(e.end_s, r.time_s + 1e-15);
+    EXPECT_GE(e.end_s, e.start_s);
+  }
+}
+
+}  // namespace
+}  // namespace ascend::sim

@@ -1,0 +1,231 @@
+// Integration tests of the public ascan::Session API — every operator a
+// downstream user can reach, exercised end-to-end through host vectors.
+#include <gtest/gtest.h>
+
+#include "core/ascan.hpp"
+#include "kernels/reference.hpp"
+#include "test_helpers.hpp"
+
+namespace ascan {
+namespace {
+
+using ascend::Rng;
+
+TEST(Session, CumsumMcscan) {
+  Session s;
+  auto x = ascend::testing::exact_scan_workload(50000);
+  const auto r = s.cumsum(x);
+  const auto want =
+      ascend::ref::inclusive_scan<half, float>(std::span<const half>(x));
+  ASSERT_EQ(r.values.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); i += 11) {
+    ASSERT_EQ(r.values[i], want[i]) << i;
+  }
+  EXPECT_GT(r.report.time_s, 0.0);
+  EXPECT_EQ(s.total().launches, 1);
+}
+
+TEST(Session, CumsumExclusive) {
+  Session s;
+  auto x = ascend::testing::exact_scan_workload(10000, 3);
+  const auto r = s.cumsum(x, {.exclusive = true});
+  const auto want =
+      ascend::ref::exclusive_scan<half, float>(std::span<const half>(x));
+  for (std::size_t i = 0; i < x.size(); ++i) ASSERT_EQ(r.values[i], want[i]);
+}
+
+TEST(Session, CumsumF16Algorithms) {
+  Session s;
+  auto x = ascend::testing::exact_scan_workload(30000, 5);
+  const auto want =
+      ascend::ref::inclusive_scan<half, half>(std::span<const half>(x));
+  for (auto algo :
+       {ScanAlgo::ScanU, ScanAlgo::ScanUL1, ScanAlgo::VectorBaseline}) {
+    const auto r = s.cumsum_f16(x, {.algo = algo});
+    for (std::size_t i = 0; i < x.size(); i += 7) {
+      ASSERT_EQ(float(r.values[i]), float(want[i]))
+          << static_cast<int>(algo) << " @" << i;
+    }
+  }
+  EXPECT_THROW(s.cumsum_f16(x, {.algo = ScanAlgo::MCScan}), ascend::Error);
+}
+
+TEST(Session, CumsumI8) {
+  Session s;
+  Rng rng(1);
+  auto mask = rng.mask_i8(25000, 0.4);
+  const auto r = s.cumsum_i8(mask);
+  const auto want = ascend::ref::inclusive_scan<std::int8_t, std::int32_t>(
+      std::span<const std::int8_t>(mask));
+  for (std::size_t i = 0; i < mask.size(); i += 3) {
+    ASSERT_EQ(r.values[i], want[i]) << i;
+  }
+}
+
+TEST(Session, CumsumBatchedBothSchedules) {
+  Session s;
+  const std::size_t batch = 6, len = 5000;
+  Rng rng(2);
+  std::vector<half> x(batch * len);
+  for (auto& v : x) v = half(rng.bernoulli(0.1) ? 1.0f : 0.0f);
+  const auto want = ascend::ref::batched_inclusive_scan<half, half>(
+      std::span<const half>(x), batch, len);
+  for (bool ul1 : {false, true}) {
+    const auto r = s.cumsum_batched(x, batch, len, 128, ul1);
+    for (std::size_t i = 0; i < x.size(); i += 13) {
+      ASSERT_EQ(float(r.values[i]), float(want[i])) << ul1 << " @" << i;
+    }
+  }
+}
+
+TEST(Session, CloneIsIdentityAndFast) {
+  Session s;
+  Rng rng(3);
+  auto x = rng.uniform_f16(1 << 22, -5.0, 5.0);
+  const auto r = s.clone(x);
+  for (std::size_t i = 0; i < x.size(); i += 101) {
+    ASSERT_EQ(r.values[i].bits(), x[i].bits());
+  }
+  ASSERT_EQ(r.values.back().bits(), x.back().bits());
+  // At bandwidth-bound sizes the copy approaches the 800 GB/s ceiling
+  // (Fig. 8's torch.clone yardstick); small sizes are launch-bound.
+  EXPECT_GT(r.report.bandwidth(x.size() * 4), 500e9);
+  EXPECT_LT(r.report.bandwidth(x.size() * 4), 800e9);
+}
+
+TEST(Session, SplitAndMaskedSelect) {
+  Session s;
+  Rng rng(4);
+  auto x = rng.uniform_f16(40000, -1.0, 1.0);
+  auto mask = rng.mask_i8(x.size(), 0.3);
+  const auto sp = s.split(x, mask);
+  const auto want = ascend::ref::split(std::span<const half>(x),
+                                       std::span<const std::int8_t>(mask));
+  ASSERT_EQ(sp.num_true, want.num_true);
+  for (std::size_t i = 0; i < x.size(); i += 17) {
+    ASSERT_EQ(sp.values[i].bits(), want.values[i].bits());
+    ASSERT_EQ(sp.indices[i], want.indices[i]);
+  }
+  const auto ms = s.masked_select(x, mask);
+  ASSERT_EQ(ms.values.size(), want.num_true);
+  const auto ms_base = s.masked_select(x, mask, 128, /*baseline=*/true);
+  ASSERT_EQ(ms_base.values.size(), want.num_true);
+  for (std::size_t i = 0; i < ms.values.size(); ++i) {
+    ASSERT_EQ(ms.values[i].bits(), ms_base.values[i].bits());
+  }
+}
+
+TEST(Session, SortBothAlgorithmsBothOrders) {
+  Session s;
+  Rng rng(5);
+  auto x = rng.uniform_f16(30000, -10.0, 10.0);
+  for (bool desc : {false, true}) {
+    const auto want = ascend::ref::stable_sort(std::span<const half>(x), desc);
+    for (auto algo : {SortAlgo::Radix, SortAlgo::Baseline}) {
+      const auto r = s.sort(x, desc, algo);
+      for (std::size_t i = 0; i < x.size(); i += 23) {
+        ASSERT_EQ(r.values[i].bits(), want.values[i].bits());
+        ASSERT_EQ(r.indices[i], want.indices[i]);
+      }
+    }
+  }
+}
+
+TEST(Session, TopK) {
+  Session s;
+  Rng rng(6);
+  auto x = rng.uniform_f16(20000, 0.0, 1.0);
+  const auto want = ascend::ref::topk(std::span<const half>(x), 100);
+  for (bool baseline : {false, true}) {
+    const auto r = s.topk(x, 100, baseline);
+    for (std::size_t i = 0; i < 100; ++i) {
+      ASSERT_EQ(r.values[i].bits(), want.values[i].bits()) << baseline << i;
+      ASSERT_EQ(r.indices[i], want.indices[i]) << baseline << i;
+    }
+  }
+}
+
+TEST(Session, TopPSampling) {
+  Session s;
+  Rng rng(7);
+  auto probs = rng.token_probs_f16(8192);
+  const auto r = s.top_p_sample(probs, 0.9, 0.0);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < probs.size(); ++i) {
+    if (float(probs[i]) > float(probs[argmax])) argmax = i;
+  }
+  EXPECT_EQ(r.index, static_cast<std::int32_t>(argmax));
+}
+
+TEST(Session, Multinomial) {
+  Session s;
+  std::vector<half> w(512, half(0.0f));
+  w[17] = half(1.0f);
+  EXPECT_EQ(s.multinomial(w, 0.42).index, 17);
+}
+
+TEST(Session, SegmentedCumsum) {
+  Session s;
+  std::vector<half> x = {half(1.0f), half(2.0f), half(3.0f), half(4.0f)};
+  std::vector<std::int8_t> f = {0, 0, 1, 0};
+  const auto r = s.segmented_cumsum(x, f);
+  const float want[] = {1, 3, 3, 7};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.values[static_cast<std::size_t>(i)], want[i]) << i;
+  }
+  EXPECT_THROW(s.segmented_cumsum(x, {}), ascend::Error);
+}
+
+TEST(Session, ReduceBothPaths) {
+  Session s;
+  std::vector<half> x(10000, half(1.0f));
+  EXPECT_EQ(s.reduce(x, true).values[0], 10000.0f);
+  EXPECT_EQ(s.reduce(x, false).values[0], 10000.0f);
+}
+
+TEST(Session, TopPSampleBatch) {
+  Session s;
+  Rng rng(19);
+  const std::size_t batch = 4, vocab = 4096;
+  std::vector<half> probs;
+  probs.reserve(batch * vocab);
+  for (std::size_t b = 0; b < batch; ++b) {
+    auto row = rng.token_probs_f16(vocab);
+    probs.insert(probs.end(), row.begin(), row.end());
+  }
+  const auto r = s.top_p_sample_batch(probs, batch, vocab, 0.9,
+                                      {0.0, 0.0, 0.0, 0.0});
+  ASSERT_EQ(r.tokens.size(), batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    // u = 0 -> the row argmax.
+    std::size_t argmax = 0;
+    for (std::size_t i = 1; i < vocab; ++i) {
+      if (float(probs[b * vocab + i]) > float(probs[b * vocab + argmax])) {
+        argmax = i;
+      }
+    }
+    EXPECT_EQ(r.tokens[b], static_cast<std::int32_t>(argmax)) << b;
+  }
+  EXPECT_GT(r.report.launches, 4);
+  EXPECT_THROW(s.top_p_sample_batch(probs, batch, vocab, 0.9, {0.5}),
+               ascend::Error);
+}
+
+TEST(Session, TotalAccumulates) {
+  Session s;
+  auto x = ascend::testing::exact_scan_workload(5000);
+  s.cumsum(x);
+  s.clone(x);
+  EXPECT_GE(s.total().launches, 2);
+  EXPECT_GT(s.total().time_s, 0.0);
+}
+
+TEST(Session, SingleCoreConfig) {
+  Session s(MachineConfig::single_core());
+  auto x = ascend::testing::exact_scan_workload(2000);
+  const auto r = s.cumsum(x, {.blocks = 1});
+  EXPECT_EQ(r.values.size(), x.size());
+}
+
+}  // namespace
+}  // namespace ascan

@@ -1,0 +1,247 @@
+// Functional tests of top-k, top-p (nucleus) sampling and weighted sampling.
+#include <gtest/gtest.h>
+
+#include "kernels/reference.hpp"
+#include "kernels/sampling.hpp"
+#include "kernels/topk.hpp"
+#include "test_helpers.hpp"
+
+namespace ascend::kernels {
+namespace {
+
+using acc::Device;
+
+std::vector<half> probs_workload(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.token_probs_f16(n);
+}
+
+class TopK : public ::testing::TestWithParam<
+                 std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(TopK, MatchesStableDescendingPrefix) {
+  const auto [n, k] = GetParam();
+  if (k > n) GTEST_SKIP();
+  Device dev;
+  Rng rng(n + k);
+  auto host = rng.uniform_f16(n, -50.0, 50.0);
+  auto x = dev.upload(host);
+  auto vals = dev.alloc<half>(k);
+  auto idx = dev.alloc<std::int32_t>(k);
+  topk_f16(dev, x.tensor(), vals.tensor(), idx.tensor(), n, k, {});
+  const auto want = ref::topk(std::span<const half>(host), k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ASSERT_EQ(vals[i].bits(), want.values[i].bits()) << "value @" << i;
+    ASSERT_EQ(idx[i], want.indices[i]) << "index @" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopK,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 100, 20000, 100000),
+                       ::testing::Values<std::size_t>(1, 5, 64, 4096)),
+    [](const auto& ti) {
+      return "n" + std::to_string(std::get<0>(ti.param)) + "_k" +
+             std::to_string(std::get<1>(ti.param));
+    });
+
+TEST(TopK, DuplicateHeavyInput) {
+  const std::size_t n = 30000, k = 100;
+  Device dev;
+  Rng rng(5);
+  std::vector<half> host(n);
+  for (auto& v : host) {
+    v = half(static_cast<float>(rng.next_below(4)));  // only 4 distinct keys
+  }
+  auto x = dev.upload(host);
+  auto vals = dev.alloc<half>(k);
+  auto idx = dev.alloc<std::int32_t>(k);
+  topk_f16(dev, x.tensor(), vals.tensor(), idx.tensor(), n, k, {});
+  const auto want = ref::topk(std::span<const half>(host), k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ASSERT_EQ(vals[i].bits(), want.values[i].bits()) << i;
+    ASSERT_EQ(idx[i], want.indices[i]) << i;
+  }
+}
+
+TEST(TopK, BaselineAgreesWithQuickselect) {
+  const std::size_t n = 50000, k = 257;
+  Device dev;
+  Rng rng(8);
+  auto host = rng.uniform_f16(n, 0.0, 1.0);
+  auto x = dev.upload(host);
+  auto v1 = dev.alloc<half>(k);
+  auto i1 = dev.alloc<std::int32_t>(k);
+  auto v2 = dev.alloc<half>(k);
+  auto i2 = dev.alloc<std::int32_t>(k);
+  topk_f16(dev, x.tensor(), v1.tensor(), i1.tensor(), n, k, {});
+  topk_baseline_f16(dev, x.tensor(), v2.tensor(), i2.tensor(), n, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ASSERT_EQ(v1[i].bits(), v2[i].bits()) << i;
+    ASSERT_EQ(i1[i], i2[i]) << i;
+  }
+}
+
+TEST(TopK, RejectsBadK) {
+  Device dev;
+  auto x = dev.alloc<half>(10, half(0.0f));
+  auto v = dev.alloc<half>(10);
+  auto i = dev.alloc<std::int32_t>(10);
+  EXPECT_THROW(topk_f16(dev, x.tensor(), v.tensor(), i.tensor(), 10, 0, {}),
+               Error);
+  EXPECT_THROW(topk_f16(dev, x.tensor(), v.tensor(), i.tensor(), 10, 11, {}),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// Top-p sampling
+
+TEST(TopP, GreedyDrawReturnsArgmax) {
+  // u = 0 always selects the most probable token.
+  const std::size_t n = 8192;
+  Device dev;
+  auto host = probs_workload(n, 3);
+  auto probs = dev.upload(host);
+  const auto r = top_p_sample(dev, probs.tensor(), n, 0.9, 0.0);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (float(host[i]) > float(host[argmax])) argmax = i;
+  }
+  EXPECT_EQ(r.token, static_cast<std::int32_t>(argmax));
+  EXPECT_GE(r.nucleus, 1u);
+}
+
+TEST(TopP, TokenAlwaysInsideNucleus) {
+  const std::size_t n = 4096;
+  Device dev;
+  auto host = probs_workload(n, 11);
+  auto probs = dev.upload(host);
+  const auto sorted = ref::stable_sort(std::span<const half>(host), true);
+  for (double u : {0.05, 0.3, 0.62, 0.93}) {
+    const auto r = top_p_sample(dev, probs.tensor(), n, 0.8, u);
+    ASSERT_GE(r.token, 0);
+    // The token must be one of the `nucleus` most probable tokens.
+    bool found = false;
+    for (std::size_t i = 0; i < r.nucleus; ++i) {
+      if (sorted.indices[i] == r.token) found = true;
+    }
+    EXPECT_TRUE(found) << "u=" << u << " token=" << r.token
+                       << " nucleus=" << r.nucleus;
+  }
+}
+
+TEST(TopP, SmallPShrinksNucleus) {
+  const std::size_t n = 4096;
+  Device dev;
+  auto host = probs_workload(n, 7);
+  auto probs = dev.upload(host);
+  const auto tight = top_p_sample(dev, probs.tensor(), n, 0.1, 0.5);
+  const auto loose = top_p_sample(dev, probs.tensor(), n, 0.999, 0.5);
+  EXPECT_LT(tight.nucleus, loose.nucleus);
+}
+
+TEST(TopP, MatchesReferenceOnExactDistribution) {
+  // Probabilities chosen so every intermediate value is fp16/fp32 exact;
+  // the device pipeline must reproduce the reference token exactly.
+  std::vector<half> host = {half(0.5f),    half(0.25f),  half(0.125f),
+                            half(0.0625f), half(0.0313f)};
+  Device dev;
+  auto probs = dev.upload(host);
+  for (double u : {0.0, 0.2, 0.4, 0.6, 0.8, 0.99}) {
+    for (double p : {0.6, 0.85, 1.0}) {
+      const auto r = top_p_sample(dev, probs.tensor(), host.size(), p, u);
+      const auto want =
+          ref::top_p_sample(std::span<const half>(host), p, u);
+      EXPECT_EQ(r.token, want) << "p=" << p << " u=" << u;
+    }
+  }
+}
+
+TEST(TopP, BaselinePipelineSamplesSameGreedyToken) {
+  const std::size_t n = 2048;
+  Device dev;
+  auto host = probs_workload(n, 13);
+  auto probs = dev.upload(host);
+  const auto fast = top_p_sample(dev, probs.tensor(), n, 0.9, 0.0, {});
+  const auto slow = top_p_sample(dev, probs.tensor(), n, 0.9, 0.0,
+                                 {.use_baseline_ops = true});
+  EXPECT_EQ(fast.token, slow.token);
+  // At this small vocabulary the baseline can win (radix pays ~50 kernel
+  // launches); Fig. 13's separation appears at larger lengths:
+  const std::size_t big = 1 << 18;
+  auto big_host = probs_workload(big, 14);
+  auto big_probs = dev.upload(big_host);
+  const auto fast_big = top_p_sample(dev, big_probs.tensor(), big, 0.9, 0.0);
+  const auto slow_big = top_p_sample(dev, big_probs.tensor(), big, 0.9, 0.0,
+                                     {.use_baseline_ops = true});
+  EXPECT_EQ(fast_big.token, slow_big.token);
+  EXPECT_GT(slow_big.report.time_s, fast_big.report.time_s);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted sampling
+
+TEST(WeightedSample, MatchesReferenceInverseTransform) {
+  const std::size_t n = 50000;
+  Device dev;
+  Rng rng(21);
+  auto host = rng.uniform_f16(n, 0.0, 1.0);
+  auto w = dev.upload(host);
+  for (double u : {0.0, 0.1, 0.5, 0.777, 0.999}) {
+    const auto r = weighted_sample(dev, w.tensor(), n, u);
+    // The device accumulates in fp32; the reference in double. Allow the
+    // boundary to shift by a few positions, but the CDF constraint must
+    // hold: cum[idx-1] <= theta < cum[idx] within fp32 slack.
+    ASSERT_GE(r.index, 0);
+    ASSERT_LT(static_cast<std::size_t>(r.index), n);
+    double total = 0.0;
+    for (auto v : host) total += double(float(v));
+    const double theta = u * total;
+    double before = 0.0;
+    for (std::int32_t i = 0; i < r.index; ++i) {
+      before += double(float(host[static_cast<std::size_t>(i)]));
+    }
+    const double after = before + double(float(host[static_cast<std::size_t>(r.index)]));
+    const double slack = total * 1e-4;
+    EXPECT_LE(before, theta + slack) << "u=" << u;
+    EXPECT_GT(after, theta - slack) << "u=" << u;
+  }
+}
+
+TEST(WeightedSample, DeterministicPointMass) {
+  Device dev;
+  std::vector<half> host(1000, half(0.0f));
+  host[421] = half(5.0f);
+  auto w = dev.upload(host);
+  for (double u : {0.0, 0.5, 0.99}) {
+    EXPECT_EQ(weighted_sample(dev, w.tensor(), host.size(), u).index, 421);
+  }
+}
+
+TEST(WeightedSample, SupportsHugeSupport) {
+  // The torch.multinomial baseline caps support at 2^24 (§5); ours is
+  // bounded only by memory. Use 2^21 here to keep the test quick but
+  // assert the code path imposes no artificial cap.
+  const std::size_t n = 1 << 21;
+  Device dev;
+  auto w = dev.alloc<half>(n, half(1.0f));
+  const auto r = weighted_sample(dev, w.tensor(), n, 0.75);
+  EXPECT_NEAR(static_cast<double>(r.index), 0.75 * static_cast<double>(n),
+              static_cast<double>(n) * 0.01);
+}
+
+TEST(CountBelow, CountsMonotonePrefix) {
+  const std::size_t n = 100000;
+  Device dev;
+  std::vector<float> cum(n);
+  for (std::size_t i = 0; i < n; ++i) cum[i] = static_cast<float>(i + 1);
+  auto c = dev.upload(cum);
+  sim::Report rep;
+  EXPECT_EQ(count_below<float>(dev, c.tensor(), n, 0.5, rep), 0u);
+  EXPECT_EQ(count_below<float>(dev, c.tensor(), n, 1.0, rep), 1u);
+  EXPECT_EQ(count_below<float>(dev, c.tensor(), n, 54321.5, rep), 54321u);
+  EXPECT_EQ(count_below<float>(dev, c.tensor(), n, 1e12, rep), n);
+}
+
+}  // namespace
+}  // namespace ascend::kernels

@@ -1,0 +1,115 @@
+// Tests for timeline capture and the chrome://tracing exporter.
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ascendc/ascendc.hpp"
+#include "kernels/scan_u.hpp"
+#include "sim/trace_export.hpp"
+
+namespace ascend {
+namespace {
+
+sim::Timeline capture_small_scan() {
+  acc::Device dev(sim::MachineConfig::single_core());
+  const std::size_t n = 40000;
+  auto x = dev.alloc<half>(n, half(1.0f));
+  auto y = dev.alloc<half>(n, half(0.0f));
+  // Capture through a hand-rolled launch (scan_u does not expose the
+  // spec); a simple vector kernel suffices for the schema checks.
+  sim::Timeline tl;
+  acc::launch(dev,
+              {.block_dim = 1,
+               .mode = acc::LaunchMode::VectorOnly,
+               .name = "probe",
+               .timeline = &tl},
+              [&](acc::KernelContext& ctx) {
+                acc::TPipe pipe(ctx);
+                acc::TQue q(ctx, acc::TPosition::VECIN);
+                pipe.InitBuffer(q, 2, 8192 * sizeof(half));
+                for (std::size_t off = 0; off < n; off += 8192) {
+                  const std::size_t len = std::min<std::size_t>(8192, n - off);
+                  auto t = q.AllocTensor<half>();
+                  acc::DataCopy(ctx, t, x.tensor().sub(off, len), len);
+                  acc::Adds(ctx, t, t, half(1.0f), len);
+                  acc::DataCopy(ctx, y.tensor().sub(off, len), t, len);
+                  q.FreeTensor(t);
+                }
+              });
+  return tl;
+}
+
+TEST(Timeline, CapturesEveryOpWithValidIntervals) {
+  const auto tl = capture_small_scan();
+  ASSERT_FALSE(tl.events.empty());
+  EXPECT_GT(tl.total_s, 0.0);
+  for (const auto& e : tl.events) {
+    EXPECT_GE(e.start_s, 0.0) << e.name;
+    EXPECT_GE(e.end_s, e.start_s) << e.name;
+    EXPECT_LE(e.end_s, tl.total_s + 1e-12) << e.name;
+  }
+  // The probe kernel issues copies and vector adds.
+  bool saw_copy = false, saw_adds = false;
+  for (const auto& e : tl.events) {
+    if (e.name == "datacopy.in") saw_copy = true;
+    if (e.name == "adds") saw_adds = true;
+  }
+  EXPECT_TRUE(saw_copy);
+  EXPECT_TRUE(saw_adds);
+}
+
+TEST(Timeline, EngineRowsSerialise) {
+  const auto tl = capture_small_scan();
+  // Events on the same (subcore, engine) row must not overlap.
+  std::vector<sim::TimelineEvent> sorted = tl.events;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.subcore != b.subcore) return a.subcore < b.subcore;
+    if (a.engine != b.engine) return a.engine < b.engine;
+    return a.start_s < b.start_s;
+  });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const auto& p = sorted[i - 1];
+    const auto& c = sorted[i];
+    if (p.subcore == c.subcore && p.engine == c.engine) {
+      // GM transfers release the engine at stream end but are recorded to
+      // data-visibility end (+latency); allow that overlap window.
+      const double slack =
+          p.kind == sim::TraceOp::Kind::Transfer ? 3.1e-7 : 1e-12;
+      EXPECT_LE(p.end_s, c.start_s + slack)
+          << p.name << " overlaps " << c.name;
+    }
+  }
+}
+
+TEST(TraceExport, ProducesParsableChromeJson) {
+  const auto tl = capture_small_scan();
+  std::ostringstream os;
+  sim::export_chrome_trace(tl, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("AIV subcore 0"), std::string::npos);
+  // Balanced braces (cheap structural sanity).
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceExport, FileRoundTrip) {
+  const auto tl = capture_small_scan();
+  const std::string path = ::testing::TempDir() + "/ascan_trace.json";
+  sim::export_chrome_trace_file(tl, path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_NE(line.find("traceEvents"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ascend

@@ -1,0 +1,234 @@
+// ascan_cli — command-line driver for the library: run any operator on
+// synthetic workloads, print the simulated execution report, optionally
+// dump a chrome://tracing timeline of the launch schedule.
+//
+//   ascan_cli info
+//   ascan_cli scan  --n 1048576 --algo mcscan|scanu|scanul1|vec [--s 128]
+//                   [--blocks 20] [--trace out.json]
+//   ascan_cli sort  --n 1048576 --algo radix|baseline
+//   ascan_cli topp  --n 32000 --p 0.9 --u 0.25 [--baseline]
+//   ascan_cli reduce --n 1048576 --algo cube|vector
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/ascan.hpp"
+#include "kernels/mcscan.hpp"
+#include "kernels/radix_sort.hpp"
+#include "kernels/reduce.hpp"
+#include "kernels/sampling.hpp"
+#include "kernels/scan_u.hpp"
+#include "kernels/scan_ul1.hpp"
+#include "kernels/sort_baseline.hpp"
+#include "kernels/vec_cumsum.hpp"
+#include "sim/trace_export.hpp"
+
+namespace {
+
+using namespace ascend;
+using ascend::format_bytes;
+using ascend::format_time_s;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+  bool flag(const std::string& k) const { return kv.count(k) > 0; }
+  std::string str(const std::string& k, const std::string& dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::size_t num(const std::string& k, std::size_t dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::stoull(it->second);
+  }
+  double real(const std::string& k, double dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::stod(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) {
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        a.kv[key] = argv[++i];
+      } else {
+        a.kv[key] = "1";
+      }
+    }
+  }
+  return a;
+}
+
+void print_report(const char* what, const sim::Report& rep, std::size_t n,
+                  std::uint64_t useful_bytes) {
+  std::printf("%s: n=%zu\n", what, n);
+  std::printf("  simulated time : %s\n", format_time_s(rep.time_s).c_str());
+  std::printf("  launches       : %d\n", rep.launches);
+  std::printf("  bandwidth      : %.1f GB/s (useful %s)\n",
+              rep.bandwidth(useful_bytes) / 1e9,
+              format_bytes(useful_bytes).c_str());
+  std::printf("  elements/s     : %.2f Gelem/s\n", rep.elements_per_s(n) / 1e9);
+  std::printf("  gm traffic     : read %s, write %s, l2 hits %s\n",
+              format_bytes(rep.gm_read_bytes).c_str(),
+              format_bytes(rep.gm_write_bytes).c_str(),
+              format_bytes(rep.l2_hit_bytes).c_str());
+  std::printf("  engine busy    : cube %s, vector %s, mte %s\n",
+              format_time_s(rep.cube_busy_s).c_str(),
+              format_time_s(rep.vec_busy_s).c_str(),
+              format_time_s(rep.mte_busy_s).c_str());
+}
+
+int cmd_info() {
+  const auto cfg = sim::MachineConfig::ascend_910b4();
+  std::printf("simulated machine: Ascend 910B4\n");
+  std::printf("  AI cores        : %d (x1 cube + x%d vector)\n",
+              cfg.num_ai_cores, cfg.vec_per_core);
+  std::printf("  clock           : %.2f GHz\n", cfg.clock_hz / 1e9);
+  std::printf("  HBM             : %.0f GB/s peak, %.0f%% streaming "
+              "efficiency, %.0f ns latency\n",
+              cfg.hbm_bandwidth / 1e9, cfg.hbm_efficiency * 100,
+              cfg.gm_latency_s * 1e9);
+  std::printf("  L2              : %s, %.0f GB/s\n",
+              format_bytes(cfg.l2_bytes).c_str(), cfg.l2_bandwidth / 1e9);
+  std::printf("  scratchpads     : UB %s, L1 %s, L0A/B %s/%s, L0C %s\n",
+              format_bytes(cfg.ub_bytes).c_str(),
+              format_bytes(cfg.l1_bytes).c_str(),
+              format_bytes(cfg.l0a_bytes).c_str(),
+              format_bytes(cfg.l0b_bytes).c_str(),
+              format_bytes(cfg.l0c_bytes).c_str());
+  std::printf("  cube            : %.0f fp16 MACs/cycle, %.0f int8\n",
+              cfg.cube_macs_per_cycle_f16, cfg.cube_macs_per_cycle_i8);
+  return 0;
+}
+
+int cmd_scan(const Args& a) {
+  const std::size_t n = a.num("n", 1 << 20);
+  const std::size_t s = a.num("s", 128);
+  const int blocks = static_cast<int>(a.num("blocks", 0));
+  const std::string algo = a.str("algo", "mcscan");
+
+  acc::Device dev;
+  Rng rng(1);
+  auto x = dev.upload(rng.uniform_f16(n, -1.0, 1.0));
+  sim::Report rep;
+  std::uint64_t useful = 0;
+  if (algo == "mcscan") {
+    auto y = dev.alloc<float>(n);
+    rep = kernels::mcscan<half, float>(dev, x.tensor(), y.tensor(), n,
+                                       {.s = s, .blocks = blocks});
+    useful = n * 6;
+  } else if (algo == "scanu" || algo == "scanul1") {
+    auto y = dev.alloc<half>(n);
+    rep = algo == "scanu"
+              ? kernels::scan_u(dev, x.tensor(), y.tensor(), n, s)
+              : kernels::scan_ul1(dev, x.tensor(), y.tensor(), n, s);
+    useful = n * 4;
+  } else if (algo == "vec") {
+    auto y = dev.alloc<half>(n);
+    rep = kernels::vec_cumsum(dev, x.tensor(), y.tensor(), n);
+    useful = n * 4;
+  } else {
+    std::fprintf(stderr, "unknown scan algo '%s'\n", algo.c_str());
+    return 2;
+  }
+  print_report(("scan/" + algo).c_str(), rep, n, useful);
+
+  if (a.flag("trace")) {
+    // Capture the MCScan schedule itself and dump it for chrome://tracing.
+    const std::string path = a.str("trace", "trace.json");
+    sim::Timeline tl;
+    acc::Device dev2;
+    auto x2 = dev2.upload(rng.uniform_f16(n, -1.0, 1.0));
+    auto y2 = dev2.alloc<float>(n);
+    kernels::mcscan<half, float>(
+        dev2, x2.tensor(), y2.tensor(), n,
+        {.s = s, .blocks = blocks, .timeline = &tl});
+    sim::export_chrome_trace_file(tl, path);
+    std::printf("  trace          : wrote %s (%zu events; open in "
+                "chrome://tracing)\n",
+                path.c_str(), tl.events.size());
+  }
+  return 0;
+}
+
+int cmd_sort(const Args& a) {
+  const std::size_t n = a.num("n", 1 << 20);
+  const std::string algo = a.str("algo", "radix");
+  acc::Device dev;
+  Rng rng(2);
+  auto keys = dev.upload(rng.uniform_f16(n, -100.0, 100.0));
+  auto ok = dev.alloc<half>(n);
+  auto oi = dev.alloc<std::int32_t>(n);
+  sim::Report rep;
+  if (algo == "radix") {
+    rep = kernels::radix_sort_f16(dev, keys.tensor(), ok.tensor(),
+                                  oi.tensor(), n, {});
+  } else if (algo == "baseline") {
+    rep = kernels::sort_baseline_f16(dev, keys.tensor(), ok.tensor(),
+                                     oi.tensor(), n, false);
+  } else {
+    std::fprintf(stderr, "unknown sort algo '%s'\n", algo.c_str());
+    return 2;
+  }
+  print_report(("sort/" + algo).c_str(), rep, n, n * 12);
+  return 0;
+}
+
+int cmd_topp(const Args& a) {
+  const std::size_t n = a.num("n", 32000);
+  const double p = a.real("p", 0.9);
+  const double u = a.real("u", 0.25);
+  acc::Device dev;
+  Rng rng(3);
+  auto probs = dev.upload(rng.token_probs_f16(n));
+  const auto r = kernels::top_p_sample(
+      dev, probs.tensor(), n, p, u,
+      {.use_baseline_ops = a.flag("baseline")});
+  print_report("top_p", r.report, n, n * 2);
+  std::printf("  sampled token  : %d (nucleus %zu tokens)\n", r.token,
+              r.nucleus);
+  return 0;
+}
+
+int cmd_reduce(const Args& a) {
+  const std::size_t n = a.num("n", 1 << 20);
+  const std::string algo = a.str("algo", "cube");
+  acc::Device dev;
+  Rng rng(4);
+  auto x = dev.upload(rng.uniform_f16(n, 0.0, 1.0));
+  const auto r = algo == "cube"
+                     ? kernels::reduce_cube(dev, x.tensor(), n, {})
+                     : kernels::reduce_vector(dev, x.tensor(), n);
+  print_report(("reduce/" + algo).c_str(), r.report, n, n * 2);
+  std::printf("  sum            : %g\n", r.value);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  try {
+    if (a.command == "info") return cmd_info();
+    if (a.command == "scan") return cmd_scan(a);
+    if (a.command == "sort") return cmd_sort(a);
+    if (a.command == "topp") return cmd_topp(a);
+    if (a.command == "reduce") return cmd_reduce(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "usage: ascan_cli info|scan|sort|topp|reduce [--n N] "
+               "[--algo A] [--s S] [--blocks B] [--p P] [--u U] "
+               "[--baseline] [--trace FILE]\n");
+  return 2;
+}
