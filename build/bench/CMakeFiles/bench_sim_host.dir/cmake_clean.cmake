@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_host.dir/bench_sim_host.cpp.o"
+  "CMakeFiles/bench_sim_host.dir/bench_sim_host.cpp.o.d"
+  "bench_sim_host"
+  "bench_sim_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

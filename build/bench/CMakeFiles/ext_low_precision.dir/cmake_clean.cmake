@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_low_precision.dir/ext_low_precision.cpp.o"
+  "CMakeFiles/ext_low_precision.dir/ext_low_precision.cpp.o.d"
+  "ext_low_precision"
+  "ext_low_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_low_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

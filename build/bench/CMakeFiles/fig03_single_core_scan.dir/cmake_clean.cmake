@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_single_core_scan.dir/fig03_single_core_scan.cpp.o"
+  "CMakeFiles/fig03_single_core_scan.dir/fig03_single_core_scan.cpp.o.d"
+  "fig03_single_core_scan"
+  "fig03_single_core_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_single_core_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

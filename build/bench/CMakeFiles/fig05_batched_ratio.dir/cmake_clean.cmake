@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_batched_ratio.dir/fig05_batched_ratio.cpp.o"
+  "CMakeFiles/fig05_batched_ratio.dir/fig05_batched_ratio.cpp.o.d"
+  "fig05_batched_ratio"
+  "fig05_batched_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_batched_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mcscan_dtypes.dir/fig09_mcscan_dtypes.cpp.o"
+  "CMakeFiles/fig09_mcscan_dtypes.dir/fig09_mcscan_dtypes.cpp.o.d"
+  "fig09_mcscan_dtypes"
+  "fig09_mcscan_dtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mcscan_dtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_compress.dir/fig10_compress.cpp.o"
+  "CMakeFiles/fig10_compress.dir/fig10_compress.cpp.o.d"
+  "fig10_compress"
+  "fig10_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

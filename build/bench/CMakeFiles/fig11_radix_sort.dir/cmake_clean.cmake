@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_radix_sort.dir/fig11_radix_sort.cpp.o"
+  "CMakeFiles/fig11_radix_sort.dir/fig11_radix_sort.cpp.o.d"
+  "fig11_radix_sort"
+  "fig11_radix_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_radix_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

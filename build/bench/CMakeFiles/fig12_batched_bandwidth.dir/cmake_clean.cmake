@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_batched_bandwidth.dir/fig12_batched_bandwidth.cpp.o"
+  "CMakeFiles/fig12_batched_bandwidth.dir/fig12_batched_bandwidth.cpp.o.d"
+  "fig12_batched_bandwidth"
+  "fig12_batched_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_batched_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

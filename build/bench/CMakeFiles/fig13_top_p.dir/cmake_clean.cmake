@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_top_p.dir/fig13_top_p.cpp.o"
+  "CMakeFiles/fig13_top_p.dir/fig13_top_p.cpp.o.d"
+  "fig13_top_p"
+  "fig13_top_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_top_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

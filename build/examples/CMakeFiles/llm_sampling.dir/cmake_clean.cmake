@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_sampling.dir/llm_sampling.cpp.o"
+  "CMakeFiles/llm_sampling.dir/llm_sampling.cpp.o.d"
+  "llm_sampling"
+  "llm_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_pooling.dir/sequence_pooling.cpp.o"
+  "CMakeFiles/sequence_pooling.dir/sequence_pooling.cpp.o.d"
+  "sequence_pooling"
+  "sequence_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

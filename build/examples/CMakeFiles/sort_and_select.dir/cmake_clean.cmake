@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_and_select.dir/sort_and_select.cpp.o"
+  "CMakeFiles/sort_and_select.dir/sort_and_select.cpp.o.d"
+  "sort_and_select"
+  "sort_and_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_and_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

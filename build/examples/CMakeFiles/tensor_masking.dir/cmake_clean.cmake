@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_masking.dir/tensor_masking.cpp.o"
+  "CMakeFiles/tensor_masking.dir/tensor_masking.cpp.o.d"
+  "tensor_masking"
+  "tensor_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

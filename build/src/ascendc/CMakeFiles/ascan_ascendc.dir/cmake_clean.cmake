@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascan_ascendc.dir/context.cpp.o"
+  "CMakeFiles/ascan_ascendc.dir/context.cpp.o.d"
+  "libascan_ascendc.a"
+  "libascan_ascendc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascan_ascendc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

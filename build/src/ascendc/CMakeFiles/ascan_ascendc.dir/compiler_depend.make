@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ascan_ascendc.
+# This may be replaced when dependencies are built.

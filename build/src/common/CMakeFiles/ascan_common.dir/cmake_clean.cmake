@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascan_common.dir/half.cpp.o"
+  "CMakeFiles/ascan_common.dir/half.cpp.o.d"
+  "CMakeFiles/ascan_common.dir/rng.cpp.o"
+  "CMakeFiles/ascan_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ascan_common.dir/table.cpp.o"
+  "CMakeFiles/ascan_common.dir/table.cpp.o.d"
+  "libascan_common.a"
+  "libascan_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascan_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libascan_common.a"
+)

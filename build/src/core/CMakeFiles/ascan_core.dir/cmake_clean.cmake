@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascan_core.dir/ascan.cpp.o"
+  "CMakeFiles/ascan_core.dir/ascan.cpp.o.d"
+  "libascan_core.a"
+  "libascan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/batched_scan.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/batched_scan.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/batched_scan.cpp.o.d"
+  "/root/repo/src/kernels/copy_kernel.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/copy_kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/copy_kernel.cpp.o.d"
+  "/root/repo/src/kernels/mcscan.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/mcscan.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/mcscan.cpp.o.d"
+  "/root/repo/src/kernels/radix_sort.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/radix_sort.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/radix_sort.cpp.o.d"
+  "/root/repo/src/kernels/reduce.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/reduce.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/reduce.cpp.o.d"
+  "/root/repo/src/kernels/reference.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/reference.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/reference.cpp.o.d"
+  "/root/repo/src/kernels/sampling.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/sampling.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/sampling.cpp.o.d"
+  "/root/repo/src/kernels/scan_strategies.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/scan_strategies.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/scan_strategies.cpp.o.d"
+  "/root/repo/src/kernels/scan_u.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/scan_u.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/scan_u.cpp.o.d"
+  "/root/repo/src/kernels/scan_ul1.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/scan_ul1.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/scan_ul1.cpp.o.d"
+  "/root/repo/src/kernels/segmented_scan.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/segmented_scan.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/segmented_scan.cpp.o.d"
+  "/root/repo/src/kernels/sort_baseline.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/sort_baseline.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/sort_baseline.cpp.o.d"
+  "/root/repo/src/kernels/split.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/split.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/split.cpp.o.d"
+  "/root/repo/src/kernels/topk.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/topk.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/topk.cpp.o.d"
+  "/root/repo/src/kernels/vec_cumsum.cpp" "src/kernels/CMakeFiles/ascan_kernels.dir/vec_cumsum.cpp.o" "gcc" "src/kernels/CMakeFiles/ascan_kernels.dir/vec_cumsum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ascendc/CMakeFiles/ascan_ascendc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ascan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ascan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

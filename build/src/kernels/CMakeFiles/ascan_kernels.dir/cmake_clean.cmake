@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascan_kernels.dir/batched_scan.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/batched_scan.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/copy_kernel.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/copy_kernel.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/mcscan.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/mcscan.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/radix_sort.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/radix_sort.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/reduce.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/reduce.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/reference.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/reference.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/sampling.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/sampling.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/scan_strategies.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/scan_strategies.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/scan_u.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/scan_u.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/scan_ul1.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/scan_ul1.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/segmented_scan.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/segmented_scan.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/sort_baseline.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/sort_baseline.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/split.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/split.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/topk.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/topk.cpp.o.d"
+  "CMakeFiles/ascan_kernels.dir/vec_cumsum.cpp.o"
+  "CMakeFiles/ascan_kernels.dir/vec_cumsum.cpp.o.d"
+  "libascan_kernels.a"
+  "libascan_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascan_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

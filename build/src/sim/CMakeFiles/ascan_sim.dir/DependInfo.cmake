@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/hbm_arbiter.cpp" "src/sim/CMakeFiles/ascan_sim.dir/hbm_arbiter.cpp.o" "gcc" "src/sim/CMakeFiles/ascan_sim.dir/hbm_arbiter.cpp.o.d"
+  "/root/repo/src/sim/l2_cache.cpp" "src/sim/CMakeFiles/ascan_sim.dir/l2_cache.cpp.o" "gcc" "src/sim/CMakeFiles/ascan_sim.dir/l2_cache.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/ascan_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/ascan_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/ascan_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/ascan_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/sim/CMakeFiles/ascan_sim.dir/trace_export.cpp.o" "gcc" "src/sim/CMakeFiles/ascan_sim.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ascan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

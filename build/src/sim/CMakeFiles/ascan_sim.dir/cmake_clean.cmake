@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascan_sim.dir/hbm_arbiter.cpp.o"
+  "CMakeFiles/ascan_sim.dir/hbm_arbiter.cpp.o.d"
+  "CMakeFiles/ascan_sim.dir/l2_cache.cpp.o"
+  "CMakeFiles/ascan_sim.dir/l2_cache.cpp.o.d"
+  "CMakeFiles/ascan_sim.dir/report.cpp.o"
+  "CMakeFiles/ascan_sim.dir/report.cpp.o.d"
+  "CMakeFiles/ascan_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/ascan_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ascan_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/ascan_sim.dir/trace_export.cpp.o.d"
+  "libascan_sim.a"
+  "libascan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

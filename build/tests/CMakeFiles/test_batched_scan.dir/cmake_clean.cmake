@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_scan.dir/test_batched_scan.cpp.o"
+  "CMakeFiles/test_batched_scan.dir/test_batched_scan.cpp.o.d"
+  "test_batched_scan"
+  "test_batched_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hbm_arbiter.dir/test_hbm_arbiter.cpp.o"
+  "CMakeFiles/test_hbm_arbiter.dir/test_hbm_arbiter.cpp.o.d"
+  "test_hbm_arbiter"
+  "test_hbm_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hbm_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intrinsics.dir/test_intrinsics.cpp.o"
+  "CMakeFiles/test_intrinsics.dir/test_intrinsics.cpp.o.d"
+  "test_intrinsics"
+  "test_intrinsics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intrinsics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcscan.dir/test_mcscan.cpp.o"
+  "CMakeFiles/test_mcscan.dir/test_mcscan.cpp.o.d"
+  "test_mcscan"
+  "test_mcscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

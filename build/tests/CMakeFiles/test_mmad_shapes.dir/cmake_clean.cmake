@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmad_shapes.dir/test_mmad_shapes.cpp.o"
+  "CMakeFiles/test_mmad_shapes.dir/test_mmad_shapes.cpp.o.d"
+  "test_mmad_shapes"
+  "test_mmad_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmad_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_single_core.dir/test_scan_single_core.cpp.o"
+  "CMakeFiles/test_scan_single_core.dir/test_scan_single_core.cpp.o.d"
+  "test_scan_single_core"
+  "test_scan_single_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_single_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

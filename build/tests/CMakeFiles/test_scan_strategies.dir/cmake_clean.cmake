@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_strategies.dir/test_scan_strategies.cpp.o"
+  "CMakeFiles/test_scan_strategies.dir/test_scan_strategies.cpp.o.d"
+  "test_scan_strategies"
+  "test_scan_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

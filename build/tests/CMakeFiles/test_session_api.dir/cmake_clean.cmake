@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_api.dir/test_session_api.cpp.o"
+  "CMakeFiles/test_session_api.dir/test_session_api.cpp.o.d"
+  "test_session_api"
+  "test_session_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

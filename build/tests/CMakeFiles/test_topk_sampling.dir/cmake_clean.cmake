@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topk_sampling.dir/test_topk_sampling.cpp.o"
+  "CMakeFiles/test_topk_sampling.dir/test_topk_sampling.cpp.o.d"
+  "test_topk_sampling"
+  "test_topk_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topk_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

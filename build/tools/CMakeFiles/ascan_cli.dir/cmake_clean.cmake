@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascan_cli.dir/ascan_cli.cpp.o"
+  "CMakeFiles/ascan_cli.dir/ascan_cli.cpp.o.d"
+  "ascan_cli"
+  "ascan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
