@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "common/dtype.hpp"
 #include "sim/config.hpp"
+#include "sim/fault.hpp"
 #include "sim/l2_cache.hpp"
 #include "sim/report.hpp"
 
@@ -51,6 +52,21 @@ class Device {
   const sim::MachineConfig& config() const { return cfg_; }
   sim::L2Cache& l2() { return l2_; }
 
+  /// Installs a fault plan: every subsequent launch on this device consults
+  /// the injector. The injector is shared so a resilient caller (e.g.
+  /// ascan::Session) can move it onto a degraded replacement device without
+  /// resetting the launch ordinal the fault sequence is keyed on.
+  void set_fault_plan(const sim::FaultPlan& plan) {
+    injector_ = plan.any() ? std::make_shared<sim::FaultInjector>(plan)
+                           : nullptr;
+  }
+  void set_fault_injector(std::shared_ptr<sim::FaultInjector> inj) {
+    injector_ = std::move(inj);
+  }
+  const std::shared_ptr<sim::FaultInjector>& fault_injector() const {
+    return injector_;
+  }
+
   template <typename T>
   GlobalBuffer<T> alloc(std::size_t n) {
     return GlobalBuffer<T>(n);
@@ -76,6 +92,7 @@ class Device {
  private:
   sim::MachineConfig cfg_;
   sim::L2Cache l2_;
+  std::shared_ptr<sim::FaultInjector> injector_;
   double host_sync_s_ = 8e-6;
 };
 

@@ -10,6 +10,8 @@
 //  * CubeOnly:   block = one AIC core.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -25,6 +27,18 @@ namespace ascend::acc {
 
 enum class LaunchMode { Mix, VectorOnly, CubeOnly };
 
+/// Type-erased span of a GM output buffer registered with a launch so a
+/// faulted attempt can be rolled back (see LaunchSpec::outputs).
+struct GmGuard {
+  std::byte* data = nullptr;
+  std::size_t bytes = 0;
+};
+
+template <typename T>
+GmGuard guard_output(GlobalTensor<T> t) {
+  return {reinterpret_cast<std::byte*>(t.data()), t.size() * sizeof(T)};
+}
+
 struct LaunchSpec {
   int block_dim = 1;
   LaunchMode mode = LaunchMode::Mix;
@@ -32,6 +46,15 @@ struct LaunchSpec {
   /// When set, the scheduler records every op's interval for inspection /
   /// chrome-trace export (see sim/trace_export.hpp).
   sim::Timeline* timeline = nullptr;
+  /// Simulated-time watchdog deadline for this launch (0 = device default,
+  /// which is disabled unless cfg.watchdog_s is set). A hang or
+  /// pathological straggler aborts with sim::TimeoutError at the deadline.
+  double watchdog_s = 0;
+  /// GM output buffers of the kernel. When the device has an armed fault
+  /// injector they are snapshotted before the launch and restored if the
+  /// launch aborts on a fault, making launches idempotent-relaunchable: a
+  /// failed attempt never leaves partial writes visible.
+  std::vector<GmGuard> outputs = {};
 };
 
 namespace detail {
@@ -88,6 +111,19 @@ sim::Report launch(Device& dev, const LaunchSpec& spec, F&& body) {
   const auto plan = detail::plan_subcores(cfg, spec);
   const int n = static_cast<int>(plan.size());
 
+  // Fault-aware launches snapshot their registered outputs up front: the
+  // functional pass writes GM eagerly, so rolling back on an abort is what
+  // keeps a failed attempt invisible (and the relaunch idempotent).
+  sim::FaultInjector* injector = dev.fault_injector().get();
+  const bool fault_armed = injector != nullptr && injector->armed();
+  std::vector<std::vector<std::byte>> output_snapshots;
+  if (fault_armed) {
+    output_snapshots.reserve(spec.outputs.size());
+    for (const GmGuard& g : spec.outputs) {
+      output_snapshots.emplace_back(g.data, g.data + g.bytes);
+    }
+  }
+
   LaunchShared shared(n);
   std::vector<std::unique_ptr<KernelContext>> ctxs;
   ctxs.reserve(plan.size());
@@ -128,7 +164,19 @@ sim::Report launch(Device& dev, const LaunchSpec& spec, F&& body) {
   trace.max_op_id = shared.op_ids().load(std::memory_order_relaxed) - 1;
 
   sim::Scheduler sched(cfg, &dev.l2());
-  return sched.run(trace, spec.timeline);
+  try {
+    return sched.run(trace, spec.timeline,
+                     {fault_armed ? injector : nullptr, spec.watchdog_s});
+  } catch (sim::FaultError& e) {
+    for (std::size_t g = 0; g < output_snapshots.size(); ++g) {
+      std::copy(output_snapshots[g].begin(), output_snapshots[g].end(),
+                spec.outputs[g].data);
+    }
+    if (e.subcore() >= 0 && e.subcore() < n) {
+      e.set_block(plan[static_cast<std::size_t>(e.subcore())].block_idx);
+    }
+    throw;
+  }
 }
 
 }  // namespace ascend::acc

@@ -21,17 +21,91 @@ using ascend::Error;
 
 Session::Session(MachineConfig cfg) : dev_(cfg) {}
 
+// ---------------------------------------------------------------------------
+// Resilient execution: bounded retries with simulated backoff, then core
+// exclusion (see RetryPolicy in the header for the state machine).
+
+Report Session::resilient(const char* what,
+                          const std::function<Report()>& attempt) {
+  (void)what;
+  last_stats_ = RetryStats{};
+  Report penalty;  // simulated cost of failed attempts + backoff
+  int attempts_at_level = 0;
+  double backoff = retry_.backoff_s;
+  for (;;) {
+    ++attempts_at_level;
+    ++last_stats_.attempts;
+    try {
+      Report r = attempt();
+      r += penalty;
+      r.retries = last_stats_.retries;
+      r.excluded_cores = last_stats_.excluded_cores;
+      r.backoff_s = last_stats_.backoff_s;
+      return r;
+    } catch (const ascend::sim::FaultError& e) {
+      penalty += e.attempt_report();
+      last_stats_.last_fault = e.kind();
+      if (e.retryable() && attempts_at_level < retry_.max_attempts) {
+        ++last_stats_.retries;
+        penalty.time_s += backoff;
+        last_stats_.backoff_s += backoff;
+        backoff *= 2;
+        continue;
+      }
+      // Retries exhausted (or the fault is not retryable on this core set,
+      // e.g. an uncorrectable ECC page): degrade gracefully by taking the
+      // core offline and relaunching with blocks-1.
+      if (last_stats_.excluded_cores <
+              static_cast<std::uint32_t>(retry_.max_core_exclusions) &&
+          dev_.config().num_ai_cores > 1) {
+        exclude_core();
+        ++last_stats_.excluded_cores;
+        ++last_stats_.retries;
+        penalty.time_s += backoff;
+        last_stats_.backoff_s += backoff;
+        backoff *= 2;
+        attempts_at_level = 0;
+        continue;
+      }
+      throw;  // out of options — the typed error reaches the caller
+    }
+  }
+}
+
+void Session::exclude_core() {
+  MachineConfig cfg = dev_.config();
+  ASCAN_ASSERT(cfg.num_ai_cores > 1, "cannot exclude the last AI core");
+  cfg.num_ai_cores -= 1;
+  // The injector (and its launch ordinal, which the deterministic fault
+  // sequence is keyed on) survives the device swap.
+  auto injector = dev_.fault_injector();
+  dev_ = ascend::acc::Device(cfg);
+  dev_.set_fault_injector(std::move(injector));
+}
+
+// ---------------------------------------------------------------------------
+// Operators. Each validates its arguments (typed ascend::Error on misuse),
+// then runs its kernel(s) under the resilient wrapper: the attempt lambda
+// is re-invoked verbatim on retry, which is safe because kernels fully
+// overwrite their outputs and never modify their inputs.
+
 ValueResult<float> Session::cumsum(const std::vector<half>& x,
                                    const ScanOptions& opt) {
+  ASCAN_CHECK(!x.empty(), "cumsum: empty input");
   ASCAN_CHECK(opt.algo == ScanAlgo::MCScan,
               "fp32-output cumsum is the MCScan path; use cumsum_f16 for "
               "the single-core algorithms");
+  ASCAN_CHECK(opt.blocks <= config().num_ai_cores,
+              "cumsum: " << opt.blocks << " blocks exceed "
+                         << config().num_ai_cores << " online AI cores");
   auto in = dev_.upload(x);
   auto out = dev_.alloc<float>(x.size());
   ValueResult<float> r;
-  r.report = k::mcscan<half, float>(
-      dev_, in.tensor(), out.tensor(), x.size(),
-      {.s = opt.tile, .blocks = opt.blocks, .exclusive = opt.exclusive});
+  r.report = resilient("cumsum", [&] {
+    return k::mcscan<half, float>(
+        dev_, in.tensor(), out.tensor(), x.size(),
+        {.s = opt.tile, .blocks = opt.blocks, .exclusive = opt.exclusive});
+  });
   r.values = std::move(out.host());
   total_ += r.report;
   return r;
@@ -39,27 +113,27 @@ ValueResult<float> Session::cumsum(const std::vector<half>& x,
 
 ValueResult<half> Session::cumsum_f16(const std::vector<half>& x,
                                       const ScanOptions& opt) {
+  ASCAN_CHECK(!x.empty(), "cumsum_f16: empty input");
   auto in = dev_.upload(x);
   auto out = dev_.alloc<half>(x.size());
   ValueResult<half> r;
-  switch (opt.algo) {
-    case ScanAlgo::ScanU:
-      ASCAN_CHECK(!opt.exclusive, "exclusive scan is MCScan-only (§4.3)");
-      r.report = k::scan_u(dev_, in.tensor(), out.tensor(), x.size(),
+  r.report = resilient("cumsum_f16", [&]() -> Report {
+    switch (opt.algo) {
+      case ScanAlgo::ScanU:
+        ASCAN_CHECK(!opt.exclusive, "exclusive scan is MCScan-only (§4.3)");
+        return k::scan_u(dev_, in.tensor(), out.tensor(), x.size(), opt.tile);
+      case ScanAlgo::ScanUL1:
+        ASCAN_CHECK(!opt.exclusive, "exclusive scan is MCScan-only (§4.3)");
+        return k::scan_ul1(dev_, in.tensor(), out.tensor(), x.size(),
                            opt.tile);
-      break;
-    case ScanAlgo::ScanUL1:
-      ASCAN_CHECK(!opt.exclusive, "exclusive scan is MCScan-only (§4.3)");
-      r.report = k::scan_ul1(dev_, in.tensor(), out.tensor(), x.size(),
-                             opt.tile);
-      break;
-    case ScanAlgo::VectorBaseline:
-      ASCAN_CHECK(!opt.exclusive, "exclusive scan is MCScan-only (§4.3)");
-      r.report = k::vec_cumsum(dev_, in.tensor(), out.tensor(), x.size());
-      break;
-    case ScanAlgo::MCScan:
-      throw Error("MCScan emits fp32; call cumsum() instead");
-  }
+      case ScanAlgo::VectorBaseline:
+        ASCAN_CHECK(!opt.exclusive, "exclusive scan is MCScan-only (§4.3)");
+        return k::vec_cumsum(dev_, in.tensor(), out.tensor(), x.size());
+      case ScanAlgo::MCScan:
+      default:
+        throw Error("MCScan emits fp32; call cumsum() instead");
+    }
+  });
   r.values = std::move(out.host());
   total_ += r.report;
   return r;
@@ -67,14 +141,17 @@ ValueResult<half> Session::cumsum_f16(const std::vector<half>& x,
 
 ValueResult<std::int32_t> Session::cumsum_i8(const std::vector<std::int8_t>& x,
                                              const ScanOptions& opt) {
+  ASCAN_CHECK(!x.empty(), "cumsum_i8: empty input");
   ASCAN_CHECK(opt.algo == ScanAlgo::MCScan,
               "int8 scans run on the MCScan path (§4.3)");
   auto in = dev_.upload(x);
   auto out = dev_.alloc<std::int32_t>(x.size());
   ValueResult<std::int32_t> r;
-  r.report = k::mcscan<std::int8_t, std::int32_t>(
-      dev_, in.tensor(), out.tensor(), x.size(),
-      {.s = opt.tile, .blocks = opt.blocks, .exclusive = opt.exclusive});
+  r.report = resilient("cumsum_i8", [&] {
+    return k::mcscan<std::int8_t, std::int32_t>(
+        dev_, in.tensor(), out.tensor(), x.size(),
+        {.s = opt.tile, .blocks = opt.blocks, .exclusive = opt.exclusive});
+  });
   r.values = std::move(out.host());
   total_ += r.report;
   return r;
@@ -84,25 +161,31 @@ ValueResult<half> Session::cumsum_batched(const std::vector<half>& x,
                                           std::size_t batch, std::size_t len,
                                           std::size_t tile,
                                           bool use_ul1_schedule) {
+  ASCAN_CHECK(!x.empty(), "cumsum_batched: empty input");
   ASCAN_CHECK(x.size() == batch * len, "cumsum_batched: shape mismatch");
   auto in = dev_.upload(x);
   auto out = dev_.alloc<half>(x.size());
   ValueResult<half> r;
-  r.report = use_ul1_schedule
-                 ? k::batched_scan_ul1(dev_, in.tensor(), out.tensor(), batch,
-                                       len, {.s = tile})
-                 : k::batched_scan_u(dev_, in.tensor(), out.tensor(), batch,
-                                     len, {.s = tile});
+  r.report = resilient("cumsum_batched", [&] {
+    return use_ul1_schedule
+               ? k::batched_scan_ul1(dev_, in.tensor(), out.tensor(), batch,
+                                     len, {.s = tile})
+               : k::batched_scan_u(dev_, in.tensor(), out.tensor(), batch,
+                                   len, {.s = tile});
+  });
   r.values = std::move(out.host());
   total_ += r.report;
   return r;
 }
 
 ValueResult<half> Session::clone(const std::vector<half>& x) {
+  ASCAN_CHECK(!x.empty(), "clone: empty input");
   auto in = dev_.upload(x);
   auto out = dev_.alloc<half>(x.size());
   ValueResult<half> r;
-  r.report = k::copy_kernel<half>(dev_, in.tensor(), out.tensor(), x.size());
+  r.report = resilient("clone", [&] {
+    return k::copy_kernel<half>(dev_, in.tensor(), out.tensor(), x.size());
+  });
   r.values = std::move(out.host());
   total_ += r.report;
   return r;
@@ -111,17 +194,20 @@ ValueResult<half> Session::clone(const std::vector<half>& x) {
 SplitResult Session::split(const std::vector<half>& x,
                            const std::vector<std::int8_t>& mask,
                            std::size_t tile) {
+  ASCAN_CHECK(!x.empty(), "split: empty input");
   ASCAN_CHECK(x.size() == mask.size(), "split: mask length mismatch");
   auto in = dev_.upload(x);
   auto m = dev_.upload(mask);
   auto vals = dev_.alloc<half>(x.size());
   auto idx = dev_.alloc<std::int32_t>(x.size());
   SplitResult r;
-  auto sr = k::split_ind<half>(dev_, in.tensor(), {}, m.tensor(),
-                               vals.tensor(), idx.tensor(), x.size(),
-                               {.s = tile});
-  r.report = sr.report;
-  r.num_true = sr.num_true;
+  r.report = resilient("split", [&] {
+    auto sr = k::split_ind<half>(dev_, in.tensor(), {}, m.tensor(),
+                                 vals.tensor(), idx.tensor(), x.size(),
+                                 {.s = tile});
+    r.num_true = sr.num_true;
+    return sr.report;
+  });
   r.values = std::move(vals.host());
   r.indices = std::move(idx.host());
   total_ += r.report;
@@ -131,18 +217,23 @@ SplitResult Session::split(const std::vector<half>& x,
 MaskedSelectResult Session::masked_select(const std::vector<half>& x,
                                           const std::vector<std::int8_t>& mask,
                                           std::size_t tile, bool baseline) {
+  ASCAN_CHECK(!x.empty(), "masked_select: empty input");
   ASCAN_CHECK(x.size() == mask.size(), "masked_select: mask length mismatch");
   auto in = dev_.upload(x);
   auto m = dev_.upload(mask);
   auto out = dev_.alloc<half>(x.size());
   MaskedSelectResult r;
-  const auto sr =
-      baseline ? k::masked_select_baseline(dev_, in.tensor(), m.tensor(),
-                                           out.tensor(), x.size())
-               : k::compress(dev_, in.tensor(), m.tensor(), out.tensor(),
-                             x.size(), {.s = tile});
-  r.report = sr.report;
-  out.host().resize(sr.num_true);
+  std::size_t num_true = 0;
+  r.report = resilient("masked_select", [&] {
+    const auto sr =
+        baseline ? k::masked_select_baseline(dev_, in.tensor(), m.tensor(),
+                                             out.tensor(), x.size())
+                 : k::compress(dev_, in.tensor(), m.tensor(), out.tensor(),
+                               x.size(), {.s = tile});
+    num_true = sr.num_true;
+    return sr.report;
+  });
+  out.host().resize(num_true);
   r.values = std::move(out.host());
   total_ += r.report;
   return r;
@@ -150,21 +241,19 @@ MaskedSelectResult Session::masked_select(const std::vector<half>& x,
 
 SortResult Session::sort(const std::vector<half>& keys, bool descending,
                          SortAlgo algo, std::size_t tile) {
+  ASCAN_CHECK(!keys.empty(), "sort: empty input");
   auto in = dev_.upload(keys);
   auto vals = dev_.alloc<half>(keys.size());
   auto idx = dev_.alloc<std::int32_t>(keys.size());
   SortResult r;
-  if (keys.empty()) {
-    r.report.launches = 1;
-    return r;
-  }
-  r.report = algo == SortAlgo::Radix
-                 ? k::radix_sort_f16(dev_, in.tensor(), vals.tensor(),
-                                     idx.tensor(), keys.size(),
-                                     {.s = tile, .descending = descending})
-                 : k::sort_baseline_f16(dev_, in.tensor(), vals.tensor(),
-                                        idx.tensor(), keys.size(),
-                                        descending);
+  r.report = resilient("sort", [&] {
+    return algo == SortAlgo::Radix
+               ? k::radix_sort_f16(dev_, in.tensor(), vals.tensor(),
+                                   idx.tensor(), keys.size(),
+                                   {.s = tile, .descending = descending})
+               : k::sort_baseline_f16(dev_, in.tensor(), vals.tensor(),
+                                      idx.tensor(), keys.size(), descending);
+  });
   r.values = std::move(vals.host());
   r.indices = std::move(idx.host());
   total_ += r.report;
@@ -173,15 +262,20 @@ SortResult Session::sort(const std::vector<half>& keys, bool descending,
 
 TopKResult Session::topk(const std::vector<half>& x, std::size_t k,
                          bool baseline, std::size_t tile) {
+  ASCAN_CHECK(!x.empty(), "topk: empty input");
+  ASCAN_CHECK(k > 0 && k <= x.size(), "topk: k=" << k << " out of range for "
+                                                 << x.size() << " elements");
   auto in = dev_.upload(x);
   auto vals = dev_.alloc<half>(k);
   auto idx = dev_.alloc<std::int32_t>(k);
   TopKResult r;
-  r.report = baseline
-                 ? k::topk_baseline_f16(dev_, in.tensor(), vals.tensor(),
-                                        idx.tensor(), x.size(), k)
-                 : k::topk_f16(dev_, in.tensor(), vals.tensor(), idx.tensor(),
-                               x.size(), k, {.s = tile});
+  r.report = resilient("topk", [&] {
+    return baseline
+               ? k::topk_baseline_f16(dev_, in.tensor(), vals.tensor(),
+                                      idx.tensor(), x.size(), k)
+               : k::topk_f16(dev_, in.tensor(), vals.tensor(), idx.tensor(),
+                             x.size(), k, {.s = tile});
+  });
   r.values = std::move(vals.host());
   r.indices = std::move(idx.host());
   total_ += r.report;
@@ -191,26 +285,32 @@ TopKResult Session::topk(const std::vector<half>& x, std::size_t k,
 SampleResult Session::top_p_sample(const std::vector<half>& probs, double p,
                                    double u, bool baseline_ops,
                                    std::size_t tile) {
+  ASCAN_CHECK(!probs.empty(), "top_p_sample: empty input");
   auto in = dev_.upload(probs);
   SampleResult r;
-  const auto tr = k::top_p_sample(dev_, in.tensor(), probs.size(), p, u,
-                                  {.s = tile,
-                                   .use_baseline_ops = baseline_ops});
-  r.report = tr.report;
-  r.index = tr.token;
-  r.nucleus = tr.nucleus;
+  r.report = resilient("top_p_sample", [&] {
+    const auto tr = k::top_p_sample(dev_, in.tensor(), probs.size(), p, u,
+                                    {.s = tile,
+                                     .use_baseline_ops = baseline_ops});
+    r.index = tr.token;
+    r.nucleus = tr.nucleus;
+    return tr.report;
+  });
   total_ += r.report;
   return r;
 }
 
 SampleResult Session::multinomial(const std::vector<half>& weights, double u,
                                   std::size_t tile) {
+  ASCAN_CHECK(!weights.empty(), "multinomial: empty input");
   auto in = dev_.upload(weights);
   SampleResult r;
-  const auto wr =
-      k::weighted_sample(dev_, in.tensor(), weights.size(), u, {.s = tile});
-  r.report = wr.report;
-  r.index = wr.index;
+  r.report = resilient("multinomial", [&] {
+    const auto wr =
+        k::weighted_sample(dev_, in.tensor(), weights.size(), u, {.s = tile});
+    r.index = wr.index;
+    return wr.report;
+  });
   total_ += r.report;
   return r;
 }
@@ -218,31 +318,40 @@ SampleResult Session::multinomial(const std::vector<half>& weights, double u,
 Session::BatchSampleResult Session::top_p_sample_batch(
     const std::vector<half>& probs, std::size_t batch, std::size_t vocab,
     double p, const std::vector<double>& u, std::size_t tile) {
+  ASCAN_CHECK(!probs.empty(), "top_p_sample_batch: empty input");
   ASCAN_CHECK(probs.size() == batch * vocab,
               "top_p_sample_batch: shape mismatch");
   ASCAN_CHECK(u.size() == batch, "top_p_sample_batch: one variate per row");
   BatchSampleResult r;
-  r.tokens.reserve(batch);
   auto in = dev_.upload(probs);
-  for (std::size_t b = 0; b < batch; ++b) {
-    const auto tr = k::top_p_sample(dev_, in.tensor().sub(b * vocab, vocab),
-                                    vocab, p, u[b], {.s = tile});
-    r.tokens.push_back(tr.token);
-    r.report += tr.report;
-  }
+  r.report = resilient("top_p_sample_batch", [&] {
+    Report rep;
+    r.tokens.clear();
+    r.tokens.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto tr = k::top_p_sample(dev_, in.tensor().sub(b * vocab, vocab),
+                                      vocab, p, u[b], {.s = tile});
+      r.tokens.push_back(tr.token);
+      rep += tr.report;
+    }
+    return rep;
+  });
   total_ += r.report;
   return r;
 }
 
 ValueResult<float> Session::segmented_cumsum(
     const std::vector<half>& x, const std::vector<std::int8_t>& flags) {
+  ASCAN_CHECK(!x.empty(), "segmented_cumsum: empty input");
   ASCAN_CHECK(x.size() == flags.size(), "segmented_cumsum: shape mismatch");
   auto in = dev_.upload(x);
   auto f = dev_.upload(flags);
   auto out = dev_.alloc<float>(x.size());
   ValueResult<float> r;
-  r.report = k::segmented_scan(dev_, in.tensor(), f.tensor(), out.tensor(),
-                               x.size(), {});
+  r.report = resilient("segmented_cumsum", [&] {
+    return k::segmented_scan(dev_, in.tensor(), f.tensor(), out.tensor(),
+                             x.size(), {});
+  });
   r.values = std::move(out.host());
   total_ += r.report;
   return r;
@@ -250,12 +359,17 @@ ValueResult<float> Session::segmented_cumsum(
 
 ValueResult<float> Session::reduce(const std::vector<half>& x,
                                    bool use_cube) {
+  ASCAN_CHECK(!x.empty(), "reduce: empty input");
   auto in = dev_.upload(x);
   ValueResult<float> r;
-  const auto rr = use_cube ? k::reduce_cube(dev_, in.tensor(), x.size(), {})
-                           : k::reduce_vector(dev_, in.tensor(), x.size());
-  r.report = rr.report;
-  r.values = {rr.value};
+  float value = 0;
+  r.report = resilient("reduce", [&] {
+    const auto rr = use_cube ? k::reduce_cube(dev_, in.tensor(), x.size(), {})
+                             : k::reduce_vector(dev_, in.tensor(), x.size());
+    value = rr.value;
+    return rr.report;
+  });
+  r.values = {value};
   total_ += r.report;
   return r;
 }

@@ -16,18 +16,45 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ascendc/ascendc.hpp"
 #include "common/half.hpp"
 #include "sim/config.hpp"
+#include "sim/fault.hpp"
 #include "sim/report.hpp"
 
 namespace ascan {
 
 using ascend::half;
+using ascend::sim::FaultKind;
+using ascend::sim::FaultPlan;
 using ascend::sim::MachineConfig;
 using ascend::sim::Report;
+
+/// Bounded-retry / graceful-degradation policy applied to every operator
+/// call on a Session (see DESIGN.md "Fault model & resilience").
+///
+/// State machine per call:
+///   attempt -> (FaultError) -> retry with doubled simulated backoff, up to
+///   max_attempts per degradation level -> (still failing, or fault not
+///   retryable) -> exclude the faulted AI core and relaunch with blocks-1,
+///   up to max_core_exclusions -> rethrow the typed error.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< attempts per degradation level (1 = no retry)
+  double backoff_s = 20e-6;  ///< simulated backoff before a retry; doubles
+  int max_core_exclusions = 0;  ///< AI cores that may be taken offline
+};
+
+/// Resilience accounting for the most recent operator call.
+struct RetryStats {
+  std::uint32_t attempts = 0;  ///< launches attempted (success included)
+  std::uint32_t retries = 0;   ///< failed attempts that were relaunched
+  std::uint32_t excluded_cores = 0;  ///< cores taken offline by this call
+  double backoff_s = 0;              ///< simulated backoff spent
+  FaultKind last_fault = FaultKind::None;
+};
 
 /// Scan algorithm selector.
 enum class ScanAlgo {
@@ -95,6 +122,25 @@ class Session {
 
   /// Aggregate of every operator executed on this session.
   const Report& total() const { return total_; }
+
+  // --- Fault injection & resilience -----------------------------------------
+
+  /// Installs a seeded fault plan on the session's device. Deterministic:
+  /// the same plan on the same call sequence produces the identical fault
+  /// sequence and Report on every run.
+  void set_fault_plan(const FaultPlan& plan) { dev_.set_fault_plan(plan); }
+
+  /// Retry / degradation policy applied to every operator call.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Resilience accounting for the most recent operator call.
+  const RetryStats& last_retry_stats() const { return last_stats_; }
+
+  /// AI cores still online (excluded stragglers/bad cores are gone until
+  /// the session is destroyed, like a production NPU taking a core
+  /// offline).
+  int active_cores() const { return dev_.config().num_ai_cores; }
 
   // --- Scans ----------------------------------------------------------------
 
@@ -173,8 +219,19 @@ class Session {
   ValueResult<float> reduce(const std::vector<half>& x, bool use_cube = true);
 
  private:
+  /// Runs one operator attempt under the retry/degradation state machine.
+  /// `attempt` performs the kernel call(s) and returns their report; it is
+  /// re-invoked verbatim on retry (kernels are idempotent-relaunchable).
+  Report resilient(const char* what, const std::function<Report()>& attempt);
+
+  /// Takes the faulted AI core offline: rebuilds the device with blocks-1,
+  /// carrying the fault injector (and its launch ordinal) over.
+  void exclude_core();
+
   ascend::acc::Device dev_;
   Report total_;
+  RetryPolicy retry_;
+  RetryStats last_stats_;
 };
 
 }  // namespace ascan

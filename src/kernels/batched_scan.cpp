@@ -52,7 +52,8 @@ sim::Report batched_scan_u(Device& dev, GlobalTensor<half> x,
 
   return launch(
       dev,
-      {.block_dim = blocks, .mode = LaunchMode::Mix, .name = "batched_scan_u"},
+      {.block_dim = blocks, .mode = LaunchMode::Mix, .name = "batched_scan_u",
+       .outputs = {guard_output(y)}},
       [&, batch, len, s, l, row_tiles, groups, blocks, vpc](KernelContext& ctx) {
     const int b = ctx.GetBlockIdx();
     auto& ready = ctx.shared().flags("row_tile_ready", batch * row_tiles);
@@ -151,7 +152,7 @@ sim::Report batched_scan_ul1(Device& dev, GlobalTensor<half> x,
 
   return launch(
       dev, {.block_dim = blocks, .mode = LaunchMode::Mix,
-            .name = "batched_scan_ul1"},
+            .name = "batched_scan_ul1", .outputs = {guard_output(y)}},
       [&, batch, len, s, l, row_tiles, blocks, vpc](KernelContext& ctx) {
     const int b = ctx.GetBlockIdx();
     auto& ready = ctx.shared().flags("row_tile_ready", batch * row_tiles);

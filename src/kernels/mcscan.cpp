@@ -70,7 +70,8 @@ sim::Report mcscan(Device& dev, GlobalTensor<In> x, GlobalTensor<Out> y,
   auto rep = launch(
       dev,
       {.block_dim = blocks, .mode = LaunchMode::Mix, .name = "mcscan",
-       .timeline = opt.timeline},
+       .timeline = opt.timeline,
+       .outputs = {guard_output(y), guard_output(r_gm)}},
       [&, n, s, l, tiles, vtiles, blocks, vpc](KernelContext& ctx) {
     const int b = ctx.GetBlockIdx();
 

@@ -26,7 +26,9 @@ sim::Report scan_ul1(Device& dev, GlobalTensor<half> x, GlobalTensor<half> y,
   const std::size_t tiles = num_tiles(n, l);
 
   return launch(
-      dev, {.block_dim = 1, .mode = LaunchMode::Mix, .name = "scan_ul1"},
+      dev,
+      {.block_dim = 1, .mode = LaunchMode::Mix, .name = "scan_ul1",
+       .outputs = {guard_output(y)}},
       [&, n, s, l, tiles](KernelContext& ctx) {
     auto& tile_ready = ctx.shared().flags("tile_ready", tiles);
 

@@ -40,7 +40,8 @@ sim::Report segmented_scan(Device& dev, GlobalTensor<half> x,
       dev,
       {.block_dim = static_cast<int>(workers),
        .mode = LaunchMode::VectorOnly,
-       .name = "segmented_scan"},
+       .name = "segmented_scan",
+       .outputs = {guard_output(y)}},
       [&, n, chunks, workers](KernelContext& ctx) {
         const auto w = static_cast<std::size_t>(ctx.GetBlockIdx());
         TPipe pipe(ctx);

@@ -59,7 +59,8 @@ SplitReport split_ind(Device& dev, GlobalTensor<K> keys,
 
   result.report += launch(
       dev,
-      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "split_ind"},
+      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "split_ind",
+       .outputs = {guard_output(keys_out), guard_output(idx_out)}},
       [&, n, total_true, chunks, nb, have_idx](KernelContext& ctx) {
         TPipe pipe(ctx);
         TBuf kb(ctx, TPosition::VECIN), mb(ctx, TPosition::VECIN),
@@ -166,7 +167,8 @@ SplitReport compress(Device& dev, GlobalTensor<half> x,
 
   result.report += launch(
       dev,
-      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "compress"},
+      {.block_dim = nb, .mode = LaunchMode::VectorOnly, .name = "compress",
+       .outputs = {guard_output(out)}},
       [&, n, chunks, nb](KernelContext& ctx) {
         TPipe pipe(ctx);
         TBuf kb(ctx, TPosition::VECIN), mb(ctx, TPosition::VECIN),

@@ -23,7 +23,7 @@ sim::Report vec_cumsum(Device& dev, GlobalTensor<half> x, GlobalTensor<half> y,
 
   return launch(
       dev, {.block_dim = 1, .mode = LaunchMode::VectorOnly,
-            .name = "vec_cumsum"},
+            .name = "vec_cumsum", .outputs = {guard_output(y)}},
       [&, n, tiles](KernelContext& ctx) {
         TPipe pipe(ctx);
         TQue in(ctx, TPosition::VECIN), out(ctx, TPosition::VECOUT);

@@ -86,6 +86,15 @@ struct MachineConfig {
   double sync_all_s = 1.2e-6;         ///< global SyncAll barrier latency
   double flag_cost_cycles = 24;       ///< cross-core flag set/wait
 
+  // --- Reliability -------------------------------------------------------------
+  /// Extra cycles a GM transfer pays when a correctable (single-bit) HBM
+  /// ECC event is scrubbed in-line (detect, correct, write back the line).
+  double ecc_scrub_cycles = 2000;
+  /// Default watchdog deadline for a kernel launch in *simulated* seconds
+  /// (0 = disabled). A launch whose simulated clock would pass the deadline
+  /// aborts with TimeoutError instead of hanging forever.
+  double watchdog_s = 0;
+
   // --- Derived helpers ---------------------------------------------------------
   double cycles_to_s(double cycles) const { return cycles / clock_hz; }
   int num_vec_cores() const { return num_ai_cores * vec_per_core; }

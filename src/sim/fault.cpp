@@ -1,0 +1,59 @@
+#include "sim/fault.hpp"
+
+namespace ascend::sim {
+
+namespace {
+
+// splitmix64: the standard 64-bit finaliser. Each decision hashes the full
+// (seed, launch, subcore, ordinal, salt) key independently, so decisions
+// are order-free: it does not matter in which order the scheduler asks.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double FaultInjector::u01(std::uint64_t launch, std::uint32_t subcore,
+                          std::uint32_t ordinal, std::uint32_t salt) const {
+  std::uint64_t h = mix64(plan_.seed ^ 0xa5c3u);
+  h = mix64(h ^ launch);
+  h = mix64(h ^ ((static_cast<std::uint64_t>(subcore) << 32) | ordinal));
+  h = mix64(h ^ salt);
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultKind FaultInjector::transfer_fault(std::uint64_t launch,
+                                        std::uint32_t subcore,
+                                        std::uint32_t ordinal) {
+  if (plan_.force_mte_on_launch >= 0 &&
+      launch == static_cast<std::uint64_t>(plan_.force_mte_on_launch)) {
+    // Exactly one forced fault: the first transfer queried for that launch.
+    // Queries happen in deterministic trace-setup order, so "first" is
+    // stable across runs.
+    if (!forced_mte_done_.exchange(true, std::memory_order_relaxed)) {
+      return FaultKind::MteTransient;
+    }
+  }
+  // Disjoint probability bands over one uniform draw, so at most one fault
+  // kind fires per transfer and individual rates stay faithful.
+  const double u = u01(launch, subcore, ordinal, /*salt=*/1);
+  double lo = 0;
+  if (u < (lo += plan_.mte_transient_rate)) return FaultKind::MteTransient;
+  if (u < (lo += plan_.ecc_double_rate)) return FaultKind::EccDouble;
+  if (u < (lo += plan_.hang_rate)) return FaultKind::Hang;
+  if (u < (lo += plan_.ecc_single_rate)) return FaultKind::EccSingle;
+  return FaultKind::None;
+}
+
+double FaultInjector::clock_scale(std::uint64_t launch,
+                                  std::uint32_t subcore) const {
+  if (plan_.throttle_rate <= 0) return 1.0;
+  const double u = u01(launch, subcore, /*ordinal=*/0, /*salt=*/2);
+  return u < plan_.throttle_rate ? plan_.throttle_factor : 1.0;
+}
+
+}  // namespace ascend::sim

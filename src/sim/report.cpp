@@ -22,6 +22,12 @@ std::ostream& operator<<(std::ostream& os, const Report& r) {
      << " vec=" << format_time_s(r.vec_busy_s)
      << " mte=" << format_time_s(r.mte_busy_s)
      << " hbm=" << format_time_s(r.hbm_busy_s) << "] ops=" << r.num_ops;
+  if (r.any_faults()) {
+    os << " faults[mte=" << r.mte_faults << " ecc1=" << r.ecc_single
+       << " ecc2=" << r.ecc_double << " hang=" << r.hangs
+       << " throttled=" << r.throttled_subcores << " retries=" << r.retries
+       << " excluded=" << r.excluded_cores << "]";
+  }
   return os;
 }
 

@@ -29,6 +29,22 @@ struct Report {
 
   std::uint64_t num_ops = 0;
 
+  // --- Fault & resilience counters (see sim/fault.hpp) ----------------------
+  std::uint64_t mte_faults = 0;   ///< transient MTE/DMA failures (aborted)
+  std::uint64_t ecc_single = 0;   ///< correctable HBM ECC events (scrubbed)
+  std::uint64_t ecc_double = 0;   ///< uncorrectable HBM ECC events (aborted)
+  std::uint64_t hangs = 0;        ///< injected kernel hangs (watchdog fired)
+  std::uint64_t throttled_subcores = 0;  ///< straggler sub-cores, per launch
+  std::uint32_t retries = 0;         ///< failed attempts that were relaunched
+  std::uint32_t excluded_cores = 0;  ///< AI cores taken offline to recover
+  double backoff_s = 0;  ///< simulated retry backoff included in time_s
+
+  bool any_faults() const {
+    return mte_faults + ecc_single + ecc_double + hangs +
+               throttled_subcores + retries + excluded_cores >
+           0;
+  }
+
   /// Aggregates sequentially launched kernels (times add).
   Report& operator+=(const Report& o) {
     time_s += o.time_s;
@@ -42,6 +58,14 @@ struct Report {
     scalar_busy_s += o.scalar_busy_s;
     hbm_busy_s += o.hbm_busy_s;
     num_ops += o.num_ops;
+    mte_faults += o.mte_faults;
+    ecc_single += o.ecc_single;
+    ecc_double += o.ecc_double;
+    hangs += o.hangs;
+    throttled_subcores += o.throttled_subcores;
+    retries += o.retries;
+    excluded_cores += o.excluded_cores;
+    backoff_s += o.backoff_s;
     return *this;
   }
 

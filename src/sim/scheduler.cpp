@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <sstream>
 #include <unordered_map>
 #include <vector>
 
@@ -25,12 +26,19 @@ struct OpState {
 };
 }  // namespace
 
-Report Scheduler::run(const KernelTrace& trace, Timeline* timeline) {
+Report Scheduler::run(const KernelTrace& trace, Timeline* timeline,
+                      const SchedulerFaults& faults) {
   Report rep;
   rep.launches = 1;
 
   const std::uint32_t max_id = trace.max_op_id;
   std::vector<OpState> st(max_id + 1);
+
+  FaultInjector* inj =
+      faults.injector != nullptr && faults.injector->armed() ? faults.injector
+                                                             : nullptr;
+  double watchdog = faults.watchdog_s > 0 ? faults.watchdog_s : cfg_.watchdog_s;
+  if (watchdog <= 0) watchdog = kInf;
 
   // Dense engine indexing: subcore * kNumEngineKinds + kind.
   const std::uint32_t num_subcores =
@@ -71,8 +79,51 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline) {
     }
   }
 
+  // Fault decisions are made up-front in trace order — (sub-core, per-sub-
+  // core transfer ordinal) keys are interleaving-independent, so the same
+  // plan seed yields the same decisions on every run.
+  std::vector<FaultKind> op_fault;
+  std::vector<double> subcore_scale(num_subcores, 1.0);
+  if (inj != nullptr) {
+    const std::uint64_t launch = inj->begin_launch();
+    op_fault.assign(max_id + 1, FaultKind::None);
+    for (std::uint32_t s = 0; s < num_subcores; ++s) {
+      subcore_scale[s] = inj->clock_scale(launch, s);
+      if (subcore_scale[s] != 1.0) ++rep.throttled_subcores;
+      std::uint32_t transfer_ordinal = 0;
+      for (const TraceOp& op : trace.per_subcore[s]) {
+        if (op.kind != TraceOp::Kind::Transfer) continue;
+        op_fault[op.id] = inj->transfer_fault(launch, s, transfer_ordinal++);
+      }
+    }
+  }
+  std::uint64_t hangs_started = 0;
+  int first_hang_subcore = -1;
+
   HbmArbiter arbiter(cfg_.hbm_bandwidth * cfg_.hbm_efficiency,
                      cfg_.l2_bandwidth);
+
+  // Aborts the run at simulated time `t`, surfacing the partial report
+  // inside a typed error so callers can account for the wasted attempt.
+  auto abort_run = [&](FaultKind kind, double t, int subcore,
+                       const char* what) {
+    rep.time_s = t;
+    rep.hbm_busy_s = arbiter.hbm_busy_time();
+    std::ostringstream os;
+    os << what << " (kernel aborted at t=" << t << "s, sub-core " << subcore
+       << ")";
+    switch (kind) {
+      case FaultKind::MteTransient:
+        ++rep.mte_faults;
+        throw TransferError(os.str(), kind, rep, subcore);
+      case FaultKind::EccDouble:
+        ++rep.ecc_double;
+        throw EccError(os.str(), kind, rep, subcore);
+      default:
+        rep.hangs += hangs_started;
+        throw TimeoutError(os.str(), FaultKind::Hang, rep, subcore);
+    }
+  };
 
   using Event = std::pair<double, std::uint32_t>;  // (time, op id)
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
@@ -117,17 +168,44 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline) {
       o.started = true;
       o.start = now;
       ++fifo_head[e];
+      // Straggler model: a throttled sub-core issues and computes slower
+      // across the board (its clock is scaled down, not one engine).
+      const double scale = subcore_scale[op.subcore];
       switch (op.kind) {
         case TraceOp::Kind::Compute:
         case TraceOp::Kind::FlagSet:
         case TraceOp::Kind::FlagWait: {
-          const double dur = cfg_.cycles_to_s(op.cycles);
+          const double dur = cfg_.cycles_to_s(op.cycles) / scale;
           engine_free[e] = now + dur;
           events.emplace(now + dur, id);
           break;
         }
         case TraceOp::Kind::Transfer: {
-          const double setup = cfg_.cycles_to_s(op.cycles);
+          const FaultKind fk =
+              op_fault.empty() ? FaultKind::None : op_fault[id];
+          if (fk == FaultKind::Hang) {
+            // Wedged engine: the op never completes; the watchdog (or the
+            // stall detector below) converts this into TimeoutError.
+            engine_free[e] = kInf;
+            ++hangs_started;
+            if (first_hang_subcore < 0) {
+              first_hang_subcore = static_cast<int>(op.subcore);
+            }
+            break;
+          }
+          double setup = cfg_.cycles_to_s(op.cycles) / scale;
+          if (fk == FaultKind::EccSingle) {
+            // Correctable ECC: scrub the line in-line and continue.
+            setup += cfg_.cycles_to_s(cfg_.ecc_scrub_cycles);
+            ++rep.ecc_single;
+          }
+          if (fk == FaultKind::MteTransient || fk == FaultKind::EccDouble) {
+            // The DMA errors right after issue; the abort fires when this
+            // event is popped, so earlier completions still count.
+            engine_free[e] = kInf;
+            events.emplace(now + setup, id);
+            break;
+          }
           if (op.bytes == 0) {  // degenerate copy: just the setup cost
             engine_free[e] = now + setup;
             events.emplace(now + setup, id);
@@ -178,6 +256,16 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline) {
     const double t_event = events.empty() ? kInf : events.top().first;
     const double t_flow = arbiter.next_completion_time();
     const double t_next = std::min(t_event, t_flow);
+    if (t_next > watchdog || (t_next >= kInf && hangs_started > 0)) {
+      // Watchdog: the launch's simulated clock would pass its deadline
+      // (hung engine, or pathological straggler slowness). Poisoned-barrier
+      // semantics already released every functional thread, so surfacing
+      // the timeout here can never deadlock siblings.
+      const double t_abort = watchdog < kInf ? std::max(now, watchdog) : now;
+      abort_run(FaultKind::Hang, t_abort, first_hang_subcore,
+                hangs_started > 0 ? "watchdog: kernel hang"
+                                  : "watchdog: deadline exceeded");
+    }
     ASCAN_ASSERT(t_next < kInf, "simulation deadlock with "
                                     << remaining_ops << " ops unreachable");
     now = std::max(now, t_next);
@@ -186,6 +274,13 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline) {
     while (!events.empty() && events.top().first <= now + 1e-18) {
       const std::uint32_t id = events.top().second;
       events.pop();
+      if (!op_fault.empty() && (op_fault[id] == FaultKind::MteTransient ||
+                                op_fault[id] == FaultKind::EccDouble)) {
+        abort_run(op_fault[id], now, static_cast<int>(st[id].op->subcore),
+                  op_fault[id] == FaultKind::MteTransient
+                      ? "transient MTE transfer failure"
+                      : "uncorrectable HBM ECC error");
+      }
       on_finished(id, now, hot);
     }
     for (std::uint32_t flow : arbiter.advance_and_pop(now)) {

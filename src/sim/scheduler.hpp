@@ -20,12 +20,22 @@
 #pragma once
 
 #include "sim/config.hpp"
+#include "sim/fault.hpp"
 #include "sim/l2_cache.hpp"
 #include "sim/report.hpp"
 #include "sim/timeline.hpp"
 #include "sim/trace.hpp"
 
 namespace ascend::sim {
+
+/// Fault-injection and watchdog parameters for one scheduler run.
+struct SchedulerFaults {
+  /// Fault decisions for this launch; nullptr = fault-free execution.
+  FaultInjector* injector = nullptr;
+  /// Absolute simulated-time deadline for the launch; 0 falls back to
+  /// cfg.watchdog_s, and a final value of 0 disables the watchdog.
+  double watchdog_s = 0;
+};
 
 class Scheduler {
  public:
@@ -35,7 +45,13 @@ class Scheduler {
 
   /// Computes the simulated report for one kernel launch. When `timeline`
   /// is non-null, every op's scheduled interval is recorded into it.
-  Report run(const KernelTrace& trace, Timeline* timeline = nullptr);
+  ///
+  /// With an armed injector in `faults`, transfers may scrub correctable
+  /// ECC events in-line (timing penalty), sub-cores may be throttled, and
+  /// fatal faults abort the run by throwing TransferError / EccError /
+  /// TimeoutError carrying the partial Report of the aborted attempt.
+  Report run(const KernelTrace& trace, Timeline* timeline = nullptr,
+             const SchedulerFaults& faults = {});
 
  private:
   const MachineConfig& cfg_;

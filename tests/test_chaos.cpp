@@ -1,0 +1,279 @@
+// Chaos harness: sweep seeded fault plans across every operator and assert
+// the resilience contract — each plan either completes with bit-exact
+// results (after retries / core exclusion) or fails with a clean typed
+// error. Never silent corruption, never a deadlock.
+//
+// All workloads are integer-valued so every reduction is exact in fp16 /
+// fp32 regardless of how blocks partition the data; a retry or a
+// degraded-core relaunch must therefore reproduce the fault-free result
+// bit for bit.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ascan.hpp"
+#include "kernels/mcscan.hpp"
+#include "sim/fault.hpp"
+#include "test_helpers.hpp"
+
+namespace ascend {
+namespace {
+
+sim::MachineConfig chaos_cfg() {
+  auto cfg = sim::MachineConfig::ascend_910b4();
+  cfg.num_ai_cores = 4;
+  cfg.watchdog_s = 0.01;  // far above any healthy sub-millisecond launch
+  return cfg;
+}
+
+/// Distinct integer-valued fp16 keys (a bijective permutation of
+/// [-n/2, n/2) for power-of-two n), so sorts, top-k and their index
+/// outputs have a unique answer.
+std::vector<half> distinct_keys(std::size_t n) {
+  std::vector<half> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t p = (i * 2654435761u) % n;  // odd multiplier: bijection
+    x[i] = half(static_cast<float>(p) - static_cast<float>(n / 2));
+  }
+  return x;
+}
+
+/// Flattened float signature of an operator result, for exact comparison.
+using Sig = std::vector<float>;
+
+struct ChaosOp {
+  const char* name;
+  bool allow_exclusion;  ///< result is partition-independent bit-for-bit
+  std::function<Sig(ascan::Session&)> run;
+};
+
+std::vector<ChaosOp> chaos_ops() {
+  const auto scan_x = testing::exact_scan_workload(2048, 11);
+  const auto keys = distinct_keys(1024);
+  auto mask = std::vector<std::int8_t>(2048);
+  {
+    Rng rng(17);
+    for (auto& m : mask) m = rng.bernoulli(0.3) ? 1 : 0;
+  }
+  auto flags = std::vector<std::int8_t>(2048);
+  {
+    Rng rng(19);
+    for (auto& f : flags) f = rng.bernoulli(1.0 / 64) ? 1 : 0;
+  }
+  // Distinct dyadic probabilities: exactly representable in fp16.
+  auto probs = std::vector<half>(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    const std::size_t p = (i * 2654435761u) % 512;
+    probs[i] = half(static_cast<float>(p + 1) / 512.0f);
+  }
+
+  std::vector<ChaosOp> ops;
+  ops.push_back({"cumsum", true, [scan_x](ascan::Session& s) {
+                   return s.cumsum(scan_x).values;
+                 }});
+  ops.push_back({"sort", true, [keys](ascan::Session& s) {
+                   auto r = s.sort(keys);
+                   Sig sig;
+                   for (auto v : r.values) sig.push_back(float(v));
+                   for (auto i : r.indices) sig.push_back(float(i));
+                   return sig;
+                 }});
+  ops.push_back({"topk", true, [keys](ascan::Session& s) {
+                   auto r = s.topk(keys, 37);
+                   Sig sig;
+                   for (auto v : r.values) sig.push_back(float(v));
+                   for (auto i : r.indices) sig.push_back(float(i));
+                   return sig;
+                 }});
+  ops.push_back({"masked_select", true, [keys, mask](ascan::Session& s) {
+                   auto big = distinct_keys(2048);
+                   auto r = s.masked_select(big, mask);
+                   Sig sig;
+                   for (auto v : r.values) sig.push_back(float(v));
+                   return sig;
+                 }});
+  ops.push_back({"segmented_cumsum", true,
+                 [scan_x, flags](ascan::Session& s) {
+                   return s.segmented_cumsum(scan_x, flags).values;
+                 }});
+  // Top-p's internal float scans are partition-*dependent* in their
+  // rounding, so a degraded relaunch may legitimately pick a different
+  // token: exclusion stays off and exhausted retries surface as errors.
+  ops.push_back({"top_p", false, [probs](ascan::Session& s) {
+                   auto r = s.top_p_sample(probs, 0.9, 0.37);
+                   return Sig{static_cast<float>(r.index),
+                              static_cast<float>(r.nucleus)};
+                 }});
+  return ops;
+}
+
+sim::FaultPlan plan_for(std::uint64_t seed, std::size_t op) {
+  sim::FaultPlan p;
+  p.seed = seed * 1000003 + op;
+  // seed % 6 == 0 leaves a fault-free plan in the mix on purpose.
+  const double inten = static_cast<double>(seed % 6) / 5.0;
+  p.mte_transient_rate = 0.004 * inten;
+  p.ecc_single_rate = 0.002 * inten;
+  p.ecc_double_rate = 0.0004 * inten;
+  p.hang_rate = 0.0008 * inten;
+  p.throttle_rate = 0.25 * inten;
+  return p;
+}
+
+TEST(Chaos, SweepSeededFaultPlansAcrossAllOperators) {
+  const auto ops = chaos_ops();
+
+  // Fault-free references.
+  std::vector<Sig> ref;
+  for (const auto& op : ops) {
+    ascan::Session s(chaos_cfg());
+    ref.push_back(op.run(s));
+  }
+
+  int plans = 0, exact = 0, typed_errors = 0, recovered = 0, degraded = 0;
+  for (std::uint64_t seed = 1; seed <= 36; ++seed) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      ++plans;
+      ascan::Session s(chaos_cfg());
+      s.set_fault_plan(plan_for(seed, i));
+      s.set_retry_policy(
+          {.max_attempts = 3,
+           .backoff_s = 20e-6,
+           .max_core_exclusions = ops[i].allow_exclusion ? 1 : 0});
+      try {
+        const Sig got = ops[i].run(s);
+        ASSERT_EQ(got.size(), ref[i].size())
+            << ops[i].name << " seed " << seed;
+        for (std::size_t j = 0; j < got.size(); ++j) {
+          ASSERT_EQ(got[j], ref[i][j])
+              << ops[i].name << " seed " << seed << " index " << j
+              << " diverged after "
+              << s.last_retry_stats().retries << " retries";
+        }
+        ++exact;
+        if (s.last_retry_stats().retries > 0) ++recovered;
+        if (s.last_retry_stats().excluded_cores > 0) ++degraded;
+      } catch (const sim::FaultError& e) {
+        // Clean typed failure: carries the fault kind and a message.
+        EXPECT_NE(e.kind(), sim::FaultKind::None);
+        EXPECT_FALSE(std::string(e.what()).empty());
+        ++typed_errors;
+      }
+      // Anything else (plain Error, deadlock assertion) escapes and fails
+      // the test: the contract is bit-exact or typed, nothing in between.
+    }
+  }
+  EXPECT_GE(plans, 200);
+  EXPECT_EQ(plans, exact + typed_errors);
+  EXPECT_GT(recovered, 0) << "no plan exercised the retry path";
+  EXPECT_GT(typed_errors, 0) << "no plan exhausted the retry budget";
+  RecordProperty("plans", plans);
+  RecordProperty("exact", exact);
+  RecordProperty("typed_errors", typed_errors);
+  RecordProperty("recovered", recovered);
+  RecordProperty("degraded", degraded);
+}
+
+TEST(Chaos, SingleTransientMteIsSurvivedWithOneRetry) {
+  const auto x = testing::exact_scan_workload(2048, 3);
+  ascan::Session clean(chaos_cfg());
+  const auto ref = clean.cumsum(x);
+
+  ascan::Session s(chaos_cfg());
+  s.set_fault_plan(sim::FaultPlan::one_transient_mte(0));
+  s.set_retry_policy({.max_attempts = 3});
+  const auto got = s.cumsum(x);
+  EXPECT_EQ(got.values, ref.values);
+  EXPECT_EQ(got.report.retries, 1u);
+  EXPECT_EQ(got.report.mte_faults, 1u);
+  EXPECT_GT(got.report.backoff_s, 0.0);
+  // The failed attempt's simulated time is accounted for.
+  EXPECT_GT(got.report.time_s, ref.report.time_s);
+  EXPECT_EQ(s.last_retry_stats().attempts, 2u);
+  EXPECT_EQ(s.last_retry_stats().retries, 1u);
+  EXPECT_EQ(s.last_retry_stats().last_fault, sim::FaultKind::MteTransient);
+}
+
+TEST(Chaos, TransientFaultWithoutRetryPolicyThrowsTransferError) {
+  ascan::Session s(chaos_cfg());
+  s.set_fault_plan(sim::FaultPlan::one_transient_mte(0));
+  const auto x = testing::exact_scan_workload(1024, 5);
+  EXPECT_THROW(s.cumsum(x), sim::TransferError);
+  // The forced fault is consumed; the session stays usable and correct.
+  ascan::Session clean(chaos_cfg());
+  EXPECT_EQ(s.cumsum(x).values, clean.cumsum(x).values);
+}
+
+TEST(Chaos, RetryBudgetExhaustionEscalatesToCoreExclusion) {
+  // max_attempts = 1 exhausts the retry level instantly, forcing the
+  // degradation path: the faulted core goes offline and the relaunch on
+  // blocks-1 cores still produces the bit-exact result.
+  const auto x = testing::exact_scan_workload(2048, 7);
+  ascan::Session clean(chaos_cfg());
+  const auto ref = clean.cumsum(x);
+
+  ascan::Session s(chaos_cfg());
+  s.set_fault_plan(sim::FaultPlan::one_transient_mte(0));
+  s.set_retry_policy({.max_attempts = 1, .max_core_exclusions = 1});
+  const auto got = s.cumsum(x);
+  EXPECT_EQ(got.values, ref.values);
+  EXPECT_EQ(got.report.excluded_cores, 1u);
+  EXPECT_EQ(s.active_cores(), chaos_cfg().num_ai_cores - 1);
+  EXPECT_EQ(s.last_retry_stats().excluded_cores, 1u);
+}
+
+TEST(Chaos, PersistentEccDoubleBurnsExclusionsThenThrowsEccError) {
+  ascan::Session s(chaos_cfg());
+  sim::FaultPlan p;
+  p.ecc_double_rate = 1.0;  // every transfer hits the bad page
+  s.set_fault_plan(p);
+  s.set_retry_policy({.max_attempts = 3, .max_core_exclusions = 2});
+  EXPECT_THROW(s.cumsum(testing::exact_scan_workload(512, 13)),
+               sim::EccError);
+  // EccDouble is not retryable: no same-core retries, straight to
+  // exclusion, and both exclusions were spent before giving up.
+  EXPECT_EQ(s.last_retry_stats().last_fault, sim::FaultKind::EccDouble);
+  EXPECT_EQ(s.last_retry_stats().excluded_cores, 2u);
+  EXPECT_EQ(s.active_cores(), chaos_cfg().num_ai_cores - 2);
+}
+
+TEST(Chaos, HangSurfacesAsTimeoutAndRestoresOutputBuffers) {
+  acc::Device dev(chaos_cfg());
+  sim::FaultPlan p;
+  p.hang_rate = 1.0;
+  dev.set_fault_plan(p);
+  auto x = dev.upload(testing::exact_scan_workload(1024, 9));
+  auto y = dev.alloc<float>(1024, -5.0f);
+  EXPECT_THROW((kernels::mcscan<half, float>(dev, x.tensor(), y.tensor(),
+                                             1024, {})),
+               sim::TimeoutError);
+  // The launch is idempotent-relaunchable: the failed attempt's partial
+  // writes were rolled back.
+  for (std::size_t i = 0; i < 1024; ++i) {
+    ASSERT_EQ(y[i], -5.0f) << "partial write visible at " << i;
+  }
+}
+
+TEST(Chaos, ThrottledStragglersOnlyStretchTime) {
+  const auto x = testing::exact_scan_workload(2048, 15);
+  ascan::Session clean(chaos_cfg());
+  const auto ref = clean.cumsum(x);
+
+  ascan::Session s(chaos_cfg());
+  sim::FaultPlan p;
+  p.seed = 5;
+  p.throttle_rate = 1.0;  // every sub-core runs at half clock
+  p.throttle_factor = 0.5;
+  s.set_fault_plan(p);
+  const auto got = s.cumsum(x);
+  EXPECT_EQ(got.values, ref.values);
+  EXPECT_GT(got.report.throttled_subcores, 0u);
+  EXPECT_GT(got.report.time_s, ref.report.time_s);
+  EXPECT_EQ(got.report.retries, 0u);
+}
+
+}  // namespace
+}  // namespace ascend

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "ascendc/ascendc.hpp"
+#include "core/ascan.hpp"
 #include "kernels/mcscan.hpp"
 #include "kernels/radix_sort.hpp"
 #include "kernels/sampling.hpp"
@@ -203,6 +204,139 @@ TEST(FailureInjection, DeviceStateUnchangedAfterRejectedCall) {
   // The device still works after the failure.
   kernels::mcscan<half, float>(dev, x.tensor(), y.tensor(), 64, {});
   EXPECT_EQ(y[63], 128.0f);
+}
+
+// --- Fault-plan determinism ------------------------------------------------
+
+TEST(FailureInjection, InjectorDecisionsAreAPureHashOfTheirKey) {
+  sim::FaultPlan p;
+  p.seed = 7;
+  p.mte_transient_rate = 0.1;
+  p.ecc_single_rate = 0.05;
+  p.ecc_double_rate = 0.02;
+  p.hang_rate = 0.02;
+  p.throttle_rate = 0.3;
+  sim::FaultInjector a(p), b(p);
+  bool any_fault = false, any_throttle = false;
+  for (std::uint64_t launch = 0; launch < 4; ++launch) {
+    for (std::uint32_t sub = 0; sub < 12; ++sub) {
+      EXPECT_EQ(a.clock_scale(launch, sub), b.clock_scale(launch, sub));
+      any_throttle |= a.clock_scale(launch, sub) != 1.0;
+      for (std::uint32_t ord = 0; ord < 64; ++ord) {
+        const auto fa = a.transfer_fault(launch, sub, ord);
+        EXPECT_EQ(fa, b.transfer_fault(launch, sub, ord));
+        any_fault |= fa != sim::FaultKind::None;
+      }
+    }
+  }
+  EXPECT_TRUE(any_fault);
+  EXPECT_TRUE(any_throttle);
+}
+
+TEST(FailureInjection, SameFaultPlanSeedProducesIdenticalReports) {
+  const auto x = testing::exact_scan_workload(2048, 21);
+  auto run_once = [&x](bool& faulted) {
+    auto cfg = small_cfg();
+    cfg.num_ai_cores = 4;
+    ascan::Session s(cfg);
+    sim::FaultPlan p;
+    p.seed = 42;
+    p.mte_transient_rate = 0.01;
+    p.ecc_single_rate = 0.01;
+    p.hang_rate = 0.002;
+    p.throttle_rate = 0.3;
+    s.set_fault_plan(p);
+    s.set_retry_policy({.max_attempts = 2, .max_core_exclusions = 1});
+    try {
+      faulted = false;
+      return s.cumsum(x).report;
+    } catch (const sim::FaultError& e) {
+      faulted = true;
+      return e.attempt_report();
+    }
+  };
+  bool f1 = false, f2 = false;
+  const sim::Report r1 = run_once(f1);
+  const sim::Report r2 = run_once(f2);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(r1.mte_faults, r2.mte_faults);
+  EXPECT_EQ(r1.ecc_single, r2.ecc_single);
+  EXPECT_EQ(r1.ecc_double, r2.ecc_double);
+  EXPECT_EQ(r1.hangs, r2.hangs);
+  EXPECT_EQ(r1.throttled_subcores, r2.throttled_subcores);
+  EXPECT_EQ(r1.retries, r2.retries);
+  EXPECT_EQ(r1.excluded_cores, r2.excluded_cores);
+  EXPECT_EQ(r1.launches, r2.launches);
+  EXPECT_DOUBLE_EQ(r1.time_s, r2.time_s);
+  EXPECT_DOUBLE_EQ(r1.backoff_s, r2.backoff_s);
+}
+
+TEST(FailureInjection, DifferentSeedsProduceDifferentFaultSequences) {
+  sim::FaultPlan p;
+  p.mte_transient_rate = 0.1;
+  p.hang_rate = 0.1;
+  p.seed = 1;
+  sim::FaultInjector a(p);
+  p.seed = 2;
+  sim::FaultInjector b(p);
+  int differing = 0;
+  for (std::uint32_t ord = 0; ord < 256; ++ord) {
+    differing += a.transfer_fault(0, 0, ord) != b.transfer_fault(0, 0, ord);
+  }
+  EXPECT_GT(differing, 0);
+}
+
+// --- ascan::Session argument validation ------------------------------------
+
+TEST(FailureInjection, SessionRejectsEmptyInputs) {
+  ascan::Session s(small_cfg());
+  EXPECT_THROW(s.cumsum({}), Error);
+  EXPECT_THROW(s.cumsum_f16({}, {.algo = ascan::ScanAlgo::ScanU}), Error);
+  EXPECT_THROW(s.cumsum_i8({}), Error);
+  EXPECT_THROW(s.cumsum_batched({}, 0, 0), Error);
+  EXPECT_THROW(s.clone({}), Error);
+  EXPECT_THROW(s.split({}, {}), Error);
+  EXPECT_THROW(s.masked_select({}, {}), Error);
+  EXPECT_THROW(s.sort({}), Error);
+  EXPECT_THROW(s.topk({}, 1), Error);
+  EXPECT_THROW(s.top_p_sample({}, 0.9, 0.5), Error);
+  EXPECT_THROW(s.multinomial({}, 0.5), Error);
+  EXPECT_THROW(s.top_p_sample_batch({}, 0, 0, 0.9, {}), Error);
+  EXPECT_THROW(s.segmented_cumsum({}, {}), Error);
+  EXPECT_THROW(s.reduce({}), Error);
+}
+
+TEST(FailureInjection, SessionRejectsShapeMismatches) {
+  ascan::Session s(small_cfg());
+  const auto x = testing::exact_scan_workload(64, 23);
+  EXPECT_THROW(s.split(x, std::vector<std::int8_t>(32, 1)), Error);
+  EXPECT_THROW(s.masked_select(x, std::vector<std::int8_t>(32, 1)), Error);
+  EXPECT_THROW(s.segmented_cumsum(x, std::vector<std::int8_t>(32, 0)),
+               Error);
+  EXPECT_THROW(s.cumsum_batched(x, 4, 32), Error);  // 4*32 != 64
+  EXPECT_THROW(s.top_p_sample_batch(x, 4, 32, 0.9, {0.5, 0.5}), Error);
+}
+
+TEST(FailureInjection, SessionRejectsMoreBlocksThanCores) {
+  ascan::Session s(small_cfg());  // 2 AI cores
+  const auto x = testing::exact_scan_workload(256, 25);
+  EXPECT_THROW(s.cumsum(x, {.blocks = 3}), Error);
+}
+
+TEST(FailureInjection, SessionRejectsInvalidTileSizes) {
+  ascan::Session s(small_cfg());
+  const auto x = testing::exact_scan_workload(256, 27);
+  EXPECT_THROW(s.cumsum(x, {.tile = 99}), Error);
+  EXPECT_THROW(s.cumsum_f16(x, {.algo = ascan::ScanAlgo::ScanU, .tile = 48}),
+               Error);
+  EXPECT_THROW(s.sort(x, false, ascan::SortAlgo::Radix, 31), Error);
+}
+
+TEST(FailureInjection, SessionRejectsOutOfRangeTopK) {
+  ascan::Session s(small_cfg());
+  const auto x = testing::exact_scan_workload(64, 29);
+  EXPECT_THROW(s.topk(x, 0), Error);
+  EXPECT_THROW(s.topk(x, 65), Error);
 }
 
 }  // namespace

@@ -8,7 +8,10 @@
 //   ascan_cli sort  --n 1048576 --algo radix|baseline
 //   ascan_cli topp  --n 32000 --p 0.9 --u 0.25 [--baseline]
 //   ascan_cli reduce --n 1048576 --algo cube|vector
+//   ascan_cli chaos  [--plans 60] [--n 4096] [--seed0 1] [--retries 3]
+//                    [--exclusions 1]
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <string>
@@ -212,6 +215,119 @@ int cmd_reduce(const Args& a) {
   return 0;
 }
 
+// Chaos sweep: run seeded fault plans against Session operators with the
+// resilient retry/degradation policy and summarise the outcomes. The
+// invariant mirrors tests/test_chaos.cpp: every plan either completes with
+// results identical to the fault-free run or fails with a typed error.
+int cmd_chaos(const Args& a) {
+  const std::size_t plans = a.num("plans", 60);
+  const std::size_t n = a.num("n", 4096);
+  const std::uint64_t seed0 = a.num("seed0", 1);
+  const int retries = static_cast<int>(a.num("retries", 3));
+  const int exclusions = static_cast<int>(a.num("exclusions", 1));
+
+  auto cfg = sim::MachineConfig::ascend_910b4();
+  cfg.num_ai_cores = 4;
+  cfg.watchdog_s = 0.01;
+
+  // Integer-valued workloads: every reduction is exact, so even a
+  // degraded-core relaunch must match the fault-free run bit for bit.
+  Rng rng(9);
+  std::vector<half> x(n), keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = half(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+    keys[i] = half(static_cast<float>((i * 2654435761u >> 7) % 2048) -
+                   1024.0f);
+  }
+
+  struct Op {
+    const char* name;
+    std::function<std::vector<float>(ascan::Session&)> run;
+  };
+  const std::vector<Op> ops = {
+      {"cumsum", [&x](ascan::Session& s) { return s.cumsum(x).values; }},
+      {"sort",
+       [&keys](ascan::Session& s) {
+         auto r = s.sort(keys);
+         std::vector<float> sig;
+         for (auto i : r.indices) sig.push_back(static_cast<float>(i));
+         return sig;
+       }},
+      {"topk",
+       [&keys, n](ascan::Session& s) {
+         auto r = s.topk(keys, std::min<std::size_t>(64, n));
+         std::vector<float> sig;
+         for (auto v : r.values) sig.push_back(static_cast<float>(v));
+         return sig;
+       }},
+  };
+
+  Table table({"op", "seed", "outcome", "retries", "excluded", "mte", "ecc1",
+               "ecc2", "hangs", "time"});
+  std::size_t ran = 0, exact = 0, typed = 0, corrupt = 0;
+  for (std::uint64_t seed = seed0; ran < plans; ++seed) {
+    for (const auto& op : ops) {
+      if (ran >= plans) break;
+      ++ran;
+      sim::FaultPlan plan;
+      plan.seed = seed * 1000003 + ran;
+      const double inten = static_cast<double>(seed % 6) / 5.0;
+      plan.mte_transient_rate = 0.004 * inten;
+      plan.ecc_single_rate = 0.002 * inten;
+      plan.ecc_double_rate = 0.0004 * inten;
+      plan.hang_rate = 0.0008 * inten;
+      plan.throttle_rate = 0.25 * inten;
+
+      ascan::Session ref_s(cfg);
+      const auto ref = op.run(ref_s);
+
+      ascan::Session s(cfg);
+      s.set_fault_plan(plan);
+      s.set_retry_policy({.max_attempts = retries,
+                          .backoff_s = 20e-6,
+                          .max_core_exclusions = exclusions});
+      try {
+        const auto got = op.run(s);
+        const bool ok = got == ref;
+        if (ok) ++exact; else ++corrupt;
+        const auto& st = s.last_retry_stats();
+        const auto& rep = s.total();  // one call per session
+        table.add_row({op.name, static_cast<std::int64_t>(seed),
+                       ok ? "exact" : "CORRUPT",
+                       static_cast<std::int64_t>(st.retries),
+                       static_cast<std::int64_t>(st.excluded_cores),
+                       static_cast<std::int64_t>(rep.mte_faults),
+                       static_cast<std::int64_t>(rep.ecc_single),
+                       static_cast<std::int64_t>(rep.ecc_double),
+                       static_cast<std::int64_t>(rep.hangs),
+                       format_time_s(rep.time_s)});
+      } catch (const sim::FaultError& e) {
+        ++typed;
+        const auto& rep = e.attempt_report();
+        table.add_row({op.name, static_cast<std::int64_t>(seed),
+                       std::string("error: ") + sim::fault_kind_name(e.kind()),
+                       static_cast<std::int64_t>(s.last_retry_stats().retries),
+                       static_cast<std::int64_t>(
+                           s.last_retry_stats().excluded_cores),
+                       static_cast<std::int64_t>(rep.mte_faults),
+                       static_cast<std::int64_t>(rep.ecc_single),
+                       static_cast<std::int64_t>(rep.ecc_double),
+                       static_cast<std::int64_t>(rep.hangs),
+                       format_time_s(rep.time_s)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nchaos: %zu plans, %zu bit-exact, %zu typed errors, "
+              "%zu corruptions\n",
+              ran, exact, typed, corrupt);
+  if (corrupt > 0) {
+    std::fprintf(stderr, "chaos: SILENT CORRUPTION DETECTED\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,13 +338,15 @@ int main(int argc, char** argv) {
     if (a.command == "sort") return cmd_sort(a);
     if (a.command == "topp") return cmd_topp(a);
     if (a.command == "reduce") return cmd_reduce(a);
+    if (a.command == "chaos") return cmd_chaos(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   std::fprintf(stderr,
-               "usage: ascan_cli info|scan|sort|topp|reduce [--n N] "
+               "usage: ascan_cli info|scan|sort|topp|reduce|chaos [--n N] "
                "[--algo A] [--s S] [--blocks B] [--p P] [--u U] "
-               "[--baseline] [--trace FILE]\n");
+               "[--baseline] [--trace FILE] [--plans P] [--seed0 S] "
+               "[--retries R] [--exclusions E]\n");
   return 2;
 }
