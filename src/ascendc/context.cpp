@@ -121,6 +121,17 @@ KernelContext::KernelContext(const sim::MachineConfig& cfg,
   }
 }
 
+void KernelContext::reset(LaunchShared* shared, int block_idx, int block_dim,
+                          int sub_idx, std::uint32_t global_subcore) {
+  shared_ = shared;
+  block_idx_ = block_idx;
+  block_dim_ = block_dim;
+  sub_idx_ = sub_idx;
+  trace_.reset(global_subcore, &shared->op_ids());
+  sync_count_ = 0;
+  ub_.used = l1_.used = l0a_.used = l0b_.used = l0c_.used = 0;
+}
+
 void KernelContext::SyncAll() {
   sim::TraceOp op;
   op.engine = sim::EngineKind::Scalar;

@@ -96,6 +96,14 @@ class KernelContext {
                 int block_idx, int block_dim, SubcoreKind kind, int sub_idx,
                 std::uint32_t global_subcore);
 
+  /// Re-initialises a pooled context for a new launch: rebinds the shared
+  /// launch state and identity, rewinds the arenas (allocations are kept,
+  /// not zeroed — kernels write before they read) and clears the trace
+  /// builder while keeping its op-vector capacity. The context's sub-core
+  /// kind is fixed at construction (the arenas are shaped by it).
+  void reset(LaunchShared* shared, int block_idx, int block_dim, int sub_idx,
+             std::uint32_t global_subcore);
+
   // --- Identity (mirrors AscendC's GetBlockIdx / GetSubBlockIdx) -----------
   int GetBlockIdx() const { return block_idx_; }
   int GetBlockDim() const { return block_dim_; }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "ascendc/gm_space.hpp"
 #include "common/check.hpp"
 #include "common/dtype.hpp"
 #include "sim/config.hpp"
@@ -18,16 +19,51 @@ namespace ascend::acc {
 template <typename T>
 class GlobalTensor;
 
+class LaunchEngine;
+
 /// Owning global-memory (HBM) allocation. The host can read/write it freely
 /// between kernel launches (that is the host<->device boundary); kernels
 /// access it through GlobalTensor views.
+///
+/// Each buffer carries a deterministic *virtual* GM address (see
+/// gm_space.hpp) which the L2 model keys on — never the host heap address,
+/// which varies with ASLR and allocator state.
 template <typename T>
 class GlobalBuffer {
  public:
   GlobalBuffer() = default;
-  explicit GlobalBuffer(std::size_t n) : data_(n) {}
-  GlobalBuffer(std::size_t n, T fill) : data_(n, fill) {}
-  explicit GlobalBuffer(std::vector<T> host) : data_(std::move(host)) {}
+  explicit GlobalBuffer(std::size_t n) : data_(n) { acquire_vaddr(); }
+  GlobalBuffer(std::size_t n, T fill) : data_(n, fill) { acquire_vaddr(); }
+  explicit GlobalBuffer(std::vector<T> host) : data_(std::move(host)) {
+    acquire_vaddr();
+  }
+
+  ~GlobalBuffer() { release_vaddr(); }
+  GlobalBuffer(const GlobalBuffer& o) : data_(o.data_) { acquire_vaddr(); }
+  GlobalBuffer& operator=(const GlobalBuffer& o) {
+    if (this != &o) {
+      release_vaddr();
+      data_ = o.data_;
+      acquire_vaddr();
+    }
+    return *this;
+  }
+  GlobalBuffer(GlobalBuffer&& o) noexcept
+      : data_(std::move(o.data_)), vaddr_(o.vaddr_), vbytes_(o.vbytes_) {
+    o.vaddr_ = 0;
+    o.vbytes_ = 0;
+  }
+  GlobalBuffer& operator=(GlobalBuffer&& o) noexcept {
+    if (this != &o) {
+      release_vaddr();
+      data_ = std::move(o.data_);
+      vaddr_ = o.vaddr_;
+      vbytes_ = o.vbytes_;
+      o.vaddr_ = 0;
+      o.vbytes_ = 0;
+    }
+    return *this;
+  }
 
   std::size_t size() const { return data_.size(); }
   T* data() { return data_.data(); }
@@ -41,16 +77,41 @@ class GlobalBuffer {
   const std::vector<T>& host() const { return data_; }
 
  private:
+  void acquire_vaddr() {
+    if (!data_.empty()) {
+      vbytes_ = data_.size() * sizeof(T);
+      vaddr_ = gm_space::acquire(vbytes_);
+    }
+  }
+  void release_vaddr() noexcept {
+    if (vaddr_ != 0) {
+      gm_space::release(vaddr_, vbytes_);
+      vaddr_ = 0;
+      vbytes_ = 0;
+    }
+  }
+
   std::vector<T> data_;
+  std::uint64_t vaddr_ = 0;   ///< virtual GM address (L2 model key)
+  std::size_t vbytes_ = 0;    ///< bytes vaddr_ was acquired for
 };
 
 class Device {
  public:
-  explicit Device(sim::MachineConfig cfg = sim::MachineConfig::ascend_910b4())
-      : cfg_(cfg), l2_(cfg.l2_bytes, cfg.l2_line_bytes) {}
+  // Special members live in engine.cpp: the engine_ unique_ptr needs the
+  // complete LaunchEngine type to destroy.
+  explicit Device(sim::MachineConfig cfg = sim::MachineConfig::ascend_910b4());
+  ~Device();
+  Device(Device&&) noexcept;
+  Device& operator=(Device&&) noexcept;
 
   const sim::MachineConfig& config() const { return cfg_; }
   sim::L2Cache& l2() { return l2_; }
+
+  /// Host execution engine of this device: persistent sub-core workers,
+  /// pooled kernel contexts, scheduler scratch and the timing cache.
+  /// Created lazily on the first launch (defined in engine.cpp).
+  LaunchEngine& engine();
 
   /// Installs a fault plan: every subsequent launch on this device consults
   /// the injector. The injector is shared so a resilient caller (e.g.
@@ -93,6 +154,7 @@ class Device {
   sim::MachineConfig cfg_;
   sim::L2Cache l2_;
   std::shared_ptr<sim::FaultInjector> injector_;
+  std::unique_ptr<LaunchEngine> engine_;  ///< lazy; travels on move
   double host_sync_s_ = 8e-6;
 };
 

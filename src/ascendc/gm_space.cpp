@@ -1,0 +1,60 @@
+#include "ascendc/gm_space.hpp"
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace ascend::acc::gm_space {
+
+namespace {
+
+// Block granularity. Must cover every L2 line size so distinct buffers
+// never share a line; page-sized also mirrors how real GM carves tensors.
+constexpr std::uint64_t kAlign = 4096;
+constexpr std::uint64_t kBase = 1ull << 20;  // keep 0 free as the sentinel
+
+std::uint64_t round_up(std::size_t bytes) {
+  const std::uint64_t b = bytes == 0 ? 1 : static_cast<std::uint64_t>(bytes);
+  return (b + kAlign - 1) / kAlign * kAlign;
+}
+
+struct Space {
+  std::mutex mu;
+  std::uint64_t bump = kBase;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> free_lists;
+};
+
+Space& space() {
+  static Space s;  // never destroyed before the last GlobalBuffer
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t acquire(std::size_t bytes) {
+  const std::uint64_t sz = round_up(bytes);
+  Space& s = space();
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.free_lists.find(sz);
+  if (it != s.free_lists.end() && !it->second.empty()) {
+    const std::uint64_t v = it->second.back();
+    it->second.pop_back();
+    return v;
+  }
+  const std::uint64_t v = s.bump;
+  s.bump += sz;
+  return v;
+}
+
+void release(std::uint64_t vaddr, std::size_t bytes) noexcept {
+  if (vaddr == 0) return;
+  Space& s = space();
+  std::lock_guard<std::mutex> lk(s.mu);
+  try {
+    s.free_lists[round_up(bytes)].push_back(vaddr);
+  } catch (...) {
+    // Out of memory while freeing: drop the block (timing-model leak only).
+  }
+}
+
+}  // namespace ascend::acc::gm_space

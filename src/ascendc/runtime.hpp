@@ -15,11 +15,12 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <thread>
+#include <mutex>
 #include <vector>
 
 #include "ascendc/context.hpp"
 #include "ascendc/device.hpp"
+#include "ascendc/engine.hpp"
 #include "sim/report.hpp"
 #include "sim/scheduler.hpp"
 
@@ -58,12 +59,6 @@ struct LaunchSpec {
 };
 
 namespace detail {
-
-struct SubcorePlan {
-  int block_idx;
-  SubcoreKind kind;
-  int sub_idx;
-};
 
 inline std::vector<SubcorePlan> plan_subcores(const sim::MachineConfig& cfg,
                                               const LaunchSpec& spec) {
@@ -105,9 +100,17 @@ inline std::vector<SubcorePlan> plan_subcores(const sim::MachineConfig& cfg,
 /// Launches `body(ctx)` per sub-core and returns the simulated report.
 /// Functional effects on GM buffers happen eagerly; the report's time is
 /// what the 910B would take.
+///
+/// Host execution runs on the device's LaunchEngine: sub-core bodies execute
+/// on the persistent worker pool (or spawned threads under
+/// ExecutorMode::Spawn / ASCAN_EXECUTOR=spawn), kernel contexts and trace
+/// arenas are pooled in both modes, and constant-shape repeated launches may
+/// skip the discrete-event replay via the opt-in timing cache. All of it is
+/// bit-exact: Reports, traces and GM effects are identical across modes.
 template <typename F>
 sim::Report launch(Device& dev, const LaunchSpec& spec, F&& body) {
-  const sim::MachineConfig& cfg = dev.config();
+  LaunchEngine& eng = dev.engine();
+  const sim::MachineConfig& cfg = eng.config();
   const auto plan = detail::plan_subcores(cfg, spec);
   const int n = static_cast<int>(plan.size());
 
@@ -125,48 +128,34 @@ sim::Report launch(Device& dev, const LaunchSpec& spec, F&& body) {
   }
 
   LaunchShared shared(n);
-  std::vector<std::unique_ptr<KernelContext>> ctxs;
-  ctxs.reserve(plan.size());
-  for (int s = 0; s < n; ++s) {
-    ctxs.push_back(std::make_unique<KernelContext>(
-        cfg, &shared, plan[s].block_idx, spec.block_dim, plan[s].kind,
-        plan[s].sub_idx, static_cast<std::uint32_t>(s)));
-  }
+  LaunchEngine::ContextLease ctxs =
+      eng.lease_contexts(plan, &shared, spec.block_dim);
 
   std::exception_ptr first_error;
   std::mutex error_mu;
-  std::vector<std::thread> threads;
-  threads.reserve(plan.size());
-  for (int s = 0; s < n; ++s) {
-    threads.emplace_back([&, s] {
-      try {
-        body(*ctxs[static_cast<std::size_t>(s)]);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lk(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        shared.poison();
+  eng.run_subcores(n, [&](int s) {
+    try {
+      body(ctxs[static_cast<std::size_t>(s)]);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
       }
-    });
-  }
-  for (auto& t : threads) t.join();
+      shared.poison();
+    }
+  });
   if (first_error) std::rethrow_exception(first_error);
 
-  sim::KernelTrace trace;
-  trace.per_subcore.reserve(plan.size());
-  trace.is_cube_subcore.reserve(plan.size());
-  for (int s = 0; s < n; ++s) {
-    trace.per_subcore.push_back(
-        std::move(ctxs[static_cast<std::size_t>(s)]->trace().mutable_ops()));
-    trace.is_cube_subcore.push_back(plan[s].kind == SubcoreKind::Cube);
-  }
-  trace.max_op_id = shared.op_ids().load(std::memory_order_relaxed) - 1;
-
-  sim::Scheduler sched(cfg, &dev.l2());
+  LaunchEngine::TimingRequest req;
+  req.name = spec.name;
+  req.mode = static_cast<int>(spec.mode);
+  req.block_dim = spec.block_dim;
+  req.timeline = spec.timeline;
+  req.watchdog_s = spec.watchdog_s;
+  req.injector = fault_armed ? injector : nullptr;
+  req.l2 = &dev.l2();
   try {
-    return sched.run(trace, spec.timeline,
-                     {fault_armed ? injector : nullptr, spec.watchdog_s});
+    return eng.time_lease(ctxs, shared, req);
   } catch (sim::FaultError& e) {
     for (std::size_t g = 0; g < output_snapshots.size(); ++g) {
       std::copy(output_snapshots[g].begin(), output_snapshots[g].end(),

@@ -55,11 +55,17 @@ template <typename T>
 class GlobalTensor {
  public:
   GlobalTensor() = default;
-  GlobalTensor(T* data, std::size_t n) : data_(data), size_(n) {}
+  /// `vaddr` is the deterministic virtual GM address of `data` (see
+  /// gm_space.hpp); it defaults to the host address only for ad-hoc views
+  /// not backed by a GlobalBuffer.
+  GlobalTensor(T* data, std::size_t n, std::uint64_t vaddr = 0)
+      : data_(data), size_(n),
+        vaddr_(vaddr != 0 ? vaddr : reinterpret_cast<std::uint64_t>(data)) {}
 
   void SetGlobalBuffer(T* data, std::size_t n) {
     data_ = data;
     size_ = n;
+    vaddr_ = reinterpret_cast<std::uint64_t>(data);
   }
 
   T* data() const { return data_; }
@@ -71,29 +77,32 @@ class GlobalTensor {
     ASCAN_ASSERT(offset + n <= size_, "GlobalTensor slice out of range: off="
                                           << offset << " n=" << n
                                           << " size=" << size_);
-    return GlobalTensor(data_ + offset, n);
+    return GlobalTensor(data_ + offset, n, vaddr_ + offset * sizeof(T));
   }
   GlobalTensor operator[](std::size_t offset) const {
     return sub(offset, size_ - offset);
   }
 
-  /// Address used by the L2 model.
-  std::uint64_t gm_addr() const { return reinterpret_cast<std::uint64_t>(data_); }
+  /// Address used by the L2 model: the buffer's virtual GM address, never
+  /// the host heap address (which varies with ASLR/allocator state and
+  /// would make simulated times nondeterministic).
+  std::uint64_t gm_addr() const { return vaddr_; }
 
   template <typename U>
   GlobalTensor<U> reinterpret() const {
     return GlobalTensor<U>(reinterpret_cast<U*>(data_),
-                           size_ * sizeof(T) / sizeof(U));
+                           size_ * sizeof(T) / sizeof(U), vaddr_);
   }
 
  private:
   T* data_ = nullptr;
   std::size_t size_ = 0;
+  std::uint64_t vaddr_ = 0;
 };
 
 template <typename T>
 GlobalTensor<T> GlobalBuffer<T>::tensor() {
-  return GlobalTensor<T>(data_.data(), data_.size());
+  return GlobalTensor<T>(data_.data(), data_.size(), vaddr_);
 }
 
 template <typename T>

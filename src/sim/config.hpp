@@ -21,6 +21,16 @@
 
 namespace ascend::sim {
 
+/// How kernel launches execute their sub-core bodies on the host.
+///  * Spawn — legacy path: one fresh std::thread per sub-core per launch
+///    (kept selectable for debugging and determinism A/B tests).
+///  * Pool  — persistent worker pool owned by the device; bodies dispatch
+///    to long-lived workers (the fast path).
+///  * Auto  — consult the ASCAN_EXECUTOR environment variable ("spawn" or
+///    "pool"); default Pool.
+/// Both paths produce bit-identical traces, Reports and output values.
+enum class ExecutorMode : std::uint8_t { Auto, Spawn, Pool };
+
 struct MachineConfig {
   // --- Topology ------------------------------------------------------------
   int num_ai_cores = 20;  ///< AIC count ("blocks" at full occupancy)
@@ -94,6 +104,16 @@ struct MachineConfig {
   /// (0 = disabled). A launch whose simulated clock would pass the deadline
   /// aborts with TimeoutError instead of hanging forever.
   double watchdog_s = 0;
+
+  // --- Host execution engine ---------------------------------------------------
+  /// Sub-core execution strategy (see ExecutorMode). Runtime-switchable via
+  /// ASCAN_EXECUTOR when left at Auto.
+  ExecutorMode executor = ExecutorMode::Auto;
+  /// Opt-in launch-shape timing cache: identical repeated launches skip the
+  /// discrete-event replay once their Report has provably converged. Always
+  /// bypassed when a fault injector is armed or a Timeline is requested.
+  /// The ASCAN_TIMING_CACHE environment variable overrides this field.
+  bool timing_cache = false;
 
   // --- Derived helpers ---------------------------------------------------------
   double cycles_to_s(double cycles) const { return cycles / clock_hz; }

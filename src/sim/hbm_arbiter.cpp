@@ -30,7 +30,12 @@ std::uint32_t HbmArbiter::add_flow(double now, double bytes, double rate_cap,
     handle = static_cast<std::uint32_t>(flows_.size());
     flows_.push_back(f);
   }
-  ++active_count_;
+  // Keep active_slots_ sorted so every sweep visits flows in ascending slot
+  // order (bit-identical FP summation vs. the full-vector scan it replaces).
+  active_slots_.insert(
+      std::lower_bound(active_slots_.begin(), active_slots_.end(), handle),
+      handle);
+  if (f.hbm_frac > 0.0) ++hbm_active_;
   recompute_rates();
   return handle;
 }
@@ -41,50 +46,61 @@ void HbmArbiter::advance_to(double now) {
     last_update_ = std::max(last_update_, now);
     return;
   }
-  double hbm_demand = 0;
-  for (auto& f : flows_) {
-    if (!f.active) continue;
+  for (std::uint32_t i : active_slots_) {
+    Flow& f = flows_[i];
     f.remaining -= f.rate * dt;
-    hbm_demand += f.rate * f.hbm_frac;
   }
-  if (hbm_demand > 0) hbm_busy_time_ += dt;
+  // Assigned rates are strictly positive, so the HBM pool is busy exactly
+  // while some active flow demands HBM bytes.
+  if (hbm_active_ > 0) hbm_busy_time_ += dt;
   last_update_ = now;
 }
 
-std::vector<std::uint32_t> HbmArbiter::advance_and_pop(double now) {
+const std::vector<std::uint32_t>& HbmArbiter::advance_and_pop(double now) {
   advance_to(now);
-  std::vector<std::uint32_t> done;
-  for (std::uint32_t i = 0; i < flows_.size(); ++i) {
+  done_.clear();
+  std::size_t keep = 0;
+  for (std::size_t k = 0; k < active_slots_.size(); ++k) {
+    const std::uint32_t i = active_slots_[k];
     Flow& f = flows_[i];
-    if (f.active && f.remaining <= kByteEps) {
+    if (f.remaining <= kByteEps) {
       f.active = false;
-      --active_count_;
-      done.push_back(i);
+      if (f.hbm_frac > 0.0) --hbm_active_;
+      done_.push_back(i);
       free_slots_cached_.push_back(i);
+    } else {
+      active_slots_[keep++] = i;  // compaction preserves ascending order
     }
   }
-  if (!done.empty() || active_count_ == 0) recompute_rates();
-  return done;
+  if (!done_.empty()) {
+    active_slots_.resize(keep);
+    recompute_rates();
+  } else if (active_slots_.empty()) {
+    recompute_rates();
+  }
+  return done_;
 }
 
 void HbmArbiter::recompute_rates() {
-  if (active_count_ == 0) {
+  if (active_slots_.empty()) {
     next_completion_ = kInf;
     return;
   }
   // Start at cap, then repeatedly throttle the pool that is oversubscribed.
-  for (auto& f : flows_) {
-    if (f.active) f.rate = f.cap;
+  for (std::uint32_t i : active_slots_) {
+    flows_[i].rate = flows_[i].cap;
   }
   auto throttle_pool = [&](double limit, double Flow::* frac) {
     double use = 0;
-    for (const auto& f : flows_) {
-      if (f.active) use += f.rate * f.*frac;
+    for (std::uint32_t i : active_slots_) {
+      const Flow& f = flows_[i];
+      use += f.rate * f.*frac;
     }
     if (use <= limit * (1 + 1e-9)) return false;
     const double scale = limit / use;
-    for (auto& f : flows_) {
-      if (f.active && f.*frac > 0.0) f.rate *= scale;
+    for (std::uint32_t i : active_slots_) {
+      Flow& f = flows_[i];
+      if (f.*frac > 0.0) f.rate *= scale;
     }
     return true;
   };
@@ -94,8 +110,8 @@ void HbmArbiter::recompute_rates() {
     if (!changed) break;
   }
   next_completion_ = kInf;
-  for (const auto& f : flows_) {
-    if (!f.active) continue;
+  for (std::uint32_t i : active_slots_) {
+    const Flow& f = flows_[i];
     ASCAN_ASSERT(f.rate > 0);
     next_completion_ =
         std::min(next_completion_, last_update_ + f.remaining / f.rate + kEps);

@@ -12,6 +12,11 @@
 // is MTE-limited, 20 cores on an L2-resident working set saturate the
 // on-chip pool (copy "almost approaches the theoretical limit"), and larger
 // working sets degrade to HBM-efficiency-limited streaming.
+//
+// Hot-path note: all sweeps run over `active_slots_`, kept sorted by slot
+// index so iteration order — and therefore floating-point summation order —
+// is identical to scanning the whole `flows_` vector and skipping inactive
+// entries, while costing O(active) instead of O(ever-created).
 #pragma once
 
 #include <cstdint>
@@ -36,10 +41,10 @@ class HbmArbiter {
   double next_completion_time() const { return next_completion_; }
 
   /// Advances the fluid state to `now` and pops every flow that completes
-  /// at (or before) `now`. Returns their handles.
-  std::vector<std::uint32_t> advance_and_pop(double now);
+  /// at (or before) `now`. Returns their handles in ascending slot order.
+  const std::vector<std::uint32_t>& advance_and_pop(double now);
 
-  bool idle() const { return active_count_ == 0; }
+  bool idle() const { return active_slots_.empty(); }
   double hbm_busy_time() const { return hbm_busy_time_; }
 
  private:
@@ -60,9 +65,11 @@ class HbmArbiter {
   double last_update_ = 0;
   double next_completion_ = kInf;
   double hbm_busy_time_ = 0;  ///< integral of (hbm demand > 0)
-  int active_count_ = 0;
+  int hbm_active_ = 0;        ///< active flows with hbm_frac > 0
   std::vector<Flow> flows_;
+  std::vector<std::uint32_t> active_slots_;  ///< sorted ascending
   std::vector<std::uint32_t> free_slots_cached_;
+  std::vector<std::uint32_t> done_;  ///< advance_and_pop result buffer
 
   static constexpr double kInf = 1e300;
 };

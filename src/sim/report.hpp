@@ -83,4 +83,22 @@ struct Report {
 
 std::ostream& operator<<(std::ostream& os, const Report& r);
 
+/// Bit-exact equality over every field (times compared with ==, which is
+/// exact for the deterministic scheduler). Used by the launch-shape timing
+/// cache to detect that a launch shape's Report has converged, and by the
+/// determinism tests comparing executors.
+inline bool identical(const Report& a, const Report& b) {
+  return a.time_s == b.time_s && a.launches == b.launches &&
+         a.gm_read_bytes == b.gm_read_bytes &&
+         a.gm_write_bytes == b.gm_write_bytes &&
+         a.l2_hit_bytes == b.l2_hit_bytes && a.cube_busy_s == b.cube_busy_s &&
+         a.vec_busy_s == b.vec_busy_s && a.mte_busy_s == b.mte_busy_s &&
+         a.scalar_busy_s == b.scalar_busy_s && a.hbm_busy_s == b.hbm_busy_s &&
+         a.num_ops == b.num_ops && a.mte_faults == b.mte_faults &&
+         a.ecc_single == b.ecc_single && a.ecc_double == b.ecc_double &&
+         a.hangs == b.hangs && a.throttled_subcores == b.throttled_subcores &&
+         a.retries == b.retries && a.excluded_cores == b.excluded_cores &&
+         a.backoff_s == b.backoff_s;
+}
+
 }  // namespace ascend::sim

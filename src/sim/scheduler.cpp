@@ -4,7 +4,6 @@
 #include <limits>
 #include <queue>
 #include <sstream>
-#include <unordered_map>
 #include <vector>
 
 #include "common/math_util.hpp"
@@ -26,13 +25,60 @@ struct OpState {
 };
 }  // namespace
 
+// Every per-launch working structure of the hot loop lives here so a
+// persistent SchedScratch turns one launch's O(num_ops) heap churn (per-op
+// dependent lists, hash maps, per-event hot lists) into vector reuse.
+// The ready-queue design: each dense engine index owns an in-order FIFO of
+// its op ids with a head cursor (`fifo_head`) marking the oldest unstarted
+// op; an engine enters `hot` only when something that could unblock its
+// head happened (engine freed, or a dependency of some queued op finished
+// — tracked by the incremental `pending_deps` counters). The main loop
+// never rescans FIFOs.
+struct SchedScratch::Impl {
+  std::vector<OpState> st;
+  // Per-engine FIFOs: outer vector sized to num_engines, inner vectors
+  // cleared per launch but keeping their capacity.
+  std::vector<std::vector<std::uint32_t>> fifo;
+  std::vector<std::uint32_t> fifo_head;
+  std::vector<double> engine_free;
+  std::vector<double> engine_busy;
+  // Dependents in CSR form (replaces a vector-of-vectors that cost one
+  // heap allocation per op with outgoing edges).
+  std::vector<std::uint32_t> dep_offsets;
+  std::vector<std::uint32_t> dep_edges;
+  std::vector<std::uint32_t> dep_fill;
+  // Barrier groups in CSR form, indexed by epoch (replaces two hash maps).
+  std::vector<std::uint32_t> barrier_offsets;
+  std::vector<std::uint32_t> barrier_members;
+  std::vector<std::uint32_t> barrier_started;
+  std::vector<std::uint32_t> barrier_fill;
+  // In-flight GM transfers: flow handle -> op id (replaces a hash map; the
+  // arbiter hands out compact slot indices).
+  std::vector<std::uint32_t> flow_to_op;
+  // Engines to re-examine, double-buffered across loop iterations.
+  std::vector<std::uint32_t> hot_engines;
+  std::vector<std::uint32_t> hot_next;
+  // Fault decisions.
+  std::vector<FaultKind> op_fault;
+  std::vector<double> subcore_scale;
+};
+
+SchedScratch::SchedScratch() : impl_(std::make_unique<Impl>()) {}
+SchedScratch::~SchedScratch() = default;
+
 Report Scheduler::run(const KernelTrace& trace, Timeline* timeline,
-                      const SchedulerFaults& faults) {
+                      const SchedulerFaults& faults, SchedScratch* scratch) {
+  // Callers without a persistent scratch get a run-local one.
+  SchedScratch local_scratch;
+  SchedScratch::Impl& sc = scratch != nullptr ? *scratch->impl_
+                                              : *local_scratch.impl_;
+
   Report rep;
   rep.launches = 1;
 
   const std::uint32_t max_id = trace.max_op_id;
-  std::vector<OpState> st(max_id + 1);
+  sc.st.assign(max_id + 1, OpState{});
+  std::vector<OpState>& st = sc.st;
 
   FaultInjector* inj =
       faults.injector != nullptr && faults.injector->armed() ? faults.injector
@@ -45,28 +91,32 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline,
       static_cast<std::uint32_t>(trace.per_subcore.size());
   const std::uint32_t num_engines = num_subcores * kNumEngineKinds;
 
-  std::vector<std::vector<std::uint32_t>> fifo(num_engines);
-  std::vector<std::uint32_t> fifo_head(num_engines, 0);
-  std::vector<double> engine_free(num_engines, 0.0);
-  std::vector<double> engine_busy(num_engines, 0.0);
+  if (sc.fifo.size() < num_engines) sc.fifo.resize(num_engines);
+  for (std::uint32_t e = 0; e < num_engines; ++e) sc.fifo[e].clear();
+  sc.fifo_head.assign(num_engines, 0);
+  sc.engine_free.assign(num_engines, 0.0);
+  sc.engine_busy.assign(num_engines, 0.0);
+  std::vector<std::vector<std::uint32_t>>& fifo = sc.fifo;
+  std::vector<std::uint32_t>& fifo_head = sc.fifo_head;
+  std::vector<double>& engine_free = sc.engine_free;
+  std::vector<double>& engine_busy = sc.engine_busy;
 
-  std::vector<std::vector<std::uint32_t>> dependents(max_id + 1);
-
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> barrier_ops;
-  std::unordered_map<std::uint32_t, std::uint32_t> barrier_started;
-
+  // First pass: op states, per-engine FIFOs, dependency/barrier counts and
+  // byte accounting.
+  sc.dep_offsets.assign(max_id + 2, 0);
+  std::uint32_t max_epoch = 0;
   for (std::uint32_t s = 0; s < num_subcores; ++s) {
     for (const TraceOp& op : trace.per_subcore[s]) {
       OpState& o = st[op.id];
       o.op = &op;
       o.engine = s * kNumEngineKinds + static_cast<std::uint32_t>(op.engine);
       fifo[o.engine].push_back(op.id);
+      o.pending_deps = op.num_deps;
       for (std::uint8_t d = 0; d < op.num_deps; ++d) {
-        dependents[op.deps[d]].push_back(op.id);
-        ++o.pending_deps;
+        ++sc.dep_offsets[op.deps[d] + 1];
       }
       if (op.kind == TraceOp::Kind::Barrier) {
-        barrier_ops[op.barrier_epoch].push_back(op.id);
+        max_epoch = std::max(max_epoch, op.barrier_epoch);
       }
       if (op.kind == TraceOp::Kind::Transfer) {
         if (op.gm_write) {
@@ -79,11 +129,48 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline,
     }
   }
 
+  // Dependents and barrier groups in CSR form. Fill order matches the old
+  // push_back order (sub-cores ascending, ops in trace order), so the
+  // scheduler examines edges in exactly the same sequence as before.
+  for (std::uint32_t i = 1; i <= max_id + 1; ++i) {
+    sc.dep_offsets[i] += sc.dep_offsets[i - 1];
+  }
+  sc.dep_edges.resize(sc.dep_offsets[max_id + 1]);
+  sc.dep_fill.assign(max_id + 1, 0);
+  sc.barrier_offsets.assign(max_epoch + 2, 0);
+  sc.barrier_started.assign(max_epoch + 1, 0);
+  for (std::uint32_t s = 0; s < num_subcores; ++s) {
+    for (const TraceOp& op : trace.per_subcore[s]) {
+      for (std::uint8_t d = 0; d < op.num_deps; ++d) {
+        const std::uint32_t dep = op.deps[d];
+        sc.dep_edges[sc.dep_offsets[dep] + sc.dep_fill[dep]++] = op.id;
+      }
+      if (op.kind == TraceOp::Kind::Barrier) {
+        ++sc.barrier_offsets[op.barrier_epoch + 1];
+      }
+    }
+  }
+  for (std::uint32_t e = 1; e <= max_epoch + 1; ++e) {
+    sc.barrier_offsets[e] += sc.barrier_offsets[e - 1];
+  }
+  sc.barrier_members.resize(sc.barrier_offsets[max_epoch + 1]);
+  sc.barrier_fill.assign(max_epoch + 1, 0);
+  for (std::uint32_t s = 0; s < num_subcores; ++s) {
+    for (const TraceOp& op : trace.per_subcore[s]) {
+      if (op.kind != TraceOp::Kind::Barrier) continue;
+      const std::uint32_t ep = op.barrier_epoch;
+      sc.barrier_members[sc.barrier_offsets[ep] + sc.barrier_fill[ep]++] =
+          op.id;
+    }
+  }
+
   // Fault decisions are made up-front in trace order — (sub-core, per-sub-
   // core transfer ordinal) keys are interleaving-independent, so the same
   // plan seed yields the same decisions on every run.
-  std::vector<FaultKind> op_fault;
-  std::vector<double> subcore_scale(num_subcores, 1.0);
+  sc.subcore_scale.assign(num_subcores, 1.0);
+  std::vector<double>& subcore_scale = sc.subcore_scale;
+  sc.op_fault.clear();
+  std::vector<FaultKind>& op_fault = sc.op_fault;
   if (inj != nullptr) {
     const std::uint64_t launch = inj->begin_launch();
     op_fault.assign(max_id + 1, FaultKind::None);
@@ -127,19 +214,21 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline,
 
   using Event = std::pair<double, std::uint32_t>;  // (time, op id)
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-  std::unordered_map<std::uint32_t, std::uint32_t> flow_to_op;
+  sc.flow_to_op.clear();  // flow handle -> op id; 0 = no in-flight op
 
   double now = cfg_.launch_overhead_s;
   std::uint64_t remaining_ops = rep.num_ops;
 
-  std::vector<std::uint32_t> hot_engines;
-  hot_engines.reserve(num_engines);
+  sc.hot_engines.clear();
+  sc.hot_next.clear();
+  std::vector<std::uint32_t>& hot_engines = sc.hot_engines;
+  std::vector<std::uint32_t>& hot = sc.hot_next;
   for (std::uint32_t e = 0; e < num_engines; ++e) {
     if (!fifo[e].empty()) hot_engines.push_back(e);
   }
 
   auto on_finished = [&](std::uint32_t id, double t,
-                         std::vector<std::uint32_t>& hot) {
+                         std::vector<std::uint32_t>& hot_out) {
     OpState& o = st[id];
     if (o.finish >= 0) return;  // already completed
     o.finish = t;
@@ -148,12 +237,14 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline,
       engine_free[e] = t;
       engine_busy[e] += t - o.start;
       o.engine_released = true;
-      hot.push_back(e);
+      hot_out.push_back(e);
     }
-    for (std::uint32_t dep_id : dependents[id]) {
-      OpState& d = st[dep_id];
+    const std::uint32_t dep_begin = sc.dep_offsets[id];
+    const std::uint32_t dep_end = sc.dep_offsets[id + 1];
+    for (std::uint32_t i = dep_begin; i < dep_end; ++i) {
+      OpState& d = st[sc.dep_edges[i]];
       ASCAN_ASSERT(d.pending_deps > 0);
-      if (--d.pending_deps == 0) hot.push_back(d.engine);
+      if (--d.pending_deps == 0) hot_out.push_back(d.engine);
     }
     --remaining_ops;
   };
@@ -230,18 +321,22 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline,
           const std::uint32_t flow = arbiter.add_flow(
               now + setup, static_cast<double>(op.bytes), cfg_.mte_bandwidth,
               hbm_frac, l2_frac);
-          flow_to_op[flow] = id;
+          if (sc.flow_to_op.size() <= flow) sc.flow_to_op.resize(flow + 1, 0);
+          sc.flow_to_op[flow] = id;
           engine_free[e] = kInf;  // MTE handles one DataCopy at a time
           break;
         }
         case TraceOp::Kind::Barrier: {
           engine_free[e] = kInf;  // blocks until the whole epoch arrives
-          auto& cnt = barrier_started[op.barrier_epoch];
-          ++cnt;
-          const auto& group = barrier_ops[op.barrier_epoch];
-          if (cnt == group.size()) {
+          const std::uint32_t ep = op.barrier_epoch;
+          const std::uint32_t cnt = ++sc.barrier_started[ep];
+          const std::uint32_t group_begin = sc.barrier_offsets[ep];
+          const std::uint32_t group_end = sc.barrier_offsets[ep + 1];
+          if (cnt == group_end - group_begin) {
             const double t = now + cfg_.sync_all_s;
-            for (std::uint32_t bid : group) events.emplace(t, bid);
+            for (std::uint32_t i = group_begin; i < group_end; ++i) {
+              events.emplace(t, sc.barrier_members[i]);
+            }
           }
           break;
         }
@@ -270,7 +365,7 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline,
                                     << remaining_ops << " ops unreachable");
     now = std::max(now, t_next);
 
-    std::vector<std::uint32_t> hot;
+    hot.clear();
     while (!events.empty() && events.top().first <= now + 1e-18) {
       const std::uint32_t id = events.top().second;
       events.pop();
@@ -284,22 +379,22 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline,
       on_finished(id, now, hot);
     }
     for (std::uint32_t flow : arbiter.advance_and_pop(now)) {
-      auto it = flow_to_op.find(flow);
-      ASCAN_ASSERT(it != flow_to_op.end());
+      ASCAN_ASSERT(flow < sc.flow_to_op.size() && sc.flow_to_op[flow] != 0);
+      const std::uint32_t id = sc.flow_to_op[flow];
+      sc.flow_to_op[flow] = 0;
       // The MTE engine is free to issue its next DMA as soon as the bytes
       // have streamed; consumers of the data observe it one GM latency
       // later (dependent edges resolve at now + latency).
-      OpState& o = st[it->second];
+      OpState& o = st[id];
       if (!o.engine_released) {
         engine_free[o.engine] = now;
         engine_busy[o.engine] += now - o.start;
         o.engine_released = true;
         hot.push_back(o.engine);
       }
-      events.emplace(now + cfg_.gm_latency_s, it->second);
-      flow_to_op.erase(it);
+      events.emplace(now + cfg_.gm_latency_s, id);
     }
-    hot_engines = std::move(hot);
+    std::swap(hot_engines, hot);
   }
 
   rep.time_s = now;

@@ -19,6 +19,8 @@
 // and the trace itself is independent of host-thread interleaving.
 #pragma once
 
+#include <memory>
+
 #include "sim/config.hpp"
 #include "sim/fault.hpp"
 #include "sim/l2_cache.hpp"
@@ -27,6 +29,25 @@
 #include "sim/trace.hpp"
 
 namespace ascend::sim {
+
+/// Reusable scratch arenas for Scheduler::run. One launch used to allocate
+/// O(num_ops) heap blocks (per-op dependent lists, hash maps for barriers
+/// and in-flight flows, per-event hot lists); keeping one SchedScratch
+/// alive across launches turns all of that into cleared-and-reused flat
+/// vectors. Purely an allocation cache: results are bit-identical with and
+/// without it. Not thread-safe — one scratch per device.
+class SchedScratch {
+ public:
+  SchedScratch();
+  ~SchedScratch();
+  SchedScratch(const SchedScratch&) = delete;
+  SchedScratch& operator=(const SchedScratch&) = delete;
+
+ private:
+  friend class Scheduler;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Fault-injection and watchdog parameters for one scheduler run.
 struct SchedulerFaults {
@@ -50,8 +71,12 @@ class Scheduler {
   /// ECC events in-line (timing penalty), sub-cores may be throttled, and
   /// fatal faults abort the run by throwing TransferError / EccError /
   /// TimeoutError carrying the partial Report of the aborted attempt.
+  ///
+  /// `scratch` (optional) recycles the run's working memory across
+  /// launches; pass the device-owned instance on hot paths.
   Report run(const KernelTrace& trace, Timeline* timeline = nullptr,
-             const SchedulerFaults& faults = {});
+             const SchedulerFaults& faults = {},
+             SchedScratch* scratch = nullptr);
 
  private:
   const MachineConfig& cfg_;

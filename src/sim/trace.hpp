@@ -82,6 +82,16 @@ class TraceBuilder {
   TraceBuilder(std::uint32_t subcore, std::atomic<std::uint32_t>* id_counter)
       : subcore_(subcore), id_counter_(id_counter) {}
 
+  /// Rebinds a pooled builder to a new launch, clearing the op list but
+  /// keeping its capacity (the per-launch allocation this avoids is the
+  /// point of pooling kernel contexts).
+  void reset(std::uint32_t subcore, std::atomic<std::uint32_t>* id_counter) {
+    subcore_ = subcore;
+    id_counter_ = id_counter;
+    serial_anchor_ = 0;
+    ops_.clear();
+  }
+
   /// Appends an op, assigning its global id. Serialising context (scalar
   /// read-backs, flag waits, barriers) is added as a dependency
   /// automatically; pass extra explicit deps via TraceOp::add_dep before or

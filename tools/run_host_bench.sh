@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Runs the host-side simulator microbenchmarks (google-benchmark) and writes
+# the JSON report to BENCH_sim_host.json at the repository root.
+#
+# Usage:
+#   tools/run_host_bench.sh [build-dir] [extra google-benchmark flags...]
+#
+# The end-to-end Session benchmarks embed a spawn-vs-pool determinism check
+# (`cross_exec_ok` counter): the JSON therefore carries, from the same run,
+# both the launches/sec comparison and the evidence that the two executors
+# produced bit-identical simulated times and values.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+bench_bin="$build_dir/bench/bench_sim_host"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not found or not executable." >&2
+  echo "Build it first:  cmake -B build -S . && cmake --build build --target bench_sim_host -j" >&2
+  exit 1
+fi
+
+out_json="$repo_root/BENCH_sim_host.json"
+"$bench_bin" \
+  --benchmark_format=json \
+  --benchmark_out="$out_json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo
+echo "Wrote $out_json"
+
+# Summarise the headline pool-vs-spawn ratio if python3 is available.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out_json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+rates = {}
+for b in data.get("benchmarks", []):
+    name = b.get("name", "")
+    if "launches_per_s" in b:
+        rates[name] = b["launches_per_s"]
+
+def find(sub):
+    for name, v in rates.items():
+        if sub in name:
+            return v
+    return None
+
+spawn = find("BM_RepeatedLaunch/spawn")
+pool = find("BM_RepeatedLaunch/pool/")
+if spawn and pool:
+    print(f"repeated-launch throughput: spawn {spawn:.0f}/s, "
+          f"pool {pool:.0f}/s  ({pool / spawn:.1f}x)")
+EOF
+fi
