@@ -1,0 +1,157 @@
+// Closed-loop serving load generator: request throughput and latency
+// percentiles of the serve::Engine versus offered load (client count), for
+// several batching policies. The headline claim this reproduces: at
+// saturating load, dynamic batching amortises the fixed per-launch host
+// cost (see BENCH_sim_host.json) and serves >= 2x the request throughput
+// of batch_size = 1.
+//
+//   bench_serve [--quick] [--json PATH]
+//
+// --json writes the full sweep as one JSON object (tools/run_serve_bench.sh
+// puts it at BENCH_serve.json).
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "serve/engine.hpp"
+
+using namespace ascend;
+using namespace ascend::bench;
+using namespace ascan::serve;
+
+namespace {
+
+struct PolicyCase {
+  const char* name;
+  BatchPolicy policy;
+};
+
+struct RunResult {
+  std::string policy;
+  int clients = 0;
+  std::uint64_t requests = 0;
+  double wall_s = 0;
+  double rps = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  double avg_occupancy = 0;
+  std::uint64_t rejected = 0;
+};
+
+/// Closed loop: each client thread submits, waits for the future, repeats.
+/// Offered load is therefore bounded by `clients` outstanding requests.
+RunResult run_load(const PolicyCase& pc, int clients,
+                   std::uint64_t requests_per_client) {
+  Engine engine({.policy = pc.policy});
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Mixed row lengths exercise the zero-padding path; all requests
+      // share a GroupKey so they stay coalescible.
+      Rng rng(100 + static_cast<std::uint64_t>(c));
+      for (std::uint64_t i = 0; i < requests_per_client; ++i) {
+        const std::size_t n = 128 + 64 * ((i + static_cast<std::uint64_t>(c)) % 4);
+        std::vector<ascan::half> x(n);
+        for (auto& v : x) v = ascan::half(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+        engine.submit(Request::cumsum(std::move(x))).get();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  engine.shutdown(ShutdownMode::Drain);
+
+  const auto m = engine.metrics();
+  RunResult r;
+  r.policy = pc.name;
+  r.clients = clients;
+  r.requests = m.completed;
+  r.wall_s = wall;
+  r.rps = wall > 0 ? static_cast<double>(m.completed) / wall : 0;
+  r.p50_us = m.total_latency.percentile(0.50) * 1e6;
+  r.p95_us = m.total_latency.percentile(0.95) * 1e6;
+  r.p99_us = m.total_latency.percentile(0.99) * 1e6;
+  r.avg_occupancy = m.avg_batch_occupancy;
+  r.rejected = m.rejected_capacity;
+  return r;
+}
+
+std::string to_json(const std::vector<RunResult>& runs, double no_batching_rps,
+                    double batched_rps) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"serve_closed_loop\",\n"
+     << "  \"machine\": \"simulated Ascend 910B4\",\n"
+     << "  \"workload\": \"cumsum rows of 128..320 fp16 elements\",\n"
+     << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    os << "    {\"policy\": \"" << r.policy << "\", \"clients\": " << r.clients
+       << ", \"requests\": " << r.requests << ", \"wall_s\": " << r.wall_s
+       << ", \"rps\": " << r.rps << ", \"p50_us\": " << r.p50_us
+       << ", \"p95_us\": " << r.p95_us << ", \"p99_us\": " << r.p99_us
+       << ", \"avg_occupancy\": " << r.avg_occupancy
+       << ", \"rejected\": " << r.rejected << "}"
+       << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"headline\": {\"no_batching_rps\": " << no_batching_rps
+     << ", \"batched_rps\": " << batched_rps << ", \"ratio\": "
+     << (no_batching_rps > 0 ? batched_rps / no_batching_rps : 0) << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+  print_header("Serving throughput",
+               "closed-loop load vs batching policy (serve::Engine)");
+
+  const PolicyCase cases[] = {
+      {"no_batching", {.max_batch = 1, .max_wait_s = 0}},
+      {"batch8_200us", {.max_batch = 8, .max_wait_s = 200e-6}},
+      {"batch16_500us", {.max_batch = 16, .max_wait_s = 500e-6}},
+      {"batch32_1ms", {.max_batch = 32, .max_wait_s = 1e-3}},
+  };
+  const std::vector<int> client_counts =
+      args.quick ? std::vector<int>{1, 16} : std::vector<int>{1, 4, 16, 32};
+  const std::uint64_t per_client = args.quick ? 100 : 400;
+
+  Table table({"policy", "clients", "req/s", "p50 us", "p95 us", "p99 us",
+               "occupancy"});
+  std::vector<RunResult> runs;
+  double no_batching_rps = 0, batched_rps = 0;
+  for (const auto& pc : cases) {
+    for (int clients : client_counts) {
+      const auto r = run_load(pc, clients, per_client);
+      runs.push_back(r);
+      table.add_row({r.policy, static_cast<std::int64_t>(r.clients), r.rps,
+                     r.p50_us, r.p95_us, r.p99_us, r.avg_occupancy});
+      const bool saturating = clients == client_counts.back();
+      if (saturating && r.policy == "no_batching") no_batching_rps = r.rps;
+      if (saturating) batched_rps = std::max(batched_rps, r.rps);
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nheadline: batched %.0f req/s vs no-batching %.0f req/s "
+              "(%.1fx) at saturating load\n",
+              batched_rps, no_batching_rps,
+              no_batching_rps > 0 ? batched_rps / no_batching_rps : 0.0);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << to_json(runs, no_batching_rps, batched_rps);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

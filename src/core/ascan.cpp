@@ -25,6 +25,13 @@ Session::Session(MachineConfig cfg) : dev_(cfg) {}
 // Resilient execution: bounded retries with simulated backoff, then core
 // exclusion (see RetryPolicy in the header for the state machine).
 
+Report Session::run_resilient(const char* what,
+                              const std::function<Report()>& attempt) {
+  Report rep = resilient(what, attempt);
+  total_ += rep;
+  return rep;
+}
+
 Report Session::resilient(const char* what,
                           const std::function<Report()>& attempt) {
   (void)what;
@@ -162,6 +169,8 @@ ValueResult<half> Session::cumsum_batched(const std::vector<half>& x,
                                           std::size_t tile,
                                           bool use_ul1_schedule) {
   ASCAN_CHECK(!x.empty(), "cumsum_batched: empty input");
+  ASCAN_CHECK(batch > 0, "cumsum_batched: batch must be > 0");
+  ASCAN_CHECK(len > 0, "cumsum_batched: len must be > 0");
   ASCAN_CHECK(x.size() == batch * len, "cumsum_batched: shape mismatch");
   auto in = dev_.upload(x);
   auto out = dev_.alloc<half>(x.size());
@@ -319,9 +328,18 @@ Session::BatchSampleResult Session::top_p_sample_batch(
     const std::vector<half>& probs, std::size_t batch, std::size_t vocab,
     double p, const std::vector<double>& u, std::size_t tile) {
   ASCAN_CHECK(!probs.empty(), "top_p_sample_batch: empty input");
+  ASCAN_CHECK(batch > 0, "top_p_sample_batch: batch must be > 0");
+  ASCAN_CHECK(vocab > 0, "top_p_sample_batch: vocab must be > 0");
   ASCAN_CHECK(probs.size() == batch * vocab,
               "top_p_sample_batch: shape mismatch");
   ASCAN_CHECK(u.size() == batch, "top_p_sample_batch: one variate per row");
+  ASCAN_CHECK(p > 0.0 && p <= 1.0,
+              "top_p_sample_batch: p=" << p << " outside (0, 1]");
+  for (std::size_t b = 0; b < batch; ++b) {
+    ASCAN_CHECK(u[b] >= 0.0 && u[b] < 1.0,
+                "top_p_sample_batch: u[" << b << "]=" << u[b]
+                                         << " outside [0, 1)");
+  }
   BatchSampleResult r;
   auto in = dev_.upload(probs);
   r.report = resilient("top_p_sample_batch", [&] {

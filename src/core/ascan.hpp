@@ -218,6 +218,15 @@ class Session {
   /// Sum reduction; `use_cube` accumulates on the cube units' L0C path.
   ValueResult<float> reduce(const std::vector<half>& x, bool use_cube = true);
 
+  // --- Composition hooks ------------------------------------------------------
+
+  /// Runs a caller-composed sequence of kernel calls under the session's
+  /// retry/degradation state machine, exactly like a built-in operator.
+  /// `attempt` must be idempotent-relaunchable (the kernels are). This is
+  /// the re-entry point for higher layers — src/serve uses it so a whole
+  /// coalesced batch launch retries/degrades as one unit.
+  Report run_resilient(const char* what, const std::function<Report()>& attempt);
+
  private:
   /// Runs one operator attempt under the retry/degradation state machine.
   /// `attempt` performs the kernel call(s) and returns their report; it is
@@ -232,6 +241,26 @@ class Session {
   Report total_;
   RetryPolicy retry_;
   RetryStats last_stats_;
+};
+
+/// RAII request-scoped retry policy: installs `policy` for the lifetime of
+/// the scope and restores the session's previous policy on exit. Lets a
+/// serving layer give individual requests their own resilience budget
+/// without perturbing the session default.
+class ScopedRetryPolicy {
+ public:
+  ScopedRetryPolicy(Session& session, const RetryPolicy& policy)
+      : session_(session), saved_(session.retry_policy()) {
+    session_.set_retry_policy(policy);
+  }
+  ~ScopedRetryPolicy() { session_.set_retry_policy(saved_); }
+
+  ScopedRetryPolicy(const ScopedRetryPolicy&) = delete;
+  ScopedRetryPolicy& operator=(const ScopedRetryPolicy&) = delete;
+
+ private:
+  Session& session_;
+  RetryPolicy saved_;
 };
 
 }  // namespace ascan

@@ -1,0 +1,96 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+namespace ascan::serve {
+
+GroupKey group_key(const Request& r) {
+  GroupKey k;
+  k.kind = r.kind;
+  switch (r.kind) {
+    case OpKind::Cumsum:
+      k.tile = r.tile;
+      k.ul1 = r.ul1_schedule;
+      break;
+    case OpKind::SegmentedCumsum:
+      break;  // all segmented scans share one stream
+    case OpKind::TopP:
+      k.vocab = r.x.size();
+      k.p = r.p;
+      k.tile = r.tile;
+      break;
+    case OpKind::Sort:
+      break;  // singleton groups; key is irrelevant
+  }
+  return k;
+}
+
+void Batcher::push(Pending p) {
+  (p.req.priority == Priority::Interactive ? hi_ : lo_)
+      .push_back(std::move(p));
+}
+
+const Pending* Batcher::head(const BatchPolicy& policy,
+                             Clock::time_point now) const {
+  // Bulk work that has aged past the starvation guard outranks the
+  // interactive lane; otherwise interactive first, FIFO within a lane.
+  if (!lo_.empty()) {
+    const double waited =
+        std::chrono::duration<double>(now - lo_.front().enqueued).count();
+    if (waited > policy.aging_factor * policy.max_wait_s || hi_.empty()) {
+      return &lo_.front();
+    }
+  }
+  return hi_.empty() ? nullptr : &hi_.front();
+}
+
+Clock::time_point Batcher::head_enqueued(const BatchPolicy& policy,
+                                         Clock::time_point now) const {
+  const Pending* h = head(policy, now);
+  return h ? h->enqueued : now;
+}
+
+bool Batcher::full_batch_ready(const BatchPolicy& policy,
+                               Clock::time_point now) const {
+  const Pending* h = head(policy, now);
+  if (h == nullptr) return false;
+  if (!coalescible(h->req.kind)) return true;  // singleton: nothing to wait for
+  if (policy.max_batch <= 1) return true;
+  const GroupKey key = group_key(h->req);
+  std::size_t n = 0;
+  for (const auto* lane : {&hi_, &lo_}) {
+    for (const auto& p : *lane) {
+      if (group_key(p.req) == key && ++n >= policy.max_batch) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Pending> Batcher::pop_batch(const BatchPolicy& policy,
+                                        Clock::time_point now) {
+  std::vector<Pending> out;
+  const Pending* h = head(policy, now);
+  if (h == nullptr) return out;
+  const GroupKey key = group_key(h->req);
+  const bool batchable = coalescible(h->req.kind);
+  const std::size_t want = batchable ? std::max<std::size_t>(policy.max_batch, 1)
+                                     : 1;
+  // Take matching requests from the head's lane first (preserves the
+  // priority decision head() made), then top up from the other lane.
+  std::deque<Pending>* first =
+      (!lo_.empty() && h == &lo_.front()) ? &lo_ : &hi_;
+  std::deque<Pending>* second = first == &lo_ ? &hi_ : &lo_;
+  for (auto* lane : {first, second}) {
+    for (auto it = lane->begin(); it != lane->end() && out.size() < want;) {
+      if (group_key(it->req) == key) {
+        out.push_back(std::move(*it));
+        it = lane->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ascan::serve

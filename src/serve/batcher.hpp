@@ -1,0 +1,98 @@
+// serve — dynamic batch former.
+//
+// Two priority lanes of admitted requests; pop_batch() extracts the next
+// coalescible group: up to `max_batch` requests sharing a GroupKey, taken
+// interactive-lane first (with an aging escape so bulk work is never
+// starved outright). Grouping rules:
+//
+//   Cumsum          (tile, schedule) — row lengths may differ; the engine
+//                   zero-pads rows to the longest and serves the group with
+//                   one cumsum_batched launch (trailing zeros cannot change
+//                   any prefix, so per-row results are unaffected).
+//   SegmentedCumsum one group — requests concatenate into a single flagged
+//                   stream (each request's first element is a forced
+//                   segment start) and serve as one segmented_cumsum.
+//   TopP            (vocab, p, tile) — rows concatenate into one
+//                   top_p_sample_batch launch, one variate per row.
+//   Sort            never coalesced (no batched sort kernel yet; see
+//                   ROADMAP open items) — always a singleton group.
+//
+// The Batcher is not internally synchronised: the Engine calls every
+// method under its queue mutex.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace ascan::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// An admitted request waiting in (or popped from) the queue.
+struct Pending {
+  Request req;
+  std::promise<Response> promise;
+  Clock::time_point enqueued{};
+  std::uint64_t seq = 0;  ///< admission order (FIFO tie-break)
+};
+
+/// Coalescing key: requests batch together iff their keys compare equal.
+struct GroupKey {
+  OpKind kind = OpKind::Cumsum;
+  std::size_t tile = 0;
+  bool ul1 = false;
+  std::size_t vocab = 0;  ///< TopP row length (rows must agree)
+  double p = 0;           ///< TopP nucleus mass (scalar per launch)
+
+  bool operator==(const GroupKey&) const = default;
+};
+
+GroupKey group_key(const Request& r);
+
+/// Whether requests of this kind may share a launch at all.
+constexpr bool coalescible(OpKind k) { return k != OpKind::Sort; }
+
+/// Tuning knobs of the batch former.
+struct BatchPolicy {
+  std::size_t max_batch = 16;  ///< requests per serving launch
+  double max_wait_s = 500e-6;  ///< deadline from the oldest queued request
+  /// A bulk request older than aging_factor * max_wait_s is served ahead
+  /// of newer interactive work (starvation guard).
+  double aging_factor = 8.0;
+};
+
+class Batcher {
+ public:
+  void push(Pending p);
+
+  bool empty() const { return hi_.empty() && lo_.empty(); }
+  std::size_t size() const { return hi_.size() + lo_.size(); }
+
+  /// Enqueue time of the request the next pop would lead with.
+  Clock::time_point head_enqueued(const BatchPolicy& policy,
+                                  Clock::time_point now) const;
+
+  /// True when the next pop can already fill a whole batch (no reason for
+  /// the worker to keep waiting for the deadline).
+  bool full_batch_ready(const BatchPolicy& policy,
+                        Clock::time_point now) const;
+
+  /// Removes and returns the next batch: the head request (priority +
+  /// aging order) plus every queued request with the same GroupKey, FIFO,
+  /// up to max_batch. Never empty when size() > 0.
+  std::vector<Pending> pop_batch(const BatchPolicy& policy,
+                                 Clock::time_point now);
+
+ private:
+  const Pending* head(const BatchPolicy& policy, Clock::time_point now) const;
+
+  std::deque<Pending> hi_;  ///< Priority::Interactive
+  std::deque<Pending> lo_;  ///< Priority::Bulk
+};
+
+}  // namespace ascan::serve

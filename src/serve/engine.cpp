@@ -1,0 +1,346 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/fault.hpp"
+
+namespace ascan::serve {
+
+namespace {
+
+double secs(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+bool valid_tile(std::size_t s) {
+  return s == 16 || s == 32 || s == 64 || s == 128;
+}
+
+Response immediate(OpKind kind, Status status, std::string reason) {
+  Response r;
+  r.kind = kind;
+  r.status = status;
+  r.reason = std::move(reason);
+  return r;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions opt)
+    : opt_(opt), metrics_(opt.machine.hbm_bandwidth) {
+  ASCAN_CHECK(opt_.num_workers >= 1, "serve::Engine: need >= 1 worker");
+  ASCAN_CHECK(opt_.policy.max_batch >= 1,
+              "serve::Engine: max_batch must be >= 1");
+  ASCAN_CHECK(opt_.max_queue >= 1, "serve::Engine: max_queue must be >= 1");
+  ASCAN_CHECK(opt_.interactive_reserve < opt_.max_queue,
+              "serve::Engine: interactive_reserve must leave bulk capacity");
+  workers_.reserve(static_cast<std::size_t>(opt_.num_workers));
+  for (int i = 0; i < opt_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+Engine::~Engine() { shutdown(ShutdownMode::Drain); }
+
+std::string Engine::validate(const Request& r) {
+  if (r.x.empty()) return "empty input";
+  switch (r.kind) {
+    case OpKind::Cumsum:
+      if (!valid_tile(r.tile)) return "invalid tile size";
+      break;
+    case OpKind::SegmentedCumsum:
+      if (r.flags.size() != r.x.size()) return "flags length mismatch";
+      break;
+    case OpKind::TopP:
+      if (!valid_tile(r.tile)) return "invalid tile size";
+      if (!(r.p > 0.0 && r.p <= 1.0)) return "p must be in (0, 1]";
+      if (!(r.u >= 0.0 && r.u < 1.0)) return "u must be in [0, 1)";
+      break;
+    case OpKind::Sort:
+      if (!valid_tile(r.tile)) return "invalid tile size";
+      break;
+  }
+  return {};
+}
+
+std::future<Response> Engine::submit(Request req) {
+  metrics_.on_submitted();
+  std::promise<Response> promise;
+  std::future<Response> fut = promise.get_future();
+
+  if (std::string err = validate(req); !err.empty()) {
+    metrics_.on_rejected_invalid();
+    promise.set_value(immediate(req.kind, Status::Rejected,
+                                "invalid request: " + err));
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ || stopped_) {
+      metrics_.on_rejected_shutdown();
+      promise.set_value(
+          immediate(req.kind, Status::Rejected, "engine shutting down"));
+      return fut;
+    }
+    // Bulk admissions stop interactive_reserve slots early, so a bulk
+    // overload can never close the latency-sensitive lane.
+    const std::size_t cap =
+        req.priority == Priority::Interactive
+            ? opt_.max_queue
+            : opt_.max_queue - opt_.interactive_reserve;
+    if (queue_.size() >= cap) {
+      metrics_.on_rejected_capacity();
+      std::ostringstream os;
+      os << "queue full (" << queue_.size() << " pending, limit " << cap
+         << " for " << (req.priority == Priority::Interactive
+                            ? "interactive"
+                            : "bulk")
+         << " lane)";
+      promise.set_value(immediate(req.kind, Status::Rejected, os.str()));
+      return fut;
+    }
+    Pending p;
+    p.req = std::move(req);
+    p.promise = std::move(promise);
+    p.enqueued = Clock::now();
+    p.seq = next_seq_++;
+    queue_.push(std::move(p));
+    metrics_.on_admitted();
+  }
+  work_cv_.notify_all();
+  return fut;
+}
+
+void Engine::worker_main() {
+  try {
+    Session session(opt_.machine);
+    session.set_retry_policy(opt_.retry);
+    if (opt_.fault_plan.any()) session.set_fault_plan(opt_.fault_plan);
+
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      work_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping and nothing left to drain
+      if (stopping_ && stop_mode_ == ShutdownMode::Cancel) break;
+
+      // Dynamic batching: hold the launch until a full batch is ready or
+      // the oldest request's wait deadline expires. Shutdown (drain mode)
+      // flushes immediately.
+      const auto now = Clock::now();
+      const auto deadline =
+          queue_.head_enqueued(opt_.policy, now) +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(opt_.policy.max_wait_s));
+      work_cv_.wait_until(lk, deadline, [&] {
+        return stopping_ ||
+               queue_.full_batch_ready(opt_.policy, Clock::now());
+      });
+      if (queue_.empty()) {
+        if (stopping_) break;
+        continue;  // another worker took the work
+      }
+      if (stopping_ && stop_mode_ == ShutdownMode::Cancel) break;
+
+      const auto picked = Clock::now();
+      std::vector<Pending> batch = queue_.pop_batch(opt_.policy, picked);
+      lk.unlock();
+      work_cv_.notify_all();  // residual work may be ready for peers
+      execute_batch(session, std::move(batch), picked);
+      lk.lock();
+    }
+  } catch (...) {
+    // A worker must never terminate the process. Anything queued is
+    // resolved as Cancelled by shutdown(); peers keep serving.
+  }
+}
+
+void Engine::run_group(Session& session, std::vector<Pending>& batch,
+                       std::vector<Response>& out) {
+  const std::size_t b = batch.size();
+  const Request& head = batch.front().req;
+  Report rep;
+  switch (head.kind) {
+    case OpKind::Cumsum: {
+      // Variable-length rows: pad with zeros to the longest row. Trailing
+      // zeros cannot change any prefix sum, so each row's first len_i
+      // outputs are exactly the row's own scan.
+      std::size_t lmax = 0;
+      for (const auto& p : batch) lmax = std::max(lmax, p.req.x.size());
+      std::vector<half> xs(b * lmax, half(0.0f));
+      for (std::size_t i = 0; i < b; ++i) {
+        std::copy(batch[i].req.x.begin(), batch[i].req.x.end(),
+                  xs.begin() + static_cast<std::ptrdiff_t>(i * lmax));
+      }
+      auto r = session.cumsum_batched(xs, b, lmax, head.tile,
+                                      head.ul1_schedule);
+      for (std::size_t i = 0; i < b; ++i) {
+        const auto row = r.values.begin() +
+                         static_cast<std::ptrdiff_t>(i * lmax);
+        out[i].values_f16.assign(
+            row, row + static_cast<std::ptrdiff_t>(batch[i].req.x.size()));
+      }
+      rep = r.report;
+      break;
+    }
+    case OpKind::SegmentedCumsum: {
+      // Concatenate the flagged streams; each request's first element is a
+      // forced segment start so carries never cross request boundaries.
+      std::size_t total = 0;
+      for (const auto& p : batch) total += p.req.x.size();
+      std::vector<half> xs;
+      std::vector<std::int8_t> fs;
+      xs.reserve(total);
+      fs.reserve(total);
+      for (const auto& p : batch) {
+        const std::size_t off = xs.size();
+        xs.insert(xs.end(), p.req.x.begin(), p.req.x.end());
+        fs.insert(fs.end(), p.req.flags.begin(), p.req.flags.end());
+        fs[off] = 1;
+      }
+      auto r = session.segmented_cumsum(xs, fs);
+      std::size_t off = 0;
+      for (std::size_t i = 0; i < b; ++i) {
+        const auto first = r.values.begin() + static_cast<std::ptrdiff_t>(off);
+        out[i].values_f32.assign(
+            first, first + static_cast<std::ptrdiff_t>(batch[i].req.x.size()));
+        off += batch[i].req.x.size();
+      }
+      rep = r.report;
+      break;
+    }
+    case OpKind::TopP: {
+      const std::size_t vocab = head.x.size();
+      std::vector<half> probs;
+      probs.reserve(b * vocab);
+      std::vector<double> u;
+      u.reserve(b);
+      for (const auto& p : batch) {
+        probs.insert(probs.end(), p.req.x.begin(), p.req.x.end());
+        u.push_back(p.req.u);
+      }
+      auto r = session.top_p_sample_batch(probs, b, vocab, head.p, u,
+                                          head.tile);
+      for (std::size_t i = 0; i < b; ++i) out[i].token = r.tokens[i];
+      rep = r.report;
+      break;
+    }
+    case OpKind::Sort: {
+      ASCAN_ASSERT(b == 1, "sort requests are never coalesced");
+      auto r = session.sort(head.x, head.descending, head.sort_algo,
+                            head.tile);
+      out[0].sorted_values = std::move(r.values);
+      out[0].indices = std::move(r.indices);
+      rep = r.report;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < b; ++i) {
+    out[i].status = Status::Ok;
+    out[i].kind = head.kind;
+    out[i].report = rep;
+    out[i].batch_size = b;
+  }
+}
+
+void Engine::execute_batch(Session& session, std::vector<Pending> batch,
+                           Clock::time_point picked) {
+  const auto exec_begin = Clock::now();
+  std::vector<Response> out(batch.size());
+  try {
+    run_group(session, batch, out);
+  } catch (const std::exception& e) {
+    if (batch.size() == 1) {
+      Response r = immediate(batch[0].req.kind, Status::Failed, e.what());
+      resolve(batch[0], std::move(r), picked, exec_begin);
+      return;
+    }
+    // Fault isolation: the coalesced launch exhausted the engine-level
+    // retry policy. Re-run the members individually, each under its
+    // request-scoped policy, so one poisoned request cannot take down the
+    // batch.
+    for (auto& p : batch) execute_single(session, p, picked);
+    return;
+  }
+  metrics_.on_batch(batch.size(), out[0].report);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    resolve(batch[i], std::move(out[i]), picked, exec_begin);
+  }
+}
+
+void Engine::execute_single(Session& session, Pending& p,
+                            Clock::time_point picked) {
+  const auto exec_begin = Clock::now();
+  std::vector<Response> out(1);
+  std::vector<Pending> solo;
+  solo.push_back(std::move(p));
+  try {
+    ScopedRetryPolicy scope(session, solo[0].req.retry.value_or(opt_.retry));
+    run_group(session, solo, out);
+    metrics_.on_batch(1, out[0].report);
+    resolve(solo[0], std::move(out[0]), picked, exec_begin);
+  } catch (const std::exception& e) {
+    Response r = immediate(solo[0].req.kind, Status::Failed, e.what());
+    resolve(solo[0], std::move(r), picked, exec_begin);
+  }
+}
+
+void Engine::resolve(Pending& p, Response r, Clock::time_point picked,
+                     Clock::time_point exec_begin) {
+  const auto now = Clock::now();
+  r.timing.queue_s = secs(picked - p.enqueued);
+  r.timing.batch_s = secs(exec_begin - picked);
+  r.timing.execute_s = secs(now - exec_begin);
+  r.timing.total_s = secs(now - p.enqueued);
+  if (r.status == Status::Ok) {
+    metrics_.on_completed(r.kind, r.timing);
+  } else {
+    metrics_.on_failed(r.timing);
+  }
+  p.promise.set_value(std::move(r));
+}
+
+void Engine::shutdown(ShutdownMode mode) {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+    stop_mode_ = mode;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+
+  // Cancel-mode leftovers (and anything a dead worker abandoned): resolve
+  // every remaining future so none dangles.
+  std::vector<Pending> leftovers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const BatchPolicy flush{.max_batch = 1, .max_wait_s = 0};
+    while (!queue_.empty()) {
+      auto b = queue_.pop_batch(flush, Clock::now());
+      for (auto& p : b) leftovers.push_back(std::move(p));
+    }
+    stopped_ = true;
+  }
+  for (auto& p : leftovers) {
+    metrics_.on_cancelled();
+    p.promise.set_value(immediate(p.req.kind, Status::Cancelled,
+                                  "engine shutdown cancelled the request"));
+  }
+}
+
+bool Engine::stopped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stopped_;
+}
+
+std::size_t Engine::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+}  // namespace ascan::serve

@@ -1,0 +1,118 @@
+// serve — the asynchronous request-serving engine.
+//
+// Layered on the persistent host execution engine of src/sim (PR 2): each
+// worker thread owns an ascan::Session (and thus a pooled simulated
+// device) and turns queued client requests into dynamically formed batched
+// launches. The client surface is three calls:
+//
+//   serve::Engine engine({.policy = {.max_batch = 16,
+//                                    .max_wait_s = 500e-6}});
+//   auto fut = engine.submit(serve::Request::cumsum(x));
+//   serve::Response r = fut.get();      // r.values_f16, r.report, r.timing
+//   engine.shutdown(serve::ShutdownMode::Drain);
+//
+// Guarantees:
+//  * Every future resolves exactly once — success, typed-fault failure,
+//    admission rejection or shutdown cancellation. Never a dangling future.
+//  * Admission control: a bounded queue with an interactive-only reserve;
+//    over-capacity submissions resolve immediately as Rejected with a
+//    reason, they are never silently dropped.
+//  * Fault isolation: if a batched launch fails its Session-level retry
+//    policy, the engine re-executes the members individually, each under
+//    its request-scoped RetryPolicy — one poisoned request cannot fail its
+//    batch neighbours.
+//  * Results are bit-exact with the equivalent direct Session calls
+//    (tests/test_serve.cpp pins this for integer-valued workloads, where
+//    every float operation is exact; for general data, batching may
+//    reassociate fp32 carries in segmented scans by at most 1 ulp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+
+namespace ascan::serve {
+
+/// How shutdown disposes of requests still queued.
+enum class ShutdownMode {
+  Drain,   ///< execute everything admitted, then stop
+  Cancel,  ///< stop after in-flight batches; queued requests -> Cancelled
+};
+
+struct EngineOptions {
+  BatchPolicy policy;
+  /// Admission bound: bulk requests are rejected when the queue holds
+  /// max_queue - interactive_reserve requests; interactive ones when it
+  /// holds max_queue. The reserve keeps a latency-sensitive lane open
+  /// under bulk overload.
+  std::size_t max_queue = 256;
+  std::size_t interactive_reserve = 16;
+  int num_workers = 1;  ///< Sessions (simulated devices) serving the queue
+  /// Device configuration of every worker Session. Defaults to the 910B4
+  /// with ExecutorMode::Auto, so ASCAN_EXECUTOR selects the host executor.
+  MachineConfig machine = MachineConfig::ascend_910b4();
+  RetryPolicy retry{};     ///< engine-default resilience policy
+  FaultPlan fault_plan{};  ///< armed on every worker Session when any()
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opt = {});
+  ~Engine();  ///< drains (ShutdownMode::Drain) if still running
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Thread-safe. Validates, admits (or rejects) and returns the future.
+  std::future<Response> submit(Request req);
+
+  /// Stops the workers. Idempotent; concurrent callers all block until
+  /// the engine is fully stopped. After return, every future ever handed
+  /// out is resolved and further submits resolve as Rejected.
+  void shutdown(ShutdownMode mode);
+
+  bool stopped() const;
+  std::size_t queue_depth() const;
+
+  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  std::string metrics_json() const { return metrics_.snapshot().json(); }
+  const EngineOptions& options() const { return opt_; }
+
+ private:
+  void worker_main();
+  void execute_batch(Session& session, std::vector<Pending> batch,
+                     Clock::time_point picked);
+  /// Runs one request alone under its request-scoped RetryPolicy.
+  void execute_single(Session& session, Pending& p, Clock::time_point picked);
+  /// Issues the coalesced launch for `batch` and scatters results into
+  /// per-request responses (statuses untouched on throw).
+  void run_group(Session& session, std::vector<Pending>& batch,
+                 std::vector<Response>& out);
+
+  static std::string validate(const Request& r);
+  void resolve(Pending& p, Response r, Clock::time_point picked,
+               Clock::time_point exec_begin);
+
+  EngineOptions opt_;
+  Metrics metrics_;
+
+  std::mutex shutdown_mu_;  ///< serialises shutdown callers (join outside mu_)
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  Batcher queue_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  ShutdownMode stop_mode_ = ShutdownMode::Drain;
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ascan::serve

@@ -1,0 +1,138 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ascan::serve {
+
+namespace {
+
+int bucket_of(double seconds) {
+  const double us = seconds * 1e6;
+  if (us <= 1.0) return 0;
+  const int b = 1 + static_cast<int>(std::ceil(std::log2(us)));
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+
+/// Upper latency bound (seconds) of bucket b.
+double bucket_upper_s(int b) {
+  return b == 0 ? 1e-6 : std::ldexp(1.0, b - 1) * 1e-6;
+}
+
+std::string fmt_us(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+void LatencyHistogram::add(double seconds) {
+  seconds = std::max(seconds, 0.0);
+  buckets_[static_cast<std::size_t>(bucket_of(seconds))]++;
+  count_++;
+  sum_s_ += seconds;
+  max_s_ = std::max(max_s_, seconds);
+}
+
+double LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen >= target) return std::min(bucket_upper_s(b), max_s_);
+  }
+  return max_s_;
+}
+
+std::string LatencyHistogram::json() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count_ << ",\"mean_us\":" << fmt_us(mean_s())
+     << ",\"p50_us\":" << fmt_us(percentile(0.50))
+     << ",\"p95_us\":" << fmt_us(percentile(0.95))
+     << ",\"p99_us\":" << fmt_us(percentile(0.99))
+     << ",\"max_us\":" << fmt_us(max_s_) << "}";
+  return os.str();
+}
+
+void Metrics::on_completed(OpKind kind, const Timing& t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  s_.completed++;
+  s_.by_kind[static_cast<std::size_t>(kind)]++;
+  s_.queue_latency.add(t.queue_s);
+  s_.execute_latency.add(t.execute_s);
+  s_.total_latency.add(t.total_s);
+}
+
+void Metrics::on_failed(const Timing& t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  s_.failed++;
+  s_.queue_latency.add(t.queue_s);
+  s_.total_latency.add(t.total_s);
+}
+
+void Metrics::on_batch(std::size_t occupancy, const Report& rep) {
+  std::lock_guard<std::mutex> lk(mu_);
+  s_.batches++;
+  s_.batched_requests += occupancy;
+  s_.max_batch_observed = std::max<std::uint64_t>(s_.max_batch_observed,
+                                                  occupancy);
+  s_.sim_time_s += rep.time_s;
+  s_.sim_gm_bytes += rep.gm_read_bytes + rep.gm_write_bytes;
+  s_.sim_launches += rep.launches;
+  s_.sim_retries += rep.retries;
+  s_.sim_excluded_cores += rep.excluded_cores;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot out = s_;
+  if (out.batches > 0) {
+    out.avg_batch_occupancy = static_cast<double>(out.batched_requests) /
+                              static_cast<double>(out.batches);
+  }
+  if (out.sim_time_s > 0 && hbm_peak_ > 0) {
+    out.sim_bandwidth_utilization =
+        static_cast<double>(out.sim_gm_bytes) / out.sim_time_s / hbm_peak_;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"admission\": {"
+     << "\"submitted\":" << submitted << ",\"admitted\":" << admitted
+     << ",\"rejected_capacity\":" << rejected_capacity
+     << ",\"rejected_invalid\":" << rejected_invalid
+     << ",\"rejected_shutdown\":" << rejected_shutdown
+     << ",\"cancelled\":" << cancelled << ",\"completed\":" << completed
+     << ",\"failed\":" << failed << "},\n"
+     << "  \"completed_by_kind\": {";
+  for (std::size_t k = 0; k < by_kind.size(); ++k) {
+    os << (k ? "," : "") << '"'
+       << op_kind_name(static_cast<OpKind>(k)) << "\":" << by_kind[k];
+  }
+  os << "},\n"
+     << "  \"batching\": {\"batches\":" << batches
+     << ",\"batched_requests\":" << batched_requests
+     << ",\"max_batch_observed\":" << max_batch_observed
+     << ",\"avg_occupancy\":" << avg_batch_occupancy << "},\n"
+     << "  \"latency\": {\"queue\":" << queue_latency.json()
+     << ",\"execute\":" << execute_latency.json()
+     << ",\"total\":" << total_latency.json() << "},\n"
+     << "  \"simulated\": {\"time_s\":" << sim_time_s
+     << ",\"gm_bytes\":" << sim_gm_bytes << ",\"launches\":" << sim_launches
+     << ",\"retries\":" << sim_retries
+     << ",\"excluded_cores\":" << sim_excluded_cores
+     << ",\"bandwidth_utilization\":" << sim_bandwidth_utilization << "}\n"
+     << "}";
+  return os.str();
+}
+
+}  // namespace ascan::serve

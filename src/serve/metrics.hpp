@@ -1,0 +1,115 @@
+// serve — observability surface of the serving engine.
+//
+// Every request contributes its wall-clock latency decomposition to a set
+// of log-bucketed histograms (p50/p95/p99 without storing samples), every
+// batched launch contributes occupancy and its simulated Report, and the
+// admission counters record why work was turned away. A snapshot exports
+// as JSON (schema documented in DESIGN.md "Serving layer") so load
+// generators and dashboards consume one stable format.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace ascan::serve {
+
+/// Fixed log2-bucketed latency histogram (1 µs granularity floor). Buckets
+/// cover [1 µs, ~2^46 µs]; percentile() returns the upper bound of the
+/// bucket containing the requested quantile — deterministic, allocation
+/// free, and accurate to a factor of two, which is enough for SLO tiers.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 47;
+
+  void add(double seconds);
+
+  std::uint64_t count() const { return count_; }
+  double sum_s() const { return sum_s_; }
+  double max_s() const { return max_s_; }
+  double mean_s() const { return count_ ? sum_s_ / count_ : 0.0; }
+  /// Latency (seconds) at quantile q in [0,1]; 0 when empty.
+  double percentile(double q) const;
+
+  std::string json() const;  ///< {"count":..,"mean_us":..,"p50_us":..,...}
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_s_ = 0;
+  double max_s_ = 0;
+};
+
+/// Point-in-time copy of every serving counter (see Metrics::snapshot).
+struct MetricsSnapshot {
+  // --- Admission -------------------------------------------------------------
+  std::uint64_t submitted = 0;   ///< submit() calls
+  std::uint64_t admitted = 0;    ///< entered the queue
+  std::uint64_t rejected_capacity = 0;  ///< queue-full rejections
+  std::uint64_t rejected_invalid = 0;   ///< argument-validation rejections
+  std::uint64_t rejected_shutdown = 0;  ///< submitted after shutdown began
+  std::uint64_t cancelled = 0;   ///< admitted, dropped by cancel-shutdown
+  std::uint64_t completed = 0;   ///< resolved Ok
+  std::uint64_t failed = 0;      ///< resolved Failed (typed fault)
+
+  std::array<std::uint64_t, 4> by_kind{};  ///< completed, indexed by OpKind
+
+  // --- Batching --------------------------------------------------------------
+  std::uint64_t batches = 0;           ///< serving launches issued
+  std::uint64_t batched_requests = 0;  ///< requests those launches carried
+  std::uint64_t max_batch_observed = 0;
+  double avg_batch_occupancy = 0;      ///< batched_requests / batches
+
+  // --- Latency ---------------------------------------------------------------
+  LatencyHistogram queue_latency;
+  LatencyHistogram execute_latency;
+  LatencyHistogram total_latency;
+
+  // --- Simulated device-side counters ---------------------------------------
+  double sim_time_s = 0;            ///< simulated execution time served
+  std::uint64_t sim_gm_bytes = 0;   ///< GM read+write bytes moved
+  int sim_launches = 0;             ///< simulated kernel launches
+  std::uint32_t sim_retries = 0;    ///< fault-recovery relaunches
+  std::uint32_t sim_excluded_cores = 0;
+  /// Achieved fraction of peak HBM bandwidth over the served launches:
+  /// sim_gm_bytes / sim_time_s / hbm_peak. The batched-serving analogue of
+  /// the paper's bandwidth-utilisation figures.
+  double sim_bandwidth_utilization = 0;
+
+  std::string json() const;  ///< full snapshot as a JSON object
+};
+
+/// Thread-safe accumulator owned by the Engine.
+class Metrics {
+ public:
+  explicit Metrics(double hbm_peak_bytes_per_s)
+      : hbm_peak_(hbm_peak_bytes_per_s) {}
+
+  void on_submitted() { bump(&MetricsSnapshot::submitted); }
+  void on_admitted() { bump(&MetricsSnapshot::admitted); }
+  void on_rejected_capacity() { bump(&MetricsSnapshot::rejected_capacity); }
+  void on_rejected_invalid() { bump(&MetricsSnapshot::rejected_invalid); }
+  void on_rejected_shutdown() { bump(&MetricsSnapshot::rejected_shutdown); }
+  void on_cancelled() { bump(&MetricsSnapshot::cancelled); }
+
+  void on_completed(OpKind kind, const Timing& t);
+  void on_failed(const Timing& t);
+  void on_batch(std::size_t occupancy, const Report& rep);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  void bump(std::uint64_t MetricsSnapshot::*field) {
+    std::lock_guard<std::mutex> lk(mu_);
+    (s_.*field)++;
+  }
+
+  mutable std::mutex mu_;
+  MetricsSnapshot s_;
+  double hbm_peak_;
+};
+
+}  // namespace ascan::serve

@@ -1,0 +1,156 @@
+// serve — request/response vocabulary of the asynchronous serving engine.
+//
+// A Request is one client-sized unit of work (one scan, one sort, one
+// sampling draw); the engine coalesces compatible queued requests into the
+// library's batched launches (cumsum_batched / segmented_cumsum /
+// top_p_sample_batch) and scatters the results back per request. Clients
+// never see the batching: submit() returns a std::future<Response> that
+// resolves exactly once, whatever happens (success, typed fault, admission
+// rejection, shutdown cancellation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ascan.hpp"
+
+namespace ascan::serve {
+
+/// Operator families the serving engine accepts.
+enum class OpKind : std::uint8_t {
+  Cumsum,           ///< row scan, served via cumsum_batched (fp16 out)
+  SegmentedCumsum,  ///< segmented scan, served via segmented_cumsum (fp32 out)
+  Sort,             ///< fp16 radix/baseline sort (per-request launch)
+  TopP,             ///< nucleus sampling, served via top_p_sample_batch
+};
+
+constexpr const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::Cumsum: return "cumsum";
+    case OpKind::SegmentedCumsum: return "segmented_cumsum";
+    case OpKind::Sort: return "sort";
+    case OpKind::TopP: return "top_p";
+  }
+  return "?";
+}
+
+/// Admission lanes. Interactive requests are picked before bulk ones (the
+/// latency-sensitive lane of an LLM serving stack); bulk requests are
+/// protected from total starvation by an aging factor (see Batcher).
+enum class Priority : std::uint8_t { Interactive, Bulk };
+
+/// Terminal state of a served request.
+enum class Status : std::uint8_t {
+  Ok,        ///< executed; payload fields are valid
+  Rejected,  ///< never admitted (queue full, invalid arguments, shutdown)
+  Cancelled, ///< admitted but dropped by a cancelling shutdown
+  Failed,    ///< admitted and executed, but the launch failed (typed fault)
+};
+
+constexpr const char* status_name(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::Rejected: return "rejected";
+    case Status::Cancelled: return "cancelled";
+    case Status::Failed: return "failed";
+  }
+  return "?";
+}
+
+/// One client request. Use the factory functions; field meaning depends on
+/// the op kind. `retry` overrides the engine-wide RetryPolicy for this
+/// request when it executes on the fault-isolation (single-request) path.
+struct Request {
+  OpKind kind = OpKind::Cumsum;
+  Priority priority = Priority::Interactive;
+
+  std::vector<half> x;              ///< values / keys / probabilities
+  std::vector<std::int8_t> flags;   ///< SegmentedCumsum: segment starts
+  double p = 0.9;                   ///< TopP: nucleus mass
+  double u = 0.0;                   ///< TopP: uniform variate in [0,1)
+  bool descending = false;          ///< Sort
+  SortAlgo sort_algo = SortAlgo::Radix;
+  std::size_t tile = 128;           ///< matrix tile edge s
+  bool ul1_schedule = false;        ///< Cumsum: ScanUL1 row schedule
+
+  std::optional<RetryPolicy> retry;  ///< request-scoped resilience policy
+
+  static Request cumsum(std::vector<half> x, std::size_t tile = 128,
+                        bool ul1 = false,
+                        Priority prio = Priority::Interactive) {
+    Request r;
+    r.kind = OpKind::Cumsum;
+    r.x = std::move(x);
+    r.tile = tile;
+    r.ul1_schedule = ul1;
+    r.priority = prio;
+    return r;
+  }
+  static Request segmented_cumsum(std::vector<half> x,
+                                  std::vector<std::int8_t> flags,
+                                  Priority prio = Priority::Bulk) {
+    Request r;
+    r.kind = OpKind::SegmentedCumsum;
+    r.x = std::move(x);
+    r.flags = std::move(flags);
+    r.priority = prio;
+    return r;
+  }
+  static Request sort(std::vector<half> keys, bool descending = false,
+                      SortAlgo algo = SortAlgo::Radix,
+                      Priority prio = Priority::Bulk) {
+    Request r;
+    r.kind = OpKind::Sort;
+    r.x = std::move(keys);
+    r.descending = descending;
+    r.sort_algo = algo;
+    r.priority = prio;
+    return r;
+  }
+  static Request top_p(std::vector<half> probs, double p, double u,
+                       std::size_t tile = 128,
+                       Priority prio = Priority::Interactive) {
+    Request r;
+    r.kind = OpKind::TopP;
+    r.x = std::move(probs);
+    r.p = p;
+    r.u = u;
+    r.tile = tile;
+    r.priority = prio;
+    return r;
+  }
+};
+
+/// Host wall-clock latency decomposition of one request (seconds).
+struct Timing {
+  double queue_s = 0;    ///< enqueue -> picked by a batch former
+  double batch_s = 0;    ///< picked -> batched launch issued (gather/pad)
+  double execute_s = 0;  ///< launch issued -> results available
+  double total_s = 0;    ///< enqueue -> future fulfilled
+};
+
+/// What the future resolves to. Exactly one of the payload groups is
+/// populated on Ok, selected by `kind`; `report` is the simulated Report of
+/// the launch that served the request (shared by all `batch_size` members
+/// of the same batched launch).
+struct Response {
+  Status status = Status::Ok;
+  std::string reason;  ///< human-readable cause for non-Ok statuses
+  OpKind kind = OpKind::Cumsum;
+
+  std::vector<half> values_f16;        ///< Cumsum
+  std::vector<float> values_f32;       ///< SegmentedCumsum
+  std::vector<half> sorted_values;     ///< Sort
+  std::vector<std::int32_t> indices;   ///< Sort
+  std::int32_t token = -1;             ///< TopP
+
+  Report report;              ///< simulated profile of the serving launch
+  std::size_t batch_size = 0; ///< requests coalesced into that launch
+  Timing timing;
+
+  bool ok() const { return status == Status::Ok; }
+};
+
+}  // namespace ascan::serve

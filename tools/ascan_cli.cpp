@@ -10,15 +10,21 @@
 //   ascan_cli reduce --n 1048576 --algo cube|vector
 //   ascan_cli chaos  [--plans 60] [--n 4096] [--seed0 1] [--retries 3]
 //                    [--exclusions 1]
+//   ascan_cli serve-demo [--requests 64] [--clients 4] [--batch 16]
+//                        [--wait-us 500] [--queue 256]
+#include <atomic>
 #include <cstring>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include <thread>
+
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/ascan.hpp"
+#include "serve/engine.hpp"
 #include "kernels/mcscan.hpp"
 #include "kernels/radix_sort.hpp"
 #include "kernels/reduce.hpp"
@@ -328,6 +334,78 @@ int cmd_chaos(const Args& a) {
   return 0;
 }
 
+// Serving demo: a few concurrent clients fire a mixed operator workload at
+// a serve::Engine; per-kind outcomes and the metrics snapshot (the JSON the
+// load generators consume) are printed when the queue drains.
+int cmd_serve_demo(const Args& a) {
+  const std::size_t requests = a.num("requests", 64);
+  const int clients = static_cast<int>(a.num("clients", 4));
+  const std::size_t batch = a.num("batch", 16);
+  const double wait_us = a.real("wait-us", 500.0);
+
+  using namespace ascan::serve;
+  const std::size_t max_queue = a.num("queue", 256);
+  Engine engine({.policy = {.max_batch = batch,
+                            .max_wait_s = wait_us * 1e-6},
+                 .max_queue = max_queue,
+                 // Keep the latency lane open but never swallow a small
+                 // --queue bound whole.
+                 .interactive_reserve = std::min<std::size_t>(
+                     16, max_queue > 1 ? max_queue / 4 : 0)});
+  std::printf("serve-demo: %zu requests, %d clients, max_batch=%zu, "
+              "max_wait=%.0f us\n\n",
+              requests, clients, batch, wait_us);
+
+  std::vector<std::future<Response>> futs(requests);
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> next{0};
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < requests;
+           i = next.fetch_add(1)) {
+        Rng rng(42 + i);
+        switch (i % 4) {
+          case 0:
+            futs[i] = engine.submit(Request::cumsum(
+                rng.uniform_f16(256 + 128 * (i % 3), -1.0, 1.0)));
+            break;
+          case 1: {
+            auto x = rng.uniform_f16(256, -1.0, 1.0);
+            auto f = rng.mask_i8(x.size(), 0.05);
+            f[0] = 1;
+            futs[i] = engine.submit(
+                Request::segmented_cumsum(std::move(x), std::move(f)));
+            break;
+          }
+          case 2:
+            futs[i] = engine.submit(
+                Request::sort(rng.uniform_f16(256, -100.0, 100.0)));
+            break;
+          default:
+            futs[i] = engine.submit(Request::top_p(
+                rng.token_probs_f16(1024), 0.9, rng.next_double()));
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  Table table({"kind", "status", "batch", "queue us", "exec us", "total us"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(requests, 12); ++i) {
+    const auto r = futs[i].get();
+    table.add_row({op_kind_name(r.kind), status_name(r.status),
+                   static_cast<std::int64_t>(r.batch_size),
+                   r.timing.queue_s * 1e6, r.timing.execute_s * 1e6,
+                   r.timing.total_s * 1e6});
+  }
+  engine.shutdown(ShutdownMode::Drain);
+  std::printf("first %zu requests:\n", std::min<std::size_t>(requests, 12));
+  table.print(std::cout);
+  std::printf("\nmetrics:\n%s\n", engine.metrics_json().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -339,14 +417,16 @@ int main(int argc, char** argv) {
     if (a.command == "topp") return cmd_topp(a);
     if (a.command == "reduce") return cmd_reduce(a);
     if (a.command == "chaos") return cmd_chaos(a);
+    if (a.command == "serve-demo") return cmd_serve_demo(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   std::fprintf(stderr,
-               "usage: ascan_cli info|scan|sort|topp|reduce|chaos [--n N] "
-               "[--algo A] [--s S] [--blocks B] [--p P] [--u U] "
+               "usage: ascan_cli info|scan|sort|topp|reduce|chaos|serve-demo "
+               "[--n N] [--algo A] [--s S] [--blocks B] [--p P] [--u U] "
                "[--baseline] [--trace FILE] [--plans P] [--seed0 S] "
-               "[--retries R] [--exclusions E]\n");
+               "[--retries R] [--exclusions E] [--requests N] [--clients C] "
+               "[--batch B] [--wait-us W] [--queue Q]\n");
   return 2;
 }

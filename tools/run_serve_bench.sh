@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the closed-loop serving load generator and writes the JSON report to
+# BENCH_serve.json at the repository root.
+#
+# Usage:
+#   tools/run_serve_bench.sh [build-dir] [extra bench_serve flags...]
+#
+# The sweep serves the same cumsum workload under several batching policies
+# (including no batching) at increasing offered load; the JSON's "headline"
+# object carries the saturating-load batched-vs-unbatched throughput ratio.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+bench_bin="$build_dir/bench/bench_serve"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not found or not executable." >&2
+  echo "Build it first:  cmake -B build -S . && cmake --build build --target bench_serve -j" >&2
+  exit 1
+fi
+
+out_json="$repo_root/BENCH_serve.json"
+"$bench_bin" --json "$out_json" "$@"
+
+echo
+echo "Wrote $out_json"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out_json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+h = data.get("headline", {})
+if h:
+    print(f"serving throughput at saturating load: "
+          f"batched {h['batched_rps']:.0f} req/s vs "
+          f"no-batching {h['no_batching_rps']:.0f} req/s "
+          f"({h['ratio']:.1f}x)")
+EOF
+fi
