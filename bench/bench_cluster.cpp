@@ -1,0 +1,519 @@
+// Multi-device cluster serving benchmark: throughput scaling and tail
+// latency of serve::Cluster versus a single-device serve::Engine.
+//
+//   bench_cluster [--quick] [--json PATH] [--ref-rps RPS]
+//   bench_cluster --stress SECONDS [--seed S]
+//
+// Two claims are measured:
+//
+//  * Capacity scaling — a 4-device cluster sustains >= 3x the simulated
+//    serving capacity of one device. The host running this bench has one
+//    core, so *wall-clock* throughput cannot scale with device count;
+//    capacity is therefore measured in simulated device time: every
+//    response carries (device, launch_id, report.time_s), launches are
+//    deduplicated per device, and capacity = completed requests divided by
+//    the busiest device's summed simulated launch time. Single device and
+//    cluster are measured with the identical formula. --ref-rps (the
+//    saturating batched wall-clock figure from BENCH_serve.json) is
+//    recorded alongside for context.
+//
+//  * Work stealing cuts the bulk tail — a hot-key burst (every request
+//    sharing one GroupKey) pins the whole backlog on its affinity device;
+//    with stealing enabled, idle siblings take formed bulk batches and the
+//    simulated completion-time p99 of the burst drops. Simulated
+//    completion of a request = prefix sum of its device's unique launch
+//    times up to and including its own launch.
+//
+// --stress SECONDS runs a seeded multi-client mixed workload (all four op
+// kinds, invalid requests sprinkled in) against a 4-device cluster for the
+// given wall time, then verifies every future resolved and the merged
+// metrics agree with the futures' testimony. Nonzero exit on violation —
+// this is the CI cluster stress job.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/cluster.hpp"
+
+using namespace ascend;
+using namespace ascend::bench;
+using namespace ascan::serve;
+
+namespace {
+
+std::vector<ascan::half> bit_row(Rng& rng, std::size_t n) {
+  std::vector<ascan::half> x(n);
+  for (auto& v : x) v = ascan::half(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+  return x;
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  return v[lo] + (v[hi] - v[lo]) * (pos - static_cast<double>(lo));
+}
+
+// ---------------------------------------------------------------------------
+// Simulated-time reconstruction from response (device, launch_id) tags.
+
+struct DeviceSim {
+  std::uint64_t served = 0;    ///< Ok responses this device produced
+  std::uint64_t launches = 0;  ///< unique coalesced launches
+  double busy_s = 0;           ///< summed simulated launch time
+};
+
+/// Per-device simulated busy time, deduplicating batched launches that
+/// several responses share.
+std::map<int, DeviceSim> device_sim(const std::vector<Response>& rs) {
+  std::map<int, std::map<std::uint64_t, double>> uniq;
+  std::map<int, DeviceSim> out;
+  for (const auto& r : rs) {
+    if (!r.ok() || r.launch_id == 0) continue;
+    uniq[r.device][r.launch_id] = r.report.time_s;
+    out[r.device].served++;
+  }
+  for (const auto& [dev, launches] : uniq) {
+    auto& d = out[dev];
+    d.launches = launches.size();
+    for (const auto& [id, t] : launches) d.busy_s += t;
+  }
+  return out;
+}
+
+/// Simulated completion time of every Ok response: devices run their own
+/// launches back to back (concurrently with each other), so a request
+/// finishes at the prefix sum of its device's launch times up to and
+/// including its own launch_id.
+std::vector<double> sim_completions(const std::vector<Response>& rs) {
+  std::map<int, std::map<std::uint64_t, double>> uniq;
+  for (const auto& r : rs) {
+    if (r.ok() && r.launch_id != 0) uniq[r.device][r.launch_id] = r.report.time_s;
+  }
+  std::map<int, std::map<std::uint64_t, double>> finish;
+  for (const auto& [dev, launches] : uniq) {
+    double acc = 0;
+    for (const auto& [id, t] : launches) {
+      acc += t;
+      finish[dev][id] = acc;
+    }
+  }
+  std::vector<double> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) {
+    if (r.ok() && r.launch_id != 0) out.push_back(finish[r.device][r.launch_id]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Capacity scaling: closed-loop mixed-key load, single device vs cluster.
+
+struct CapacityResult {
+  std::string name;
+  std::uint64_t completed = 0;
+  double wall_s = 0;
+  double wall_rps = 0;
+  double busiest_sim_s = 0;
+  double sim_capacity_rps = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t stolen_requests = 0;
+  std::map<int, DeviceSim> devices;
+  std::vector<MetricsSnapshot> shards;
+};
+
+/// Saturating open loop: `total` requests are submitted as fast as the
+/// submitter threads can go, then every future is harvested. The backlog
+/// stays deep enough that each device forms full batches — the capacity
+/// question is "how fast can the fleet chew through a saturating queue",
+/// not "how well does it idle". Mixed row lengths and tiles spread the
+/// traffic over eight GroupKeys so affinity placement has something to
+/// distribute.
+std::pair<std::vector<Response>, double> drive(
+    const std::function<std::future<Response>(Request)>& submit,
+    std::size_t total, std::uint64_t seed) {
+  constexpr int kSubmitters = 4;
+  std::vector<std::future<Response>> futs(total);
+  std::vector<std::thread> threads;
+  threads.reserve(kSubmitters);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < kSubmitters; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(seed + static_cast<std::uint64_t>(c) * 7919);
+      for (std::size_t i = static_cast<std::size_t>(c); i < total;
+           i += kSubmitters) {
+        const std::size_t n = 128 + 64 * (i % 4);
+        const std::size_t tile = (i % 2 != 0) ? 64 : 128;
+        futs[i] = submit(
+            Request::cumsum(bit_row(rng, n), tile, false, Priority::Bulk));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<Response> rs;
+  rs.reserve(total);
+  for (auto& f : futs) rs.push_back(f.get());
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return {std::move(rs), wall};
+}
+
+CapacityResult finish_capacity(std::string name, std::vector<Response> rs,
+                               double wall) {
+  CapacityResult out;
+  out.name = std::move(name);
+  out.wall_s = wall;
+  out.devices = device_sim(rs);
+  for (const auto& [dev, d] : out.devices) {
+    out.completed += d.served;
+    out.busiest_sim_s = std::max(out.busiest_sim_s, d.busy_s);
+  }
+  out.wall_rps = wall > 0 ? static_cast<double>(out.completed) / wall : 0;
+  out.sim_capacity_rps =
+      out.busiest_sim_s > 0
+          ? static_cast<double>(out.completed) / out.busiest_sim_s
+          : 0;
+  return out;
+}
+
+CapacityResult run_capacity_single(const BatchPolicy& policy,
+                                   std::size_t total) {
+  Engine engine({.policy = policy, .max_queue = 4 * total});
+  auto [rs, wall] = drive(
+      [&](Request r) { return engine.submit(std::move(r)); }, total, 100);
+  engine.shutdown(ShutdownMode::Drain);
+  auto out = finish_capacity("single_device", std::move(rs), wall);
+  out.shards.push_back(engine.metrics());
+  return out;
+}
+
+CapacityResult run_capacity_cluster(const BatchPolicy& policy,
+                                    std::size_t total) {
+  Cluster cluster({.policy = policy,
+                   .num_devices = 4,
+                   .max_queue = 4 * total,
+                   .steal_min_backlog = 8,
+                   .steal_poll_s = 50e-6,
+                   .spill_margin = 2});
+  auto [rs, wall] = drive(
+      [&](Request r) { return cluster.submit(std::move(r)); }, total, 100);
+  cluster.shutdown(ShutdownMode::Drain);
+  auto out = finish_capacity("cluster4_stealing", std::move(rs), wall);
+  out.shards = cluster.per_device_metrics();
+  const auto m = cluster.metrics();
+  out.steals = m.steals;
+  out.stolen_requests = m.stolen_requests;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hot-key burst: one GroupKey's backlog, affinity-only vs work stealing.
+
+struct BurstResult {
+  std::string name;
+  std::uint64_t completed = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t stolen_requests = 0;
+  std::map<int, DeviceSim> devices;
+};
+
+BurstResult run_burst(bool stealing, int reqs) {
+  Cluster cluster({.policy = {.max_batch = 8, .max_wait_s = 100e-6},
+                   .num_devices = 4,
+                   .max_queue = 2048,
+                   .work_stealing = stealing,
+                   .steal_min_backlog = 8,
+                   .steal_poll_s = 50e-6,
+                   // Placement stays pinned to the affinity device so work
+                   // stealing is the only rebalancing mechanism measured.
+                   .spill_margin = 1u << 20});
+  Rng rng(42);
+  std::vector<std::future<Response>> futs;
+  futs.reserve(static_cast<std::size_t>(reqs));
+  for (int i = 0; i < reqs; ++i) {
+    futs.push_back(cluster.submit(
+        Request::cumsum(bit_row(rng, 256), 128, false, Priority::Bulk)));
+  }
+  std::vector<Response> rs;
+  rs.reserve(futs.size());
+  for (auto& f : futs) rs.push_back(f.get());
+  cluster.shutdown(ShutdownMode::Drain);
+
+  BurstResult out;
+  out.name = stealing ? "work_stealing" : "affinity_only";
+  out.devices = device_sim(rs);
+  for (const auto& [dev, d] : out.devices) out.completed += d.served;
+  const auto done = sim_completions(rs);
+  out.p50_us = percentile(done, 0.50) * 1e6;
+  out.p95_us = percentile(done, 0.95) * 1e6;
+  out.p99_us = percentile(done, 0.99) * 1e6;
+  const auto m = cluster.metrics();
+  out.steals = m.steals;
+  out.stolen_requests = m.stolen_requests;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stress mode: seeded mixed workload, every-future-resolves verification.
+
+Request random_request(Rng& rng) {
+  const auto prio = rng.bernoulli(0.3) ? Priority::Interactive : Priority::Bulk;
+  const std::size_t n = 32 + 16 * rng.next_below(4);
+  switch (rng.next_below(4)) {
+    case 0:
+      return Request::cumsum(bit_row(rng, n), rng.bernoulli(0.5) ? 64 : 128,
+                             rng.bernoulli(0.25), prio);
+    case 1: {
+      auto x = bit_row(rng, n);
+      auto f = rng.mask_i8(n, 0.1);
+      f[0] = 1;
+      return Request::segmented_cumsum(std::move(x), std::move(f), prio);
+    }
+    case 2:
+      return Request::sort(rng.uniform_f16(n, -10.0, 10.0), rng.bernoulli(0.5),
+                           ascan::SortAlgo::Radix, prio);
+    default:
+      return Request::top_p(rng.token_probs_f16(128), 0.9, rng.next_double(),
+                            128, prio);
+  }
+}
+
+int run_stress(double seconds, std::uint64_t seed) {
+  std::printf("cluster stress: %.0f s, seed %llu, 4 devices\n", seconds,
+              static_cast<unsigned long long>(seed));
+  Cluster cluster({.policy = {.max_batch = 8, .max_wait_s = 200e-6},
+                   .num_devices = 4,
+                   .max_queue = 128,
+                   .interactive_reserve = 16,
+                   .steal_min_backlog = 4,
+                   .spill_margin = 2});
+  constexpr int kClients = 4;
+  std::atomic<std::uint64_t> submitted{0}, ok{0}, rejected{0}, cancelled{0},
+      failed{0}, unresolved{0};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(seed + static_cast<std::uint64_t>(c) * 7919);
+      std::deque<std::future<Response>> pending;
+      const auto harvest = [&](std::future<Response>& f) {
+        if (f.wait_for(std::chrono::seconds(30)) !=
+            std::future_status::ready) {
+          unresolved++;  // a dangling future: the bug this mode hunts
+          return;
+        }
+        switch (f.get().status) {
+          case Status::Ok: ok++; break;
+          case Status::Rejected: rejected++; break;
+          case Status::Cancelled: cancelled++; break;
+          case Status::Failed: failed++; break;
+        }
+      };
+      while (std::chrono::steady_clock::now() < deadline) {
+        Request r = random_request(rng);
+        if (rng.bernoulli(0.02)) r.x.clear();  // sprinkle invalid requests
+        pending.push_back(cluster.submit(std::move(r)));
+        submitted++;
+        if (pending.size() > 512) {  // bound the resident future backlog
+          harvest(pending.front());
+          pending.pop_front();
+        }
+      }
+      for (auto& f : pending) harvest(f);
+    });
+  }
+  for (auto& t : clients) t.join();
+  cluster.shutdown(ShutdownMode::Drain);
+
+  const auto m = cluster.metrics();
+  const std::uint64_t resolved = ok + rejected + cancelled + failed;
+  std::printf("submitted %llu  ok %llu  rejected %llu  cancelled %llu  "
+              "failed %llu  unresolved %llu\n",
+              static_cast<unsigned long long>(submitted.load()),
+              static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(rejected.load()),
+              static_cast<unsigned long long>(cancelled.load()),
+              static_cast<unsigned long long>(failed.load()),
+              static_cast<unsigned long long>(unresolved.load()));
+  std::printf("merged metrics: submitted %llu  admitted %llu  completed %llu  "
+              "steals %llu  stolen %llu  spills %llu\n",
+              static_cast<unsigned long long>(m.submitted),
+              static_cast<unsigned long long>(m.admitted),
+              static_cast<unsigned long long>(m.completed),
+              static_cast<unsigned long long>(m.steals),
+              static_cast<unsigned long long>(m.stolen_requests),
+              static_cast<unsigned long long>(m.routed_spill));
+
+  bool pass = true;
+  const auto expect = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::printf("VIOLATION: %s\n", what);
+      pass = false;
+    }
+  };
+  expect(unresolved.load() == 0, "every future resolves");
+  expect(resolved == submitted.load(), "every submission accounted for");
+  expect(m.submitted == submitted.load(), "metrics saw every submission");
+  expect(m.rejected_capacity + m.rejected_invalid + m.rejected_shutdown ==
+             rejected.load(),
+         "rejection counters match futures");
+  expect(m.admitted == m.completed + m.failed + m.cancelled,
+         "no admitted request vanished");
+  expect(m.completed == ok.load(), "completion counter matches futures");
+  std::printf("stress: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+
+void devices_json(std::ostringstream& os, const CapacityResult& r) {
+  os << "[";
+  bool first = true;
+  for (const auto& [dev, d] : r.devices) {
+    const auto* shard =
+        static_cast<std::size_t>(dev) < r.shards.size()
+            ? &r.shards[static_cast<std::size_t>(dev)]
+            : nullptr;
+    os << (first ? "" : ", ") << "{\"device\": " << dev
+       << ", \"served\": " << d.served << ", \"launches\": " << d.launches
+       << ", \"sim_busy_s\": " << d.busy_s << ", \"occupancy\": "
+       << (shard ? shard->avg_batch_occupancy : 0.0) << "}";
+    first = false;
+  }
+  os << "]";
+}
+
+std::string to_json(const CapacityResult& single, const CapacityResult& cluster,
+                    const BurstResult& affinity, const BurstResult& stealing,
+                    double ref_rps) {
+  const double sim_ratio =
+      single.sim_capacity_rps > 0
+          ? cluster.sim_capacity_rps / single.sim_capacity_rps
+          : 0;
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"cluster_serving\",\n"
+     << "  \"machine\": \"4x simulated Ascend 910B4, one host core\",\n"
+     << "  \"note\": \"wall-clock rps cannot scale with device count on a "
+        "single-core host; capacity is completed requests / busiest device's "
+        "summed simulated launch time, measured identically for both rows\",\n"
+     << "  \"throughput\": {\n";
+  for (const auto* r : {&single, &cluster}) {
+    os << "    \"" << r->name << "\": {\"completed\": " << r->completed
+       << ", \"wall_s\": " << r->wall_s << ", \"wall_rps\": " << r->wall_rps
+       << ", \"busiest_sim_s\": " << r->busiest_sim_s
+       << ", \"sim_capacity_rps\": " << r->sim_capacity_rps
+       << ", \"steals\": " << r->steals
+       << ", \"stolen_requests\": " << r->stolen_requests
+       << ", \"devices\": ";
+    devices_json(os, *r);
+    os << "},\n";
+  }
+  os << "    \"capacity_ratio\": " << sim_ratio
+     << ",\n    \"ref_saturating_wall_rps\": " << ref_rps
+     << ",\n    \"sim_capacity_vs_ref\": "
+     << (ref_rps > 0 ? cluster.sim_capacity_rps / ref_rps : 0) << "\n  },\n"
+     << "  \"hot_key_burst\": {\n";
+  for (const auto* b : {&affinity, &stealing}) {
+    os << "    \"" << b->name << "\": {\"completed\": " << b->completed
+       << ", \"bulk_p50_us\": " << b->p50_us
+       << ", \"bulk_p95_us\": " << b->p95_us
+       << ", \"bulk_p99_us\": " << b->p99_us << ", \"steals\": " << b->steals
+       << ", \"stolen_requests\": " << b->stolen_requests
+       << ", \"devices_used\": " << b->devices.size() << "},\n";
+  }
+  os << "    \"p99_improvement\": "
+     << (stealing.p99_us > 0 ? affinity.p99_us / stealing.p99_us : 0)
+     << "\n  }\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  std::string json_path;
+  double stress_s = 0, ref_rps = 0;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--stress") == 0 && i + 1 < argc) {
+      stress_s = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ref-rps") == 0 && i + 1 < argc) {
+      ref_rps = std::atof(argv[i + 1]);
+    }
+  }
+  if (stress_s > 0) return run_stress(stress_s, seed);
+
+  print_header("Cluster serving",
+               "4-device capacity scaling and work-stealing tail latency");
+
+  const BatchPolicy policy{.max_batch = 32, .max_wait_s = 1e-3};
+  const std::size_t total = args.quick ? 1600 : 6400;
+  const int burst_reqs = args.quick ? 128 : 256;
+
+  const auto single = run_capacity_single(policy, total);
+  const auto cluster = run_capacity_cluster(policy, total);
+
+  Table cap({"run", "completed", "wall req/s", "sim capacity req/s",
+             "busiest sim ms", "steals"});
+  for (const auto* r : {&single, &cluster}) {
+    cap.add_row({r->name, static_cast<std::int64_t>(r->completed), r->wall_rps,
+                 r->sim_capacity_rps, r->busiest_sim_s * 1e3,
+                 static_cast<std::int64_t>(r->steals)});
+  }
+  cap.print(std::cout);
+  const double ratio = single.sim_capacity_rps > 0
+                           ? cluster.sim_capacity_rps / single.sim_capacity_rps
+                           : 0;
+  std::printf("\ncapacity: cluster %.0f req/s vs single device %.0f req/s "
+              "(%.2fx, simulated device time)\n",
+              cluster.sim_capacity_rps, single.sim_capacity_rps, ratio);
+  if (ref_rps > 0) {
+    std::printf("reference: BENCH_serve.json saturating batched wall rate "
+                "%.0f req/s (cluster sim capacity = %.1fx)\n",
+                ref_rps, cluster.sim_capacity_rps / ref_rps);
+  }
+
+  const auto affinity = run_burst(/*stealing=*/false, burst_reqs);
+  const auto stealing = run_burst(/*stealing=*/true, burst_reqs);
+  Table tail({"hot-key burst", "devices", "p50 us", "p95 us", "p99 us",
+              "steals", "stolen"});
+  for (const auto* b : {&affinity, &stealing}) {
+    tail.add_row({b->name, static_cast<std::int64_t>(b->devices.size()),
+                  b->p50_us, b->p95_us, b->p99_us,
+                  static_cast<std::int64_t>(b->steals),
+                  static_cast<std::int64_t>(b->stolen_requests)});
+  }
+  tail.print(std::cout);
+  std::printf("\ntail: stealing cuts the burst's simulated bulk p99 from "
+              "%.0f us to %.0f us (%.2fx)\n",
+              affinity.p99_us, stealing.p99_us,
+              stealing.p99_us > 0 ? affinity.p99_us / stealing.p99_us : 0.0);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << to_json(single, cluster, affinity, stealing, ref_rps);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

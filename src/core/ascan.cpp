@@ -36,6 +36,27 @@ Report Session::resilient(const char* what,
                           const std::function<Report()>& attempt) {
   (void)what;
   last_stats_ = RetryStats{};
+  // Whatever happens, fold this call's stats into the lifetime totals —
+  // the per-device degradation view of a multi-Session serving cluster.
+  const auto accumulate = [this](bool failed) {
+    cumulative_stats_.calls++;
+    if (failed) cumulative_stats_.failures++;
+    cumulative_stats_.attempts += last_stats_.attempts;
+    cumulative_stats_.retries += last_stats_.retries;
+    cumulative_stats_.excluded_cores += last_stats_.excluded_cores;
+    cumulative_stats_.backoff_s += last_stats_.backoff_s;
+  };
+  try {
+    Report r = resilient_loop(attempt);
+    accumulate(false);
+    return r;
+  } catch (...) {
+    accumulate(true);
+    throw;
+  }
+}
+
+Report Session::resilient_loop(const std::function<Report()>& attempt) {
   Report penalty;  // simulated cost of failed attempts + backoff
   int attempts_at_level = 0;
   double backoff = retry_.backoff_s;

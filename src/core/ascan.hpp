@@ -56,6 +56,20 @@ struct RetryStats {
   FaultKind last_fault = FaultKind::None;
 };
 
+/// Lifetime resilience accounting of a Session: the sums of every
+/// operator call's RetryStats (failed calls included). A serving layer that
+/// owns one Session per simulated device reads this to report per-device
+/// degradation — how battered each device is — without threading Reports
+/// through every call site.
+struct CumulativeRetryStats {
+  std::uint64_t calls = 0;     ///< operator calls run under the retry loop
+  std::uint64_t failures = 0;  ///< calls that exhausted every option
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t excluded_cores = 0;
+  double backoff_s = 0;
+};
+
 /// Scan algorithm selector.
 enum class ScanAlgo {
   MCScan,          ///< multi-core, cube + vector (Algorithm 3) — default
@@ -136,6 +150,13 @@ class Session {
 
   /// Resilience accounting for the most recent operator call.
   const RetryStats& last_retry_stats() const { return last_stats_; }
+
+  /// Lifetime resilience accounting (sum of every call's RetryStats).
+  /// Not synchronised: read it from the thread running the session's
+  /// calls, or after that thread has been joined.
+  const CumulativeRetryStats& cumulative_retry_stats() const {
+    return cumulative_stats_;
+  }
 
   /// AI cores still online (excluded stragglers/bad cores are gone until
   /// the session is destroyed, like a production NPU taking a core
@@ -232,6 +253,7 @@ class Session {
   /// `attempt` performs the kernel call(s) and returns their report; it is
   /// re-invoked verbatim on retry (kernels are idempotent-relaunchable).
   Report resilient(const char* what, const std::function<Report()>& attempt);
+  Report resilient_loop(const std::function<Report()>& attempt);
 
   /// Takes the faulted AI core offline: rebuilds the device with blocks-1,
   /// carrying the fault injector (and its launch ordinal) over.
@@ -241,6 +263,7 @@ class Session {
   Report total_;
   RetryPolicy retry_;
   RetryStats last_stats_;
+  CumulativeRetryStats cumulative_stats_;
 };
 
 /// RAII request-scoped retry policy: installs `policy` for the lifetime of

@@ -1,6 +1,7 @@
 #include "serve/batcher.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace ascan::serve {
 
@@ -23,6 +24,22 @@ GroupKey group_key(const Request& r) {
       break;  // singleton groups; key is irrelevant
   }
   return k;
+}
+
+std::uint64_t group_key_hash(const GroupKey& k) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(static_cast<std::uint64_t>(k.kind));
+  mix(static_cast<std::uint64_t>(k.tile));
+  mix(k.ul1 ? 1 : 0);
+  mix(static_cast<std::uint64_t>(k.vocab));
+  mix(std::bit_cast<std::uint64_t>(k.p));
+  return h;
 }
 
 void Batcher::push(Pending p) {
@@ -88,6 +105,27 @@ std::vector<Pending> Batcher::pop_batch(const BatchPolicy& policy,
       } else {
         ++it;
       }
+    }
+  }
+  return out;
+}
+
+std::vector<Pending> Batcher::steal_bulk(const BatchPolicy& policy,
+                                         std::size_t min_backlog) {
+  std::vector<Pending> out;
+  if (lo_.empty() || lo_.size() < std::max<std::size_t>(min_backlog, 1)) {
+    return out;
+  }
+  const GroupKey key = group_key(lo_.front().req);
+  const std::size_t want = coalescible(lo_.front().req.kind)
+                               ? std::max<std::size_t>(policy.max_batch, 1)
+                               : 1;
+  for (auto it = lo_.begin(); it != lo_.end() && out.size() < want;) {
+    if (group_key(it->req) == key) {
+      out.push_back(std::move(*it));
+      it = lo_.erase(it);
+    } else {
+      ++it;
     }
   }
   return out;

@@ -54,6 +54,11 @@ struct GroupKey {
 
 GroupKey group_key(const Request& r);
 
+/// Deterministic (cross-run, cross-platform) FNV-1a hash of a GroupKey.
+/// The cluster's affinity placement keys on it, so it must not depend on
+/// std::hash seeding or pointer values.
+std::uint64_t group_key_hash(const GroupKey& k);
+
 /// Whether requests of this kind may share a launch at all.
 constexpr bool coalescible(OpKind k) { return k != OpKind::Sort; }
 
@@ -72,6 +77,7 @@ class Batcher {
 
   bool empty() const { return hi_.empty() && lo_.empty(); }
   std::size_t size() const { return hi_.size() + lo_.size(); }
+  std::size_t bulk_size() const { return lo_.size(); }
 
   /// Enqueue time of the request the next pop would lead with.
   Clock::time_point head_enqueued(const BatchPolicy& policy,
@@ -87,6 +93,14 @@ class Batcher {
   /// up to max_batch. Never empty when size() > 0.
   std::vector<Pending> pop_batch(const BatchPolicy& policy,
                                  Clock::time_point now);
+
+  /// Removes and returns one whole formed batch for a work-stealing peer:
+  /// the oldest bulk-lane request's group, FIFO, up to max_batch — taken
+  /// from the bulk lane only. Interactive requests are never stolen (they
+  /// stay on their admitted device, mid-deadline). Returns empty unless the
+  /// bulk backlog holds at least `min_backlog` requests.
+  std::vector<Pending> steal_bulk(const BatchPolicy& policy,
+                                  std::size_t min_backlog);
 
  private:
   const Pending* head(const BatchPolicy& policy, Clock::time_point now) const;

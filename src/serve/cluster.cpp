@@ -1,0 +1,190 @@
+#include "serve/cluster.hpp"
+
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ascan::serve {
+
+Cluster::Cluster(ClusterOptions opt)
+    : opt_(std::move(opt)), metrics_(opt_.machine.hbm_bandwidth) {
+  ASCAN_CHECK(opt_.num_devices >= 1, "serve::Cluster: need >= 1 device");
+  ASCAN_CHECK(opt_.device_machines.empty() ||
+                  opt_.device_machines.size() ==
+                      static_cast<std::size_t>(opt_.num_devices),
+              "serve::Cluster: device_machines must match num_devices");
+  ASCAN_CHECK(opt_.device_fault_plans.empty() ||
+                  opt_.device_fault_plans.size() ==
+                      static_cast<std::size_t>(opt_.num_devices),
+              "serve::Cluster: device_fault_plans must match num_devices");
+  steal_min_backlog_ = opt_.steal_min_backlog
+                           ? opt_.steal_min_backlog
+                           : std::max<std::size_t>(opt_.policy.max_batch, 1);
+  spill_margin_ =
+      opt_.spill_margin ? opt_.spill_margin : opt_.policy.max_batch;
+
+  const bool stealing = opt_.work_stealing && opt_.num_devices > 1;
+  shards_.reserve(static_cast<std::size_t>(opt_.num_devices));
+  for (int i = 0; i < opt_.num_devices; ++i) {
+    EngineOptions eo;
+    eo.policy = opt_.policy;
+    eo.max_queue = opt_.max_queue;
+    eo.interactive_reserve = opt_.interactive_reserve;
+    eo.num_workers = opt_.workers_per_device;
+    eo.machine = opt_.device_machines.empty()
+                     ? opt_.machine
+                     : opt_.device_machines[static_cast<std::size_t>(i)];
+    eo.retry = opt_.retry;
+    eo.fault_plan =
+        opt_.device_fault_plans.empty()
+            ? opt_.fault_plan
+            : opt_.device_fault_plans[static_cast<std::size_t>(i)];
+    eo.device_id = i;
+    if (stealing) {
+      eo.steal_poll_s = opt_.steal_poll_s;
+      eo.steal_source = [this, i] { return steal_for(i); };
+    }
+    shards_.push_back(std::make_unique<Engine>(std::move(eo)));
+  }
+  ready_.store(true, std::memory_order_release);
+}
+
+Cluster::~Cluster() { shutdown(ShutdownMode::Drain); }
+
+std::future<Response> Cluster::submit(Request req) {
+  // Requests turned away here never reach a device shard, so the front
+  // end counts their whole lifecycle (submitted + rejected); forwarded
+  // requests are counted by the shard that serves them. Merging shards
+  // with the front-end snapshot therefore counts every event once.
+  const auto reject = [&](void (Metrics::*counter)(), std::string reason) {
+    metrics_.on_submitted();
+    (metrics_.*counter)();
+    std::promise<Response> promise;
+    auto fut = promise.get_future();
+    promise.set_value(
+        immediate_response(req.kind, Status::Rejected, std::move(reason)));
+    return fut;
+  };
+
+  if (std::string err = Engine::validate(req); !err.empty()) {
+    return reject(&Metrics::on_rejected_invalid, "invalid request: " + err);
+  }
+  if (stopping_.load() || stopped_.load()) {
+    return reject(&Metrics::on_rejected_shutdown, "cluster shutting down");
+  }
+
+  // Cluster-wide admission over the summed backlog. The sum is a snapshot
+  // (devices keep serving while it is taken), so the bound is enforced to
+  // within the concurrency of submit() callers — same contract as a real
+  // multi-queue front end.
+  std::vector<std::size_t> loads(shards_.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    loads[i] = shards_[i]->queue_depth();
+    total += loads[i];
+  }
+  const std::size_t cap = req.priority == Priority::Interactive
+                              ? opt_.max_queue
+                              : opt_.max_queue - opt_.interactive_reserve;
+  if (total >= cap) {
+    std::ostringstream os;
+    os << "cluster queue full (" << total << " pending across "
+       << shards_.size() << " devices, limit " << cap << " for "
+       << (req.priority == Priority::Interactive ? "interactive" : "bulk")
+       << " lane)";
+    return reject(&Metrics::on_rejected_capacity, os.str());
+  }
+
+  const int dev = place(req, loads);
+  return shards_[static_cast<std::size_t>(dev)]->submit(std::move(req));
+}
+
+int Cluster::place(const Request& r, const std::vector<std::size_t>& loads) {
+  const int n = static_cast<int>(shards_.size());
+  const int target =
+      static_cast<int>(group_key_hash(group_key(r)) %
+                       static_cast<std::uint64_t>(n));
+  int least = 0;
+  for (int i = 1; i < n; ++i) {
+    if (loads[static_cast<std::size_t>(i)] <
+        loads[static_cast<std::size_t>(least)]) {
+      least = i;
+    }
+  }
+  // Keep GroupKey locality (timing cache, batch coalescing) unless the
+  // affinity device has fallen spill_margin requests behind the least
+  // loaded one.
+  if (loads[static_cast<std::size_t>(target)] >
+      loads[static_cast<std::size_t>(least)] + spill_margin_) {
+    metrics_.on_routed_spill();
+    return least;
+  }
+  metrics_.on_routed_affinity();
+  return target;
+}
+
+std::vector<Pending> Cluster::steal_for(int thief) {
+  if (!ready_.load(std::memory_order_acquire)) return {};
+  // Victim: the sibling with the deepest bulk backlog at or above the
+  // steal threshold. Depths are read unlocked relative to each other; the
+  // steal itself re-checks under the victim's lock.
+  int victim = -1;
+  std::size_t deepest = 0;
+  for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
+    if (i == thief) continue;
+    const std::size_t backlog =
+        shards_[static_cast<std::size_t>(i)]->bulk_backlog();
+    if (backlog >= steal_min_backlog_ && backlog > deepest) {
+      deepest = backlog;
+      victim = i;
+    }
+  }
+  if (victim < 0) return {};
+  return shards_[static_cast<std::size_t>(victim)]->steal_bulk_batch(
+      steal_min_backlog_);
+}
+
+void Cluster::shutdown(ShutdownMode mode) {
+  std::lock_guard<std::mutex> lk(shutdown_mu_);
+  if (stopped_.load()) return;
+  stopping_.store(true);
+  // Phase 1: signal every device before joining any, so devices drain (and
+  // drain-steal from each other) concurrently.
+  for (auto& s : shards_) s->begin_shutdown(mode);
+  for (auto& s : shards_) s->finish_shutdown();
+  stopped_.store(true);
+}
+
+std::size_t Cluster::queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->queue_depth();
+  return total;
+}
+
+std::vector<MetricsSnapshot> Cluster::per_device_metrics() const {
+  std::vector<MetricsSnapshot> parts;
+  parts.reserve(shards_.size());
+  for (const auto& s : shards_) parts.push_back(s->metrics());
+  return parts;
+}
+
+MetricsSnapshot Cluster::metrics() const {
+  std::vector<MetricsSnapshot> parts = per_device_metrics();
+  parts.push_back(metrics_.snapshot());
+  return MetricsSnapshot::merged(parts, opt_.machine.hbm_bandwidth);
+}
+
+std::string Cluster::metrics_json() const {
+  std::ostringstream os;
+  os << "{\n\"merged\": " << metrics().json() << ",\n\"devices\": [";
+  const auto parts = per_device_metrics();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    os << (i ? ",\n" : "\n") << parts[i].json();
+  }
+  os << "\n]\n}";
+  return os.str();
+}
+
+}  // namespace ascan::serve

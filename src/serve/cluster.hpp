@@ -1,0 +1,138 @@
+// serve — multi-device cluster front end.
+//
+// One submit() surface fronting N simulated 910B4 devices, each a full
+// serve::Engine (own Session(s), host executor, fault plan and metrics
+// shard). The cluster adds the two scheduling layers a single device
+// cannot provide:
+//
+//  * Locality-aware placement — requests hash by their coalescing GroupKey
+//    (FNV-1a, deterministic across runs and platforms) to an affinity
+//    device, so same-shape traffic lands where the device's timing cache
+//    and batch former already hold that shape. When the affinity target is
+//    overloaded (queue deeper than the least-loaded device by more than
+//    spill_margin), the request spills to the least-loaded device instead;
+//    both outcomes are counted (routed_affinity / routed_spill).
+//
+//  * Cross-device work stealing — an idle device polls its siblings and
+//    takes one whole formed bulk batch from the deepest bulk backlog at or
+//    above steal_min_backlog. Interactive requests are never stolen: they
+//    stay on the device that admitted them, mid-deadline. Stealing also
+//    runs during a drain shutdown, so the cluster drains at the speed of
+//    its busiest device rather than serially.
+//
+// Cluster-wide invariants (tests/test_cluster.cpp):
+//  * Every submitted future resolves exactly once — including across
+//    shutdown, rejection, spill and steal paths. Never a dangling future,
+//    even with a fault plan armed on some devices.
+//  * Results are bit-exact with a single-device Engine serving the same
+//    stream (integer-valued workloads; see engine.hpp on fp rounding).
+//  * shutdown() is two-phase and device-parallel: every device is
+//    signalled before any is joined.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace ascan::serve {
+
+struct ClusterOptions {
+  BatchPolicy policy;
+  int num_devices = 4;
+  int workers_per_device = 1;
+  /// Cluster-wide admission bound over the summed queue depth of every
+  /// device, with the same interactive-only reserve semantics as
+  /// EngineOptions (the per-device engines are configured with the same
+  /// bound, so the cluster-level check is the one that binds).
+  std::size_t max_queue = 256;
+  std::size_t interactive_reserve = 16;
+  /// Device configuration applied to every device...
+  MachineConfig machine = MachineConfig::ascend_910b4();
+  /// ...unless this per-device override is non-empty (size must equal
+  /// num_devices). Heterogeneous clusters — skewed core counts, distinct
+  /// executor modes — are how the skew tests provoke imbalance.
+  std::vector<MachineConfig> device_machines;
+  RetryPolicy retry{};
+  /// Fault plan armed on every device when any()...
+  FaultPlan fault_plan{};
+  /// ...unless this per-device override is non-empty (size must equal
+  /// num_devices; entries with !any() leave that device clean). Chaos
+  /// tests arm a single bad device this way.
+  std::vector<FaultPlan> device_fault_plans;
+
+  bool work_stealing = true;
+  /// Minimum bulk backlog a victim must hold before a batch may be stolen
+  /// from it (0 -> policy.max_batch: never steal below one full batch).
+  std::size_t steal_min_backlog = 0;
+  double steal_poll_s = 100e-6;  ///< idle-device steal poll cadence
+  /// Affinity placement tolerates the target being this many requests
+  /// deeper than the least-loaded device before spilling
+  /// (0 -> policy.max_batch: keep locality until a full batch of slack).
+  std::size_t spill_margin = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions opt = {});
+  ~Cluster();  ///< drains (ShutdownMode::Drain) if still running
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Thread-safe. Validates, admits against the cluster-wide bound,
+  /// places (affinity hash with least-loaded spill) and forwards.
+  std::future<Response> submit(Request req);
+
+  /// Device-parallel two-phase shutdown: signals every device, then joins
+  /// them. Idempotent. After return every future ever handed out is
+  /// resolved.
+  void shutdown(ShutdownMode mode);
+
+  bool stopped() const { return stopped_.load(); }
+  int num_devices() const { return static_cast<int>(shards_.size()); }
+  /// Summed queue depth over every device.
+  std::size_t queue_depth() const;
+
+  /// Direct access to one device's engine (tests, bench, demo tooling).
+  Engine& device(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+  const Engine& device(int i) const {
+    return *shards_[static_cast<std::size_t>(i)];
+  }
+
+  /// One metrics shard per device, in device order.
+  std::vector<MetricsSnapshot> per_device_metrics() const;
+  /// Every device shard plus the cluster front end's own counters
+  /// (cluster-level rejections, routing decisions) merged into one view.
+  MetricsSnapshot metrics() const;
+  /// {"merged": {...}, "devices": [{...}, ...]} — per-shard and merged
+  /// snapshots in one stable JSON document.
+  std::string metrics_json() const;
+
+ private:
+  /// Affinity target for `r` given the observed per-device loads, falling
+  /// back to the least-loaded device past spill_margin. Bumps the routing
+  /// counters.
+  int place(const Request& r, const std::vector<std::size_t>& loads);
+  /// Steal callback installed on device `thief`: one formed bulk batch
+  /// from the sibling with the deepest qualifying bulk backlog.
+  std::vector<Pending> steal_for(int thief);
+
+  ClusterOptions opt_;
+  std::size_t steal_min_backlog_ = 0;
+  std::size_t spill_margin_ = 0;
+  /// Front-end counters only — events the device shards never see
+  /// (cluster-level rejections, routing decisions) — so merging the
+  /// shards with this snapshot never double counts.
+  Metrics metrics_;
+  /// Engines install their steal_source before shards_ is fully built;
+  /// the callback no-ops until construction completes.
+  std::atomic<bool> ready_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::mutex shutdown_mu_;  ///< serialises shutdown callers
+  std::vector<std::unique_ptr<Engine>> shards_;
+};
+
+}  // namespace ascan::serve

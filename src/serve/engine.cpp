@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <utility>
 
@@ -15,31 +16,39 @@ double secs(Clock::duration d) {
   return std::chrono::duration<double>(d).count();
 }
 
-bool valid_tile(std::size_t s) {
-  return s == 16 || s == 32 || s == 64 || s == 128;
+Clock::duration dur(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
 }
 
-Response immediate(OpKind kind, Status status, std::string reason) {
-  Response r;
-  r.kind = kind;
-  r.status = status;
-  r.reason = std::move(reason);
-  return r;
+bool valid_tile(std::size_t s) {
+  return s == 16 || s == 32 || s == 64 || s == 128;
 }
 
 }  // namespace
 
 Engine::Engine(EngineOptions opt)
-    : opt_(opt), metrics_(opt.machine.hbm_bandwidth) {
+    : opt_(std::move(opt)),
+      metrics_(opt_.machine.hbm_bandwidth, opt_.device_id) {
   ASCAN_CHECK(opt_.num_workers >= 1, "serve::Engine: need >= 1 worker");
   ASCAN_CHECK(opt_.policy.max_batch >= 1,
               "serve::Engine: max_batch must be >= 1");
   ASCAN_CHECK(opt_.max_queue >= 1, "serve::Engine: max_queue must be >= 1");
   ASCAN_CHECK(opt_.interactive_reserve < opt_.max_queue,
               "serve::Engine: interactive_reserve must leave bulk capacity");
-  workers_.reserve(static_cast<std::size_t>(opt_.num_workers));
-  for (int i = 0; i < opt_.num_workers; ++i) {
-    workers_.emplace_back([this] { worker_main(); });
+  ASCAN_CHECK(!opt_.steal_source || opt_.steal_poll_s > 0,
+              "serve::Engine: steal_poll_s must be positive");
+  const auto n = static_cast<std::size_t>(opt_.num_workers);
+  sessions_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = std::make_unique<Session>(opt_.machine);
+    s->set_retry_policy(opt_.retry);
+    if (opt_.fault_plan.any()) s->set_fault_plan(opt_.fault_plan);
+    sessions_.push_back(std::move(s));
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
   }
 }
 
@@ -73,16 +82,16 @@ std::future<Response> Engine::submit(Request req) {
 
   if (std::string err = validate(req); !err.empty()) {
     metrics_.on_rejected_invalid();
-    promise.set_value(immediate(req.kind, Status::Rejected,
-                                "invalid request: " + err));
+    promise.set_value(immediate_response(req.kind, Status::Rejected,
+                                         "invalid request: " + err));
     return fut;
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_ || stopped_) {
       metrics_.on_rejected_shutdown();
-      promise.set_value(
-          immediate(req.kind, Status::Rejected, "engine shutting down"));
+      promise.set_value(immediate_response(req.kind, Status::Rejected,
+                                           "engine shutting down"));
       return fut;
     }
     // Bulk admissions stop interactive_reserve slots early, so a bulk
@@ -99,7 +108,8 @@ std::future<Response> Engine::submit(Request req) {
                             ? "interactive"
                             : "bulk")
          << " lane)";
-      promise.set_value(immediate(req.kind, Status::Rejected, os.str()));
+      promise.set_value(
+          immediate_response(req.kind, Status::Rejected, os.str()));
       return fut;
     }
     Pending p;
@@ -114,16 +124,57 @@ std::future<Response> Engine::submit(Request req) {
   return fut;
 }
 
-void Engine::worker_main() {
+bool Engine::steal_and_execute(Session& session,
+                               std::unique_lock<std::mutex>& lk) {
+  // Lock rule: never hold this engine's mu_ while reaching into a sibling
+  // device's queue — the sibling's worker may be about to do the converse.
+  lk.unlock();
+  std::vector<Pending> batch;
   try {
-    Session session(opt_.machine);
-    session.set_retry_policy(opt_.retry);
-    if (opt_.fault_plan.any()) session.set_fault_plan(opt_.fault_plan);
+    batch = opt_.steal_source();
+  } catch (...) {
+    // A racing sibling shutdown is not this worker's problem.
+  }
+  if (batch.empty()) {
+    lk.lock();
+    return false;
+  }
+  metrics_.on_steal(batch.size());
+  execute_batch(session, std::move(batch), Clock::now());
+  lk.lock();
+  return true;
+}
+
+void Engine::worker_main(std::size_t idx) {
+  try {
+    Session& session = *sessions_[idx];
 
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
-      work_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) break;  // stopping and nothing left to drain
+      // Wait for local work or a stop. With a steal_source installed the
+      // wait is sliced at steal_poll_s so an idle device takes a
+      // sibling's bulk backlog instead of sleeping on an empty queue.
+      while (!stopping_ && queue_.empty()) {
+        if (opt_.steal_source) {
+          work_cv_.wait_for(lk, dur(opt_.steal_poll_s),
+                            [&] { return stopping_ || !queue_.empty(); });
+          if (stopping_ || !queue_.empty()) break;
+          steal_and_execute(session, lk);
+        } else {
+          work_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+        }
+      }
+      if (queue_.empty()) {
+        // Stopping with nothing left locally (submits are rejected once
+        // stopping_ is set, so the queue stays empty). A draining device
+        // helps its siblings finish before exiting — cluster drain runs
+        // at the speed of the busiest device, not the idlest.
+        if (stop_mode_ == ShutdownMode::Drain && opt_.steal_source) {
+          while (steal_and_execute(session, lk)) {
+          }
+        }
+        break;
+      }
       if (stopping_ && stop_mode_ == ShutdownMode::Cancel) break;
 
       // Dynamic batching: hold the launch until a full batch is ready or
@@ -139,8 +190,8 @@ void Engine::worker_main() {
                queue_.full_batch_ready(opt_.policy, Clock::now());
       });
       if (queue_.empty()) {
-        if (stopping_) break;
-        continue;  // another worker took the work
+        if (stopping_) continue;  // re-enter the drain/cancel epilogue
+        continue;                 // another worker took the work
       }
       if (stopping_ && stop_mode_ == ShutdownMode::Cancel) break;
 
@@ -161,6 +212,8 @@ void Engine::run_group(Session& session, std::vector<Pending>& batch,
                        std::vector<Response>& out) {
   const std::size_t b = batch.size();
   const Request& head = batch.front().req;
+  const std::uint64_t launch_id =
+      next_launch_id_.fetch_add(1, std::memory_order_relaxed);
   Report rep;
   switch (head.kind) {
     case OpKind::Cumsum: {
@@ -242,6 +295,8 @@ void Engine::run_group(Session& session, std::vector<Pending>& batch,
     out[i].kind = head.kind;
     out[i].report = rep;
     out[i].batch_size = b;
+    out[i].device = opt_.device_id;
+    out[i].launch_id = launch_id;
   }
 }
 
@@ -253,7 +308,9 @@ void Engine::execute_batch(Session& session, std::vector<Pending> batch,
     run_group(session, batch, out);
   } catch (const std::exception& e) {
     if (batch.size() == 1) {
-      Response r = immediate(batch[0].req.kind, Status::Failed, e.what());
+      Response r =
+          immediate_response(batch[0].req.kind, Status::Failed, e.what());
+      r.device = opt_.device_id;
       resolve(batch[0], std::move(r), picked, exec_begin);
       return;
     }
@@ -282,7 +339,9 @@ void Engine::execute_single(Session& session, Pending& p,
     metrics_.on_batch(1, out[0].report);
     resolve(solo[0], std::move(out[0]), picked, exec_begin);
   } catch (const std::exception& e) {
-    Response r = immediate(solo[0].req.kind, Status::Failed, e.what());
+    Response r =
+        immediate_response(solo[0].req.kind, Status::Failed, e.what());
+    r.device = opt_.device_id;
     resolve(solo[0], std::move(r), picked, exec_begin);
   }
 }
@@ -302,15 +361,24 @@ void Engine::resolve(Pending& p, Response r, Clock::time_point picked,
   p.promise.set_value(std::move(r));
 }
 
-void Engine::shutdown(ShutdownMode mode) {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+void Engine::begin_shutdown(ShutdownMode mode) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopped_) return;
+    if (stopping_ || stopped_) return;  // the first caller's mode wins
     stopping_ = true;
     stop_mode_ = mode;
   }
   work_cv_.notify_all();
+}
+
+void Engine::finish_shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    ASCAN_CHECK(stopping_,
+                "serve::Engine: finish_shutdown before begin_shutdown");
+  }
   for (auto& w : workers_) w.join();
   workers_.clear();
 
@@ -328,9 +396,15 @@ void Engine::shutdown(ShutdownMode mode) {
   }
   for (auto& p : leftovers) {
     metrics_.on_cancelled();
-    p.promise.set_value(immediate(p.req.kind, Status::Cancelled,
-                                  "engine shutdown cancelled the request"));
+    p.promise.set_value(
+        immediate_response(p.req.kind, Status::Cancelled,
+                           "engine shutdown cancelled the request"));
   }
+}
+
+void Engine::shutdown(ShutdownMode mode) {
+  begin_shutdown(mode);
+  finish_shutdown();
 }
 
 bool Engine::stopped() const {
@@ -341,6 +415,41 @@ bool Engine::stopped() const {
 std::size_t Engine::queue_depth() const {
   std::lock_guard<std::mutex> lk(mu_);
   return queue_.size();
+}
+
+std::size_t Engine::bulk_backlog() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.bulk_size();
+}
+
+std::vector<Pending> Engine::steal_bulk_batch(std::size_t min_backlog) {
+  std::vector<Pending> batch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return batch;
+    // A cancelling shutdown owns its queued requests — they resolve as
+    // Cancelled here, not on a thief.
+    if (stopping_ && stop_mode_ == ShutdownMode::Cancel) return batch;
+    batch = queue_.steal_bulk(opt_.policy, min_backlog);
+  }
+  if (!batch.empty()) metrics_.on_steal_suffered();
+  return batch;
+}
+
+Engine::DeviceStats Engine::device_stats() const {
+  DeviceStats d;
+  bool first = true;
+  for (const auto& s : sessions_) {
+    const auto& c = s->cumulative_retry_stats();
+    d.op_calls += c.calls;
+    d.op_failures += c.failures;
+    d.retries += c.retries;
+    d.excluded_cores += c.excluded_cores;
+    d.active_cores = first ? s->active_cores()
+                           : std::min(d.active_cores, s->active_cores());
+    first = false;
+  }
+  return d;
 }
 
 }  // namespace ascan::serve

@@ -25,11 +25,19 @@
 //    (tests/test_serve.cpp pins this for integer-valued workloads, where
 //    every float operation is exact; for general data, batching may
 //    reassociate fp32 carries in segmented scans by at most 1 ulp).
+//
+// One Engine is one simulated device's serving front. serve::Cluster
+// (cluster.hpp) composes N Engines behind one submit() with
+// locality-aware placement and cross-device work stealing; the hooks it
+// uses (device_id tagging, steal_source, the split begin/finish shutdown)
+// are part of this header.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -61,6 +69,16 @@ struct EngineOptions {
   MachineConfig machine = MachineConfig::ascend_910b4();
   RetryPolicy retry{};     ///< engine-default resilience policy
   FaultPlan fault_plan{};  ///< armed on every worker Session when any()
+
+  /// Cluster shard id stamped on every Response served here (0 for a
+  /// standalone engine; the Cluster assigns 0..N-1).
+  int device_id = 0;
+  /// Cluster hook: when set, an idle worker polls this between short cv
+  /// waits to take a whole formed bulk batch from a sibling device instead
+  /// of sleeping until local work arrives. Must return an empty vector
+  /// when nothing is stealable; must never block on this engine's locks.
+  std::function<std::vector<Pending>()> steal_source;
+  double steal_poll_s = 100e-6;  ///< idle poll cadence when stealing is on
 };
 
 class Engine {
@@ -71,6 +89,10 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Argument validation shared with the Cluster front end: empty string
+  /// when `r` is servable, else the rejection reason.
+  static std::string validate(const Request& r);
+
   /// Thread-safe. Validates, admits (or rejects) and returns the future.
   std::future<Response> submit(Request req);
 
@@ -79,15 +101,45 @@ class Engine {
   /// out is resolved and further submits resolve as Rejected.
   void shutdown(ShutdownMode mode);
 
+  /// Two-phase shutdown for multi-device owners: begin_shutdown() signals
+  /// the stop (non-blocking, so a cluster stops every device in parallel);
+  /// finish_shutdown() joins the workers and resolves leftovers.
+  /// shutdown() == begin + finish.
+  void begin_shutdown(ShutdownMode mode);
+  void finish_shutdown();
+
   bool stopped() const;
   std::size_t queue_depth() const;
+  /// Bulk-lane backlog (the stealable part of the queue).
+  std::size_t bulk_backlog() const;
+
+  /// Work-stealing entry point, called by a sibling device's idle worker
+  /// (through the cluster): pops one whole formed bulk batch when the bulk
+  /// backlog holds at least `min_backlog` requests. Interactive requests
+  /// are never handed out. Empty while a cancelling shutdown is in
+  /// progress (those requests resolve as Cancelled here).
+  std::vector<Pending> steal_bulk_batch(std::size_t min_backlog);
+
+  /// Post-shutdown per-device degradation view, aggregated over the
+  /// engine's Sessions. Reading it while workers are live is racy.
+  struct DeviceStats {
+    int active_cores = 0;  ///< min over sessions (cores stay offline)
+    std::uint64_t op_calls = 0;
+    std::uint64_t op_failures = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t excluded_cores = 0;
+  };
+  DeviceStats device_stats() const;
 
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
   std::string metrics_json() const { return metrics_.snapshot().json(); }
   const EngineOptions& options() const { return opt_; }
 
  private:
-  void worker_main();
+  void worker_main(std::size_t idx);
+  /// Unlocks `lk`, asks the steal_source for a batch and executes it on
+  /// `session`; relocks. Returns whether a batch was stolen.
+  bool steal_and_execute(Session& session, std::unique_lock<std::mutex>& lk);
   void execute_batch(Session& session, std::vector<Pending> batch,
                      Clock::time_point picked);
   /// Runs one request alone under its request-scoped RetryPolicy.
@@ -97,7 +149,6 @@ class Engine {
   void run_group(Session& session, std::vector<Pending>& batch,
                  std::vector<Response>& out);
 
-  static std::string validate(const Request& r);
   void resolve(Pending& p, Response r, Clock::time_point picked,
                Clock::time_point exec_begin);
 
@@ -112,6 +163,11 @@ class Engine {
   bool stopped_ = false;
   ShutdownMode stop_mode_ = ShutdownMode::Drain;
   std::uint64_t next_seq_ = 0;
+  std::atomic<std::uint64_t> next_launch_id_{1};  // 0 = never launched
+  /// One Session (one simulated device context) per worker, owned by the
+  /// engine so per-device state — excluded cores, cumulative retry stats —
+  /// outlives the worker threads and is inspectable after shutdown.
+  std::vector<std::unique_ptr<Session>> sessions_;
   std::vector<std::thread> workers_;
 };
 

@@ -60,6 +60,22 @@ std::string LatencyHistogram::json() const {
   return os.str();
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] +=
+        other.buckets_[static_cast<std::size_t>(b)];
+  }
+  count_ += other.count_;
+  sum_s_ += other.sum_s_;
+  max_s_ = std::max(max_s_, other.max_s_);
+}
+
+void Metrics::on_steal(std::size_t stolen_request_count) {
+  std::lock_guard<std::mutex> lk(mu_);
+  s_.steals++;
+  s_.stolen_requests += stolen_request_count;
+}
+
 void Metrics::on_completed(OpKind kind, const Timing& t) {
   std::lock_guard<std::mutex> lk(mu_);
   s_.completed++;
@@ -89,23 +105,69 @@ void Metrics::on_batch(std::size_t occupancy, const Report& rep) {
   s_.sim_excluded_cores += rep.excluded_cores;
 }
 
-MetricsSnapshot Metrics::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  MetricsSnapshot out = s_;
+namespace {
+
+void recompute_derived(MetricsSnapshot& out, double hbm_peak) {
   if (out.batches > 0) {
     out.avg_batch_occupancy = static_cast<double>(out.batched_requests) /
                               static_cast<double>(out.batches);
   }
-  if (out.sim_time_s > 0 && hbm_peak_ > 0) {
+  if (out.sim_time_s > 0 && hbm_peak > 0) {
     out.sim_bandwidth_utilization =
-        static_cast<double>(out.sim_gm_bytes) / out.sim_time_s / hbm_peak_;
+        static_cast<double>(out.sim_gm_bytes) / out.sim_time_s / hbm_peak;
   }
+}
+
+}  // namespace
+
+MetricsSnapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot out = s_;
+  recompute_derived(out, hbm_peak_);
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::merged(
+    const std::vector<MetricsSnapshot>& parts, double hbm_peak_bytes_per_s) {
+  MetricsSnapshot out;
+  for (const auto& p : parts) {
+    out.submitted += p.submitted;
+    out.admitted += p.admitted;
+    out.rejected_capacity += p.rejected_capacity;
+    out.rejected_invalid += p.rejected_invalid;
+    out.rejected_shutdown += p.rejected_shutdown;
+    out.cancelled += p.cancelled;
+    out.completed += p.completed;
+    out.failed += p.failed;
+    for (std::size_t k = 0; k < out.by_kind.size(); ++k) {
+      out.by_kind[k] += p.by_kind[k];
+    }
+    out.batches += p.batches;
+    out.batched_requests += p.batched_requests;
+    out.max_batch_observed =
+        std::max(out.max_batch_observed, p.max_batch_observed);
+    out.routed_affinity += p.routed_affinity;
+    out.routed_spill += p.routed_spill;
+    out.steals += p.steals;
+    out.stolen_requests += p.stolen_requests;
+    out.steals_suffered += p.steals_suffered;
+    out.queue_latency.merge(p.queue_latency);
+    out.execute_latency.merge(p.execute_latency);
+    out.total_latency.merge(p.total_latency);
+    out.sim_time_s += p.sim_time_s;
+    out.sim_gm_bytes += p.sim_gm_bytes;
+    out.sim_launches += p.sim_launches;
+    out.sim_retries += p.sim_retries;
+    out.sim_excluded_cores += p.sim_excluded_cores;
+  }
+  recompute_derived(out, hbm_peak_bytes_per_s);
   return out;
 }
 
 std::string MetricsSnapshot::json() const {
   std::ostringstream os;
   os << "{\n"
+     << "  \"device\": " << device << ",\n"
      << "  \"admission\": {"
      << "\"submitted\":" << submitted << ",\"admitted\":" << admitted
      << ",\"rejected_capacity\":" << rejected_capacity
@@ -123,6 +185,10 @@ std::string MetricsSnapshot::json() const {
      << ",\"batched_requests\":" << batched_requests
      << ",\"max_batch_observed\":" << max_batch_observed
      << ",\"avg_occupancy\":" << avg_batch_occupancy << "},\n"
+     << "  \"cluster\": {\"routed_affinity\":" << routed_affinity
+     << ",\"routed_spill\":" << routed_spill << ",\"steals\":" << steals
+     << ",\"stolen_requests\":" << stolen_requests
+     << ",\"steals_suffered\":" << steals_suffered << "},\n"
      << "  \"latency\": {\"queue\":" << queue_latency.json()
      << ",\"execute\":" << execute_latency.json()
      << ",\"total\":" << total_latency.json() << "},\n"

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "serve/request.hpp"
 
@@ -26,6 +27,9 @@ class LatencyHistogram {
   static constexpr int kBuckets = 47;
 
   void add(double seconds);
+
+  /// Accumulates another histogram (cluster shard -> merged view).
+  void merge(const LatencyHistogram& other);
 
   std::uint64_t count() const { return count_; }
   double sum_s() const { return sum_s_; }
@@ -45,6 +49,10 @@ class LatencyHistogram {
 
 /// Point-in-time copy of every serving counter (see Metrics::snapshot).
 struct MetricsSnapshot {
+  /// Simulated device (cluster shard) these counters belong to; -1 for a
+  /// merged cluster view or the cluster front end's own counters.
+  int device = -1;
+
   // --- Admission -------------------------------------------------------------
   std::uint64_t submitted = 0;   ///< submit() calls
   std::uint64_t admitted = 0;    ///< entered the queue
@@ -63,6 +71,13 @@ struct MetricsSnapshot {
   std::uint64_t max_batch_observed = 0;
   double avg_batch_occupancy = 0;      ///< batched_requests / batches
 
+  // --- Cluster: placement and work stealing ----------------------------------
+  std::uint64_t routed_affinity = 0;  ///< placed on the GroupKey-hash target
+  std::uint64_t routed_spill = 0;     ///< least-loaded fallback placements
+  std::uint64_t steals = 0;           ///< formed batches stolen from peers
+  std::uint64_t stolen_requests = 0;  ///< requests those stolen batches held
+  std::uint64_t steals_suffered = 0;  ///< formed batches peers took from here
+
   // --- Latency ---------------------------------------------------------------
   LatencyHistogram queue_latency;
   LatencyHistogram execute_latency;
@@ -80,13 +95,23 @@ struct MetricsSnapshot {
   double sim_bandwidth_utilization = 0;
 
   std::string json() const;  ///< full snapshot as a JSON object
+
+  /// Sums every raw counter and histogram of `parts` into one view and
+  /// recomputes the derived fields against `hbm_peak_bytes_per_s` (the
+  /// per-device peak — the merged utilisation therefore reads as the
+  /// average utilisation of an *active* device, not of the aggregate
+  /// cluster bandwidth). Used for the cluster's merged metrics.
+  static MetricsSnapshot merged(const std::vector<MetricsSnapshot>& parts,
+                                double hbm_peak_bytes_per_s);
 };
 
 /// Thread-safe accumulator owned by the Engine.
 class Metrics {
  public:
-  explicit Metrics(double hbm_peak_bytes_per_s)
-      : hbm_peak_(hbm_peak_bytes_per_s) {}
+  explicit Metrics(double hbm_peak_bytes_per_s, int device = -1)
+      : hbm_peak_(hbm_peak_bytes_per_s) {
+    s_.device = device;
+  }
 
   void on_submitted() { bump(&MetricsSnapshot::submitted); }
   void on_admitted() { bump(&MetricsSnapshot::admitted); }
@@ -94,6 +119,11 @@ class Metrics {
   void on_rejected_invalid() { bump(&MetricsSnapshot::rejected_invalid); }
   void on_rejected_shutdown() { bump(&MetricsSnapshot::rejected_shutdown); }
   void on_cancelled() { bump(&MetricsSnapshot::cancelled); }
+
+  void on_routed_affinity() { bump(&MetricsSnapshot::routed_affinity); }
+  void on_routed_spill() { bump(&MetricsSnapshot::routed_spill); }
+  void on_steal_suffered() { bump(&MetricsSnapshot::steals_suffered); }
+  void on_steal(std::size_t stolen_request_count);
 
   void on_completed(OpKind kind, const Timing& t);
   void on_failed(const Timing& t);

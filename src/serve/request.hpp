@@ -148,9 +148,28 @@ struct Response {
 
   Report report;              ///< simulated profile of the serving launch
   std::size_t batch_size = 0; ///< requests coalesced into that launch
+  /// Which simulated device executed the request: the serving Engine's
+  /// device_id (a cluster shard index, 0 for a standalone engine). -1 for
+  /// requests that never reached a device (rejections).
+  int device = -1;
+  /// Engine-local execution ordinal of the serving launch. Members of the
+  /// same coalesced batch share it; consecutive launches on one device get
+  /// increasing ids. 0 for requests that never launched.
+  std::uint64_t launch_id = 0;
   Timing timing;
 
   bool ok() const { return status == Status::Ok; }
 };
+
+/// A terminal response carrying no payload (rejections, cancellations,
+/// typed failures). Shared by the Engine and the Cluster front end.
+inline Response immediate_response(OpKind kind, Status status,
+                                   std::string reason) {
+  Response r;
+  r.kind = kind;
+  r.status = status;
+  r.reason = std::move(reason);
+  return r;
+}
 
 }  // namespace ascan::serve

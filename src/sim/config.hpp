@@ -129,6 +129,15 @@ struct MachineConfig {
     c.num_ai_cores = 1;
     return c;
   }
+
+  /// Copy of this config with a different AI-core count. Multi-device
+  /// serving tests use it to build deliberately heterogeneous clusters
+  /// (skewed per-device capacity) from one base description.
+  MachineConfig with_ai_cores(int cores) const {
+    MachineConfig c = *this;
+    c.num_ai_cores = cores;
+    return c;
+  }
 };
 
 }  // namespace ascend::sim

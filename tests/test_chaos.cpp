@@ -7,8 +7,10 @@
 // fp32 regardless of how blocks partition the data; a retry or a
 // degraded-core relaunch must therefore reproduce the fault-free result
 // bit for bit.
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "core/ascan.hpp"
 #include "kernels/mcscan.hpp"
 #include "kernels/vec_cumsum.hpp"
+#include "serve/cluster.hpp"
 #include "sim/executor.hpp"
 #include "sim/fault.hpp"
 #include "test_helpers.hpp"
@@ -291,6 +294,124 @@ TEST(Chaos, TimingCacheBypassedWhileFaultPlanArmed) {
   for (int i = 0; i < 3; ++i) launch_once();
   EXPECT_GT(stats.hits, hits_before)
       << "disarming must restore cache hits once the shape re-stabilises";
+}
+
+// ---------------------------------------------------------------------------
+// Cluster chaos: one battered device in a healthy cluster must degrade
+// gracefully — its requests retry, fail typed or get served elsewhere —
+// while the cluster keeps serving and shutdown always completes.
+
+TEST(Chaos, ClusterToleratesOneFaultyDevice) {
+  using namespace ascan::serve;
+  const auto x = testing::exact_scan_workload(1024, 23);
+  ascan::Session ref(chaos_cfg());
+  const auto want = ref.cumsum_batched(x, 1, x.size()).values;
+
+  std::uint64_t completed_total = 0, failed_total = 0, retries_total = 0;
+  std::uint64_t faulty_device_calls = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    sim::FaultPlan bad;
+    bad.seed = seed * 101;
+    bad.mte_transient_rate = 0.01;
+    bad.ecc_double_rate = 0.001;
+    bad.hang_rate = 0.001;
+    std::vector<sim::FaultPlan> plans(4);  // only device 1 is armed
+    plans[1] = bad;
+    Cluster cluster({.policy = {.max_batch = 4, .max_wait_s = 100e-6},
+                     .num_devices = 4,
+                     .machine = chaos_cfg(),
+                     .retry = {.max_attempts = 3,
+                               .backoff_s = 20e-6,
+                               .max_core_exclusions = 1},
+                     .device_fault_plans = plans,
+                     .steal_min_backlog = 2,
+                     .spill_margin = 1});  // spread the hot key everywhere
+    std::vector<std::future<Response>> futs;
+    for (int i = 0; i < 24; ++i) {
+      futs.push_back(
+          cluster.submit(Request::cumsum(x, 128, false, Priority::Bulk)));
+    }
+    cluster.shutdown(ShutdownMode::Drain);
+    for (auto& f : futs) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready)
+          << "seed " << seed << ": dangling future";
+      const auto r = f.get();
+      ASSERT_TRUE(r.status == Status::Ok || r.status == Status::Failed)
+          << "seed " << seed << ": " << status_name(r.status);
+      if (r.ok()) {
+        // Even a retried / degraded / stolen execution is bit-exact.
+        ASSERT_EQ(r.values_f16.size(), want.size());
+        for (std::size_t j = 0; j < want.size(); ++j) {
+          ASSERT_EQ(static_cast<float>(r.values_f16[j]),
+                    static_cast<float>(want[j]))
+              << "seed " << seed << " device " << r.device << " index " << j;
+        }
+      } else {
+        EXPECT_FALSE(r.reason.empty());
+      }
+    }
+    const auto m = cluster.metrics();
+    EXPECT_EQ(m.admitted, m.completed + m.failed) << "seed " << seed;
+    completed_total += m.completed;
+    failed_total += m.failed;
+    retries_total += m.sim_retries;
+    faulty_device_calls += cluster.device(1).device_stats().op_calls;
+    // Steal/routing counters are part of the exported degradation story.
+    const std::string j = cluster.metrics_json();
+    EXPECT_NE(j.find("\"steals\""), std::string::npos);
+    EXPECT_NE(j.find("\"steals_suffered\""), std::string::npos);
+  }
+  EXPECT_GT(completed_total, 0u);
+  EXPECT_GT(retries_total, 0u) << "no seed exercised the retry path";
+  EXPECT_GT(faulty_device_calls, 0u) << "the faulty device never saw traffic";
+  RecordProperty("completed", static_cast<int>(completed_total));
+  RecordProperty("failed", static_cast<int>(failed_total));
+  RecordProperty("sim_retries", static_cast<int>(retries_total));
+}
+
+TEST(Chaos, ClusterShutdownNeverWedgesWhileADeviceHangs) {
+  using namespace ascan::serve;
+  // Device 0 hangs on every launch; the watchdog in chaos_cfg() turns each
+  // hang into a typed TimeoutError, so its requests fail cleanly instead
+  // of wedging the drain. Device 1 keeps serving.
+  sim::FaultPlan hang;
+  hang.seed = 9;
+  hang.hang_rate = 1.0;
+  Cluster cluster({.policy = {.max_batch = 2, .max_wait_s = 50e-6},
+                   .num_devices = 2,
+                   .machine = chaos_cfg(),
+                   .retry = {.max_attempts = 2},
+                   .device_fault_plans = {hang, sim::FaultPlan{}}});
+  Rng rng(31);
+  std::vector<std::future<Response>> futs;
+  // Many distinct GroupKeys so the affinity hash lands work on both
+  // devices (interactive lane: never stolen, so the hanging device must
+  // handle — and cleanly fail — its own share).
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(cluster.submit(Request::top_p(
+        rng.token_probs_f16(128 + 16 * static_cast<std::size_t>(i)), 0.9,
+        rng.next_double())));
+  }
+  const auto x = testing::exact_scan_workload(512, 29);
+  for (std::size_t tile : {16u, 32u, 64u, 128u}) {
+    futs.push_back(cluster.submit(Request::cumsum(x, tile)));
+    futs.push_back(cluster.submit(Request::cumsum(x, tile, true)));
+  }
+  cluster.shutdown(ShutdownMode::Drain);  // must return despite the hangs
+  EXPECT_TRUE(cluster.stopped());
+  std::size_t ok = 0, failed = 0;
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const auto r = f.get();
+    ASSERT_TRUE(r.status == Status::Ok || r.status == Status::Failed);
+    (r.ok() ? ok : failed)++;
+  }
+  EXPECT_GT(ok, 0u) << "the healthy device stopped serving";
+  EXPECT_GT(failed, 0u) << "the hanging device never surfaced a failure";
+  EXPECT_GT(cluster.device(0).device_stats().op_failures, 0u);
+  EXPECT_EQ(cluster.device(1).device_stats().op_failures, 0u);
 }
 
 TEST(Chaos, ThrottledStragglersOnlyStretchTime) {

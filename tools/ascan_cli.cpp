@@ -12,6 +12,9 @@
 //                    [--exclusions 1]
 //   ascan_cli serve-demo [--requests 64] [--clients 4] [--batch 16]
 //                        [--wait-us 500] [--queue 256]
+//   ascan_cli cluster-demo [--devices 4] [--requests 96] [--clients 4]
+//                          [--batch 8] [--wait-us 200] [--queue 512]
+//                          [--no-steal]
 #include <atomic>
 #include <cstring>
 #include <functional>
@@ -24,6 +27,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/ascan.hpp"
+#include "serve/cluster.hpp"
 #include "serve/engine.hpp"
 #include "kernels/mcscan.hpp"
 #include "kernels/radix_sort.hpp"
@@ -406,6 +410,96 @@ int cmd_serve_demo(const Args& a) {
   return 0;
 }
 
+// Cluster demo: the same mixed workload fired at a multi-device
+// serve::Cluster, with a hot-key bulk flood mixed in so affinity placement,
+// least-loaded spill and cross-device work stealing all leave visible
+// tracks in the merged metrics. The per-request table shows which device
+// served each request.
+int cmd_cluster_demo(const Args& a) {
+  const std::size_t requests = a.num("requests", 96);
+  const int clients = static_cast<int>(a.num("clients", 4));
+  const int devices = static_cast<int>(a.num("devices", 4));
+  const std::size_t batch = a.num("batch", 8);
+  const double wait_us = a.real("wait-us", 200.0);
+  const std::size_t max_queue = a.num("queue", 512);
+
+  using namespace ascan::serve;
+  Cluster cluster({.policy = {.max_batch = batch,
+                              .max_wait_s = wait_us * 1e-6},
+                   .num_devices = devices,
+                   .max_queue = max_queue,
+                   .interactive_reserve = std::min<std::size_t>(
+                       16, max_queue > 1 ? max_queue / 4 : 0),
+                   .work_stealing = !a.flag("no-steal"),
+                   .steal_min_backlog = batch});
+  std::printf("cluster-demo: %zu requests, %d clients, %d devices, "
+              "max_batch=%zu, max_wait=%.0f us, stealing %s\n\n",
+              requests, clients, devices, batch, wait_us,
+              a.flag("no-steal") ? "off" : "on");
+
+  std::vector<std::future<Response>> futs(requests);
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> next{0};
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < requests;
+           i = next.fetch_add(1)) {
+        Rng rng(42 + i);
+        // Even indices: a hot-key bulk flood (one GroupKey, so the whole
+        // backlog lands on one affinity device and stealing has something
+        // to rebalance). Odd indices: mixed interactive traffic.
+        if (i % 2 == 0) {
+          std::vector<half> hot(512);
+          for (auto& v : hot) v = half(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+          futs[i] = cluster.submit(Request::cumsum(
+              std::move(hot), 128, false, Priority::Bulk));
+          continue;
+        }
+        switch (i % 6) {
+          case 1: {
+            auto x = rng.uniform_f16(256, -1.0, 1.0);
+            auto f = rng.mask_i8(x.size(), 0.05);
+            f[0] = 1;
+            futs[i] = cluster.submit(
+                Request::segmented_cumsum(std::move(x), std::move(f)));
+            break;
+          }
+          case 3:
+            futs[i] = cluster.submit(Request::top_p(
+                rng.token_probs_f16(1024), 0.9, rng.next_double()));
+            break;
+          default:  // 5
+            futs[i] = cluster.submit(
+                Request::sort(rng.uniform_f16(256, -100.0, 100.0)));
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  Table table({"kind", "prio", "status", "device", "batch", "total us"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(requests, 12); ++i) {
+    const auto r = futs[i].get();
+    table.add_row({op_kind_name(r.kind), i % 2 == 0 ? "bulk" : "interactive",
+                   status_name(r.status), static_cast<std::int64_t>(r.device),
+                   static_cast<std::int64_t>(r.batch_size),
+                   r.timing.total_s * 1e6});
+  }
+  cluster.shutdown(ShutdownMode::Drain);
+  std::printf("first %zu requests:\n", std::min<std::size_t>(requests, 12));
+  table.print(std::cout);
+  const auto m = cluster.metrics();
+  std::printf("\nrouting: %llu affinity, %llu spill; stealing: %llu batches "
+              "(%llu requests)\n",
+              static_cast<unsigned long long>(m.routed_affinity),
+              static_cast<unsigned long long>(m.routed_spill),
+              static_cast<unsigned long long>(m.steals),
+              static_cast<unsigned long long>(m.stolen_requests));
+  std::printf("\nmetrics:\n%s\n", cluster.metrics_json().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -418,15 +512,18 @@ int main(int argc, char** argv) {
     if (a.command == "reduce") return cmd_reduce(a);
     if (a.command == "chaos") return cmd_chaos(a);
     if (a.command == "serve-demo") return cmd_serve_demo(a);
+    if (a.command == "cluster-demo") return cmd_cluster_demo(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   std::fprintf(stderr,
-               "usage: ascan_cli info|scan|sort|topp|reduce|chaos|serve-demo "
+               "usage: ascan_cli info|scan|sort|topp|reduce|chaos|serve-demo"
+               "|cluster-demo "
                "[--n N] [--algo A] [--s S] [--blocks B] [--p P] [--u U] "
                "[--baseline] [--trace FILE] [--plans P] [--seed0 S] "
                "[--retries R] [--exclusions E] [--requests N] [--clients C] "
-               "[--batch B] [--wait-us W] [--queue Q]\n");
+               "[--batch B] [--wait-us W] [--queue Q] [--devices D] "
+               "[--no-steal]\n");
   return 2;
 }

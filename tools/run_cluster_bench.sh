@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs the multi-device cluster bench and writes the JSON report to
+# BENCH_cluster.json at the repository root.
+#
+# Usage:
+#   tools/run_cluster_bench.sh [build-dir] [extra bench_cluster flags...]
+#
+# The bench measures 4-device capacity scaling against a single-device
+# engine (in simulated device time — see the "note" field in the JSON) and
+# the hot-key-burst tail-latency cut from cross-device work stealing. The
+# saturating batched wall-clock rate from BENCH_serve.json, when present,
+# is passed along as --ref-rps for context.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+bench_bin="$build_dir/bench/bench_cluster"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not found or not executable." >&2
+  echo "Build it first:  cmake -B build -S . && cmake --build build --target bench_cluster -j" >&2
+  exit 1
+fi
+
+ref_args=()
+serve_json="$repo_root/BENCH_serve.json"
+if [[ -f "$serve_json" ]] && command -v python3 >/dev/null 2>&1; then
+  ref_rps="$(python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+print(data.get("headline", {}).get("batched_rps", 0))
+' "$serve_json")"
+  if [[ "$ref_rps" != "0" ]]; then
+    ref_args=(--ref-rps "$ref_rps")
+  fi
+fi
+
+out_json="$repo_root/BENCH_cluster.json"
+"$bench_bin" --json "$out_json" "${ref_args[@]}" "$@"
+
+echo
+echo "Wrote $out_json"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out_json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+t = data.get("throughput", {})
+if t:
+    print(f"capacity: cluster {t['cluster4_stealing']['sim_capacity_rps']:.0f} req/s "
+          f"vs single device {t['single_device']['sim_capacity_rps']:.0f} req/s "
+          f"({t['capacity_ratio']:.2f}x, simulated device time)")
+b = data.get("hot_key_burst", {})
+if b:
+    print(f"tail: work stealing cuts hot-key bulk p99 "
+          f"{b['affinity_only']['bulk_p99_us']:.0f} us -> "
+          f"{b['work_stealing']['bulk_p99_us']:.0f} us "
+          f"({b['p99_improvement']:.2f}x)")
+EOF
+fi
