@@ -5,12 +5,20 @@
 // cost (see BENCH_sim_host.json) and serves >= 2x the request throughput
 // of batch_size = 1.
 //
-//   bench_serve [--quick] [--json PATH]
+// A second scenario measures the streaming / continuous-batching path:
+// long streamed cumsum rows plus short interactive requests of the same
+// GroupKey, once with continuation admission on and once boundary-only.
+// Headlines: time-to-first-chunk is a fraction of the full-response
+// latency, and continuation admission cuts the interactive queue wait.
 //
+//   bench_serve [--quick] [--stream] [--json PATH]
+//
+// --stream runs only the streaming scenario (the perf_smoke_stream test).
 // --json writes the full sweep as one JSON object (tools/run_serve_bench.sh
 // puts it at BENCH_serve.json).
 #include <chrono>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -81,8 +89,131 @@ RunResult run_load(const PolicyCase& pc, int clients,
   return r;
 }
 
+/// One streaming-scenario measurement: long streamed bulk rows and short
+/// interactive requests of the same GroupKey served concurrently.
+struct StreamResult {
+  std::string mode;  ///< "continuous" | "boundary_only"
+  std::uint64_t long_requests = 0, short_requests = 0;
+  double ttfc_us = 0;          ///< mean client time-to-first-chunk (long rows)
+  double full_latency_us = 0;  ///< mean client full-response latency
+  double interactive_queue_us = 0;  ///< mean interactive queue wait
+  std::uint64_t continuation_admits = 0;
+  std::uint64_t stream_chunks = 0;
+};
+
+/// Long streamed rows (12 steps at tile 16) from bulk clients while
+/// interactive clients submit single-step rows with the same GroupKey. The
+/// only difference between the two modes is BatchPolicy::continuous: with
+/// it on, the short rows join the in-flight launch between steps instead of
+/// waiting for it to finish.
+StreamResult run_stream_scenario(bool continuous, int long_clients,
+                                 int short_clients,
+                                 std::uint64_t long_per_client,
+                                 std::uint64_t short_per_client) {
+  constexpr std::size_t kTile = 16;
+  constexpr std::size_t kLongLen = kTile * kTile * 12;
+  constexpr std::size_t kShortLen = kTile * kTile;
+  Engine engine({.policy = {.max_batch = 8, .max_wait_s = 200e-6,
+                            .continuous = continuous}});
+  std::mutex mu;
+  double ttfc_sum = 0, full_sum = 0, queue_sum = 0;
+  std::uint64_t ttfc_n = 0, queue_n = 0;
+
+  const auto fill = [](Rng& rng, std::size_t n) {
+    std::vector<ascan::half> x(n);
+    for (auto& v : x) v = ascan::half(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+    return x;
+  };
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < long_clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(500 + static_cast<std::uint64_t>(c));
+      for (std::uint64_t i = 0; i < long_per_client; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        double first = -1;
+        Request r = Request::cumsum(fill(rng, kLongLen), kTile, false,
+                                    Priority::Bulk);
+        r.on_chunk = [&](const StreamChunk&) {
+          if (first < 0) {
+            first = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+          }
+        };
+        engine.submit(std::move(r)).get();
+        const double total = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+        std::lock_guard<std::mutex> lk(mu);
+        full_sum += total;
+        if (first >= 0) {
+          ttfc_sum += first;
+          ++ttfc_n;
+        }
+      }
+    });
+  }
+  for (int c = 0; c < short_clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(900 + static_cast<std::uint64_t>(c));
+      for (std::uint64_t i = 0; i < short_per_client; ++i) {
+        const auto resp = engine.submit(Request::cumsum(fill(rng, kShortLen),
+                                                        kTile))
+                              .get();
+        std::lock_guard<std::mutex> lk(mu);
+        queue_sum += resp.timing.queue_s;
+        ++queue_n;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.shutdown(ShutdownMode::Drain);
+
+  const auto m = engine.metrics();
+  StreamResult r;
+  r.mode = continuous ? "continuous" : "boundary_only";
+  r.long_requests =
+      static_cast<std::uint64_t>(long_clients) * long_per_client;
+  r.short_requests =
+      static_cast<std::uint64_t>(short_clients) * short_per_client;
+  r.ttfc_us = ttfc_n ? ttfc_sum / static_cast<double>(ttfc_n) * 1e6 : 0;
+  r.full_latency_us =
+      r.long_requests ? full_sum / static_cast<double>(r.long_requests) * 1e6
+                      : 0;
+  r.interactive_queue_us =
+      queue_n ? queue_sum / static_cast<double>(queue_n) * 1e6 : 0;
+  r.continuation_admits = m.continuation_admits;
+  r.stream_chunks = m.stream_chunks;
+  return r;
+}
+
+std::string stream_json(const std::vector<StreamResult>& runs) {
+  std::ostringstream os;
+  os << "  \"streaming\": {\n"
+     << "    \"workload\": \"streamed cumsum rows of 3072 fp16 elements "
+        "(tile 16, 12 steps) + interactive 256-element rows, same "
+        "GroupKey\",\n"
+     << "    \"modes\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    os << "      {\"mode\": \"" << r.mode
+       << "\", \"long_requests\": " << r.long_requests
+       << ", \"short_requests\": " << r.short_requests
+       << ", \"time_to_first_chunk_us\": " << r.ttfc_us
+       << ", \"full_latency_us\": " << r.full_latency_us
+       << ", \"interactive_queue_us\": " << r.interactive_queue_us
+       << ", \"continuation_admits\": " << r.continuation_admits
+       << ", \"stream_chunks\": " << r.stream_chunks << "}"
+       << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }";
+  return os.str();
+}
+
 std::string to_json(const std::vector<RunResult>& runs, double no_batching_rps,
-                    double batched_rps) {
+                    double batched_rps,
+                    const std::vector<StreamResult>& stream_runs) {
   std::ostringstream os;
   os << "{\n  \"bench\": \"serve_closed_loop\",\n"
      << "  \"machine\": \"simulated Ascend 910B4\",\n"
@@ -100,7 +231,8 @@ std::string to_json(const std::vector<RunResult>& runs, double no_batching_rps,
   }
   os << "  ],\n  \"headline\": {\"no_batching_rps\": " << no_batching_rps
      << ", \"batched_rps\": " << batched_rps << ", \"ratio\": "
-     << (no_batching_rps > 0 ? batched_rps / no_batching_rps : 0) << "}\n}\n";
+     << (no_batching_rps > 0 ? batched_rps / no_batching_rps : 0) << "},\n"
+     << stream_json(stream_runs) << "\n}\n";
   return os.str();
 }
 
@@ -109,11 +241,49 @@ std::string to_json(const std::vector<RunResult>& runs, double no_batching_rps,
 int main(int argc, char** argv) {
   const auto args = BenchArgs::parse(argc, argv);
   std::string json_path;
+  bool stream_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[i + 1];
     }
+    if (std::string(argv[i]) == "--stream") stream_only = true;
   }
+
+  std::vector<StreamResult> stream_runs;
+  const auto run_streaming = [&] {
+    print_header("Streaming / continuous batching",
+                 "long streamed rows + interactive same-key traffic");
+    const int long_clients = args.quick ? 2 : 4;
+    const int short_clients = args.quick ? 2 : 4;
+    const std::uint64_t long_per = args.quick ? 6 : 16;
+    const std::uint64_t short_per = args.quick ? 40 : 150;
+    Table st({"mode", "ttfc us", "full us", "inter q us", "cont admits",
+              "chunks"});
+    for (bool continuous : {true, false}) {
+      const auto r = run_stream_scenario(continuous, long_clients,
+                                         short_clients, long_per, short_per);
+      stream_runs.push_back(r);
+      st.add_row({r.mode, r.ttfc_us, r.full_latency_us,
+                  r.interactive_queue_us,
+                  static_cast<std::int64_t>(r.continuation_admits),
+                  static_cast<std::int64_t>(r.stream_chunks)});
+    }
+    st.print(std::cout);
+    const auto& cont = stream_runs[0];
+    const auto& bound = stream_runs[1];
+    std::printf("\nstreaming: first chunk after %.0f us vs %.0f us full "
+                "response (%.1fx earlier); continuation admission cuts "
+                "interactive queue wait %.0f us -> %.0f us\n",
+                cont.ttfc_us, cont.full_latency_us,
+                cont.ttfc_us > 0 ? cont.full_latency_us / cont.ttfc_us : 0.0,
+                bound.interactive_queue_us, cont.interactive_queue_us);
+  };
+
+  if (stream_only) {
+    run_streaming();
+    return 0;
+  }
+
   print_header("Serving throughput",
                "closed-loop load vs batching policy (serve::Engine)");
 
@@ -148,9 +318,11 @@ int main(int argc, char** argv) {
               batched_rps, no_batching_rps,
               no_batching_rps > 0 ? batched_rps / no_batching_rps : 0.0);
 
+  run_streaming();
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << to_json(runs, no_batching_rps, batched_rps);
+    out << to_json(runs, no_batching_rps, batched_rps, stream_runs);
     std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;

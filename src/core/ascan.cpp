@@ -396,6 +396,168 @@ ValueResult<float> Session::segmented_cumsum(
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Stepwise (tile-granular) launches. Each step() is its own resilient kernel
+// launch over the same device, so the retry/degradation machinery and the
+// launch-shape timing cache behave exactly as for monolithic calls; the step
+// report is stamped with Report::steps = 1 before aggregation so both the
+// per-stream aggregate and Session::total() count resumable slices.
+
+Session::LaunchStream Session::cumsum_batched_begin(std::size_t tile,
+                                                    bool use_ul1_schedule) {
+  LaunchStream ls;
+  ls.tile = tile;
+  ls.ul1 = use_ul1_schedule;
+  ls.open = true;
+  return ls;
+}
+
+ValueResult<half> Session::cumsum_batched_step(
+    LaunchStream& ls, const std::vector<half>& xs, std::size_t batch,
+    std::size_t len, const std::vector<half>& carries) {
+  ASCAN_CHECK(ls.open, "cumsum_batched_step: stream not open");
+  ASCAN_CHECK(batch > 0, "cumsum_batched_step: batch must be > 0");
+  ASCAN_CHECK(len > 0 && len <= ls.tile * ls.tile,
+              "cumsum_batched_step: len=" << len << " exceeds the l-tile "
+                                          << ls.tile * ls.tile);
+  ASCAN_CHECK(xs.size() == batch * len, "cumsum_batched_step: shape mismatch");
+  ASCAN_CHECK(carries.size() == batch,
+              "cumsum_batched_step: one carry per row");
+  auto in = dev_.upload(xs);
+  auto out = dev_.alloc<half>(xs.size());
+  ValueResult<half> r;
+  r.report = resilient("cumsum_batched_step", [&] {
+    return ls.ul1 ? k::batched_scan_ul1(dev_, in.tensor(), out.tensor(),
+                                        batch, len, {.s = ls.tile})
+                  : k::batched_scan_u(dev_, in.tensor(), out.tensor(), batch,
+                                      len, {.s = ls.tile});
+  });
+  r.values = std::move(out.host());
+  // Apply each row's carry-in host-side: one uniform add per element, exact
+  // for integer-valued workloads (see the header's rounding note).
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float c = static_cast<float>(carries[b]);
+    if (c == 0.0f) continue;
+    for (std::size_t j = 0; j < len; ++j) {
+      half& v = r.values[b * len + j];
+      v = half(static_cast<float>(v) + c);
+    }
+  }
+  r.report.steps = 1;
+  ls.report += r.report;
+  ++ls.steps;
+  total_ += r.report;
+  return r;
+}
+
+Report Session::cumsum_batched_finish(LaunchStream& ls) {
+  ASCAN_CHECK(ls.open, "cumsum_batched_finish: stream not open");
+  ls.open = false;
+  return ls.report;
+}
+
+Session::LaunchStream Session::segmented_cumsum_begin() {
+  LaunchStream ls;
+  ls.open = true;
+  return ls;
+}
+
+ValueResult<float> Session::segmented_cumsum_step(
+    LaunchStream& ls, const std::vector<half>& xs,
+    const std::vector<std::int8_t>& flags,
+    const std::vector<std::size_t>& row_len,
+    const std::vector<float>& carries) {
+  ASCAN_CHECK(ls.open, "segmented_cumsum_step: stream not open");
+  ASCAN_CHECK(!xs.empty(), "segmented_cumsum_step: empty input");
+  ASCAN_CHECK(xs.size() == flags.size(),
+              "segmented_cumsum_step: shape mismatch");
+  ASCAN_CHECK(!row_len.empty() && row_len.size() == carries.size(),
+              "segmented_cumsum_step: one carry per row");
+  std::size_t total = 0;
+  for (std::size_t n : row_len) {
+    ASCAN_CHECK(n > 0, "segmented_cumsum_step: empty row chunk");
+    total += n;
+  }
+  ASCAN_CHECK(total == xs.size(),
+              "segmented_cumsum_step: row lengths don't sum to input size");
+  // Force a segment start at every row boundary so no carry crosses rows
+  // (or steps) in-device; cross-step continuation is the host carry below.
+  std::vector<std::int8_t> forced = flags;
+  std::size_t off = 0;
+  for (std::size_t n : row_len) {
+    forced[off] = 1;
+    off += n;
+  }
+  auto in = dev_.upload(xs);
+  auto f = dev_.upload(forced);
+  auto out = dev_.alloc<float>(xs.size());
+  ValueResult<float> r;
+  r.report = resilient("segmented_cumsum_step", [&] {
+    return k::segmented_scan(dev_, in.tensor(), f.tensor(), out.tensor(),
+                             xs.size(), {});
+  });
+  r.values = std::move(out.host());
+  // Row i's carry-in applies to its leading elements, up to (not including)
+  // the chunk's first real segment start.
+  off = 0;
+  for (std::size_t b = 0; b < row_len.size(); ++b) {
+    if (carries[b] != 0.0f) {
+      for (std::size_t j = 0; j < row_len[b]; ++j) {
+        if (flags[off + j]) break;
+        r.values[off + j] += carries[b];
+      }
+    }
+    off += row_len[b];
+  }
+  r.report.steps = 1;
+  ls.report += r.report;
+  ++ls.steps;
+  total_ += r.report;
+  return r;
+}
+
+Report Session::segmented_cumsum_finish(LaunchStream& ls) {
+  ASCAN_CHECK(ls.open, "segmented_cumsum_finish: stream not open");
+  ls.open = false;
+  return ls.report;
+}
+
+Session::LaunchStream Session::top_p_begin(double p, std::size_t tile) {
+  ASCAN_CHECK(p > 0.0 && p <= 1.0, "top_p_begin: p=" << p << " outside (0, 1]");
+  LaunchStream ls;
+  ls.p = p;
+  ls.tile = tile;
+  ls.open = true;
+  return ls;
+}
+
+SampleResult Session::top_p_step(LaunchStream& ls,
+                                 const std::vector<half>& probs, double u) {
+  ASCAN_CHECK(ls.open, "top_p_step: stream not open");
+  ASCAN_CHECK(!probs.empty(), "top_p_step: empty input");
+  ASCAN_CHECK(u >= 0.0 && u < 1.0, "top_p_step: u=" << u << " outside [0, 1)");
+  auto in = dev_.upload(probs);
+  SampleResult r;
+  r.report = resilient("top_p_step", [&] {
+    const auto tr = k::top_p_sample(dev_, in.tensor(), probs.size(), ls.p, u,
+                                    {.s = ls.tile});
+    r.index = tr.token;
+    r.nucleus = tr.nucleus;
+    return tr.report;
+  });
+  r.report.steps = 1;
+  ls.report += r.report;
+  ++ls.steps;
+  total_ += r.report;
+  return r;
+}
+
+Report Session::top_p_finish(LaunchStream& ls) {
+  ASCAN_CHECK(ls.open, "top_p_finish: stream not open");
+  ls.open = false;
+  return ls.report;
+}
+
 ValueResult<float> Session::reduce(const std::vector<half>& x,
                                    bool use_cube) {
   ASCAN_CHECK(!x.empty(), "reduce: empty input");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 namespace ascan::serve {
 
@@ -17,7 +18,7 @@ GroupKey group_key(const Request& r) {
       break;  // all segmented scans share one stream
     case OpKind::TopP:
       k.vocab = r.x.size();
-      k.p = r.p;
+      k.p = r.p == 0.0 ? 0.0 : r.p;  // fold -0.0 (== but different bits)
       k.tile = r.tile;
       break;
     case OpKind::Sort:
@@ -38,7 +39,14 @@ std::uint64_t group_key_hash(const GroupKey& k) {
   mix(static_cast<std::uint64_t>(k.tile));
   mix(k.ul1 ? 1 : 0);
   mix(static_cast<std::uint64_t>(k.vocab));
-  mix(std::bit_cast<std::uint64_t>(k.p));
+  // Canonicalize p before mixing so hash stays consistent with operator==:
+  // 0.0 and -0.0 compare equal but have different bit patterns, and raw
+  // bit_cast would scatter them to different cluster shards. NaN never
+  // reaches a queue (Engine::validate rejects it) but is collapsed to one
+  // pattern defensively — NaN payload bits must not drive placement.
+  double p = k.p == 0.0 ? 0.0 : k.p;
+  if (p != p) p = std::numeric_limits<double>::quiet_NaN();
+  mix(std::bit_cast<std::uint64_t>(p));
   return h;
 }
 
@@ -100,6 +108,37 @@ std::vector<Pending> Batcher::pop_batch(const BatchPolicy& policy,
   for (auto* lane : {first, second}) {
     for (auto it = lane->begin(); it != lane->end() && out.size() < want;) {
       if (group_key(it->req) == key) {
+        out.push_back(std::move(*it));
+        it = lane->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Pending> Batcher::pop_matching(const GroupKey& key,
+                                           std::size_t max_n,
+                                           const BatchPolicy& policy,
+                                           Clock::time_point now) {
+  std::vector<Pending> out;
+  if (max_n == 0) return out;
+  // Starvation guard: if any non-matching request has aged past the bulk
+  // aging threshold, stop feeding the in-flight launch and let the worker
+  // finish it so the aged work gets a batch of its own.
+  const double limit = policy.aging_factor * policy.max_wait_s;
+  for (const auto* lane : {&hi_, &lo_}) {
+    for (const auto& p : *lane) {
+      if (group_key(p.req) == key) continue;
+      const double waited =
+          std::chrono::duration<double>(now - p.enqueued).count();
+      if (waited > limit) return out;
+    }
+  }
+  for (auto* lane : {&hi_, &lo_}) {
+    for (auto it = lane->begin(); it != lane->end() && out.size() < max_n;) {
+      if (coalescible(it->req.kind) && group_key(it->req) == key) {
         out.push_back(std::move(*it));
         it = lane->erase(it);
       } else {

@@ -69,6 +69,11 @@ struct BatchPolicy {
   /// A bulk request older than aging_factor * max_wait_s is served ahead
   /// of newer interactive work (starvation guard).
   double aging_factor = 8.0;
+  /// Continuous batching: between the steps of an in-flight stepwise
+  /// launch, the worker admits compatible newly-arrived requests into the
+  /// launch's free rows (iteration-level scheduling). Off = requests only
+  /// join at batch-formation boundaries.
+  bool continuous = true;
 };
 
 class Batcher {
@@ -93,6 +98,17 @@ class Batcher {
   /// up to max_batch. Never empty when size() > 0.
   std::vector<Pending> pop_batch(const BatchPolicy& policy,
                                  Clock::time_point now);
+
+  /// Continuous-batching admission: removes and returns up to `max_n`
+  /// queued requests whose GroupKey equals `key`, FIFO (interactive lane
+  /// first), for joining an in-flight stepwise launch mid-stream. Returns
+  /// empty when any *non-matching* queued request has aged past the
+  /// starvation guard (aging_factor * max_wait_s): continuation admission
+  /// must not keep extending a launch while incompatible work starves
+  /// behind it.
+  std::vector<Pending> pop_matching(const GroupKey& key, std::size_t max_n,
+                                    const BatchPolicy& policy,
+                                    Clock::time_point now);
 
   /// Removes and returns one whole formed batch for a work-stealing peer:
   /// the oldest bulk-lane request's group, FIFO, up to max_batch — taken

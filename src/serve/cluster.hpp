@@ -20,6 +20,18 @@
 //    runs during a drain shutdown, so the cluster drains at the speed of
 //    its busiest device rather than serially.
 //
+// Streaming rides through placement unchanged: a Request's on_chunk
+// callback travels inside its Pending to whichever device serves it, so a
+// placed (affinity or spilled) request streams from that device exactly as
+// on a standalone Engine. The one exception is a *stolen* batch — the
+// thief executes it as an indivisible throughput unit with streaming and
+// continuation admission disabled (Engine::GroupExec::Stolen). Rationale:
+// only bulk-lane work is stealable, where per-tile latency is worthless by
+// definition, and a thief grafting its own queue onto (or streaming from)
+// a batch it merely helps drain would entangle two devices' admission
+// bookkeeping for zero latency win. The future still resolves the full
+// payload; only the incremental delivery is skipped.
+//
 // Cluster-wide invariants (tests/test_cluster.cpp):
 //  * Every submitted future resolves exactly once — including across
 //    shutdown, rejection, spill and steal paths. Never a dangling future,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 #include <utility>
 
@@ -65,6 +66,10 @@ std::string Engine::validate(const Request& r) {
       break;
     case OpKind::TopP:
       if (!valid_tile(r.tile)) return "invalid tile size";
+      // NaN must never reach a queue: it breaks GroupKey hash/equality
+      // consistency (cluster affinity placement keys on p).
+      if (std::isnan(r.p)) return "p must not be NaN";
+      if (std::isnan(r.u)) return "u must not be NaN";
       if (!(r.p > 0.0 && r.p <= 1.0)) return "p must be in (0, 1]";
       if (!(r.u >= 0.0 && r.u < 1.0)) return "u must be in [0, 1)";
       break;
@@ -140,7 +145,7 @@ bool Engine::steal_and_execute(Session& session,
     return false;
   }
   metrics_.on_steal(batch.size());
-  execute_batch(session, std::move(batch), Clock::now());
+  execute_batch(session, std::move(batch), Clock::now(), GroupExec::Stolen);
   lk.lock();
   return true;
 }
@@ -208,142 +213,303 @@ void Engine::worker_main(std::size_t idx) {
   }
 }
 
-void Engine::run_group(Session& session, std::vector<Pending>& batch,
-                       std::vector<Response>& out) {
-  const std::size_t b = batch.size();
-  const Request& head = batch.front().req;
+std::size_t Engine::admit_continuations(std::vector<StreamSlot>& slots,
+                                        const GroupKey& key,
+                                        std::size_t active) {
+  if (active >= opt_.policy.max_batch) return 0;
+  std::vector<Pending> extra;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // A cancelling shutdown owns the queue's requests (they resolve as
+    // Cancelled); drain mode keeps feeding the launch — continuation
+    // admission *is* how an in-flight launch helps drain.
+    if (stopping_ && stop_mode_ == ShutdownMode::Cancel) return 0;
+    extra = queue_.pop_matching(key, opt_.policy.max_batch - active,
+                                opt_.policy, Clock::now());
+  }
+  if (extra.empty()) return 0;
+  metrics_.on_continuation_admit(extra.size());
+  const auto now = Clock::now();
+  for (auto& p : extra) {
+    StreamSlot s;
+    s.p = std::move(p);
+    s.picked = now;
+    s.exec_begin = now;
+    slots.push_back(std::move(s));
+  }
+  return extra.size();
+}
+
+void Engine::deliver_chunk(StreamSlot& slot, StreamChunk chunk,
+                           std::uint64_t launch_id) {
+  chunk.kind = slot.p.req.kind;
+  chunk.device = opt_.device_id;
+  chunk.launch_id = launch_id;
+  const double latency = secs(Clock::now() - slot.p.enqueued);
+  if (slot.resp.chunks_streamed == 0) slot.resp.timing.first_chunk_s = latency;
+  slot.resp.chunks_streamed++;
+  metrics_.on_chunk(latency);
+  // Called with no engine lock held, so the callback may submit() — that
+  // is the continuous-admission pattern. A throwing client callback must
+  // not poison the launch for its batch neighbours.
+  try {
+    slot.p.req.on_chunk(chunk);
+  } catch (...) {
+  }
+}
+
+void Engine::finalize_slot(StreamSlot& slot, const Report& report_so_far,
+                           std::size_t batch_size, std::uint64_t launch_id) {
+  slot.done = true;
+  slot.resp.status = Status::Ok;
+  slot.resp.kind = slot.p.req.kind;
+  slot.resp.report = report_so_far;
+  slot.resp.batch_size = batch_size;
+  slot.resp.device = opt_.device_id;
+  slot.resp.launch_id = launch_id;
+  resolve(slot.p, std::move(slot.resp), slot.picked, slot.exec_begin);
+}
+
+void Engine::run_group_stepwise(Session& session,
+                                std::vector<StreamSlot>& slots,
+                                GroupExec mode) {
+  const Request& head = slots.front().p.req;
+  const GroupKey key = group_key(head);
   const std::uint64_t launch_id =
       next_launch_id_.fetch_add(1, std::memory_order_relaxed);
-  Report rep;
-  switch (head.kind) {
-    case OpKind::Cumsum: {
-      // Variable-length rows: pad with zeros to the longest row. Trailing
-      // zeros cannot change any prefix sum, so each row's first len_i
-      // outputs are exactly the row's own scan.
-      std::size_t lmax = 0;
-      for (const auto& p : batch) lmax = std::max(lmax, p.req.x.size());
-      std::vector<half> xs(b * lmax, half(0.0f));
-      for (std::size_t i = 0; i < b; ++i) {
-        std::copy(batch[i].req.x.begin(), batch[i].req.x.end(),
-                  xs.begin() + static_cast<std::ptrdiff_t>(i * lmax));
+  const bool allow_admit = mode == GroupExec::Local && opt_.policy.continuous;
+  // Stolen batches never stream: the thief runs them as one indivisible
+  // throughput unit (see GroupExec).
+  const auto streams = [&](const StreamSlot& s) {
+    return mode != GroupExec::Stolen && static_cast<bool>(s.p.req.on_chunk);
+  };
+  // Copy of the aggregate report after the latest completed step, for the
+  // partial-accounting path when a later step faults.
+  Report partial;
+  try {
+    switch (head.kind) {
+      case OpKind::Cumsum: {
+        // One step = one l-tile column (l = s*s elements) of every active
+        // row, zero-padded to the step's longest remainder — trailing
+        // zeros cannot change any prefix, so each row's first take_i
+        // outputs are exactly the row's own scan continued by its carry.
+        auto ls = session.cumsum_batched_begin(head.tile, head.ul1_schedule);
+        const std::size_t l = head.tile * head.tile;
+        for (;;) {
+          std::vector<std::size_t> act;
+          std::size_t step_len = 0;
+          for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].done) continue;
+            act.push_back(i);
+            step_len = std::max(
+                step_len, std::min(l, slots[i].p.req.x.size() - slots[i].off));
+          }
+          if (act.empty()) break;
+          std::vector<half> xs(act.size() * step_len, half(0.0f));
+          std::vector<half> carries(act.size());
+          for (std::size_t j = 0; j < act.size(); ++j) {
+            const StreamSlot& s = slots[act[j]];
+            const std::size_t take =
+                std::min(step_len, s.p.req.x.size() - s.off);
+            std::copy(
+                s.p.req.x.begin() + static_cast<std::ptrdiff_t>(s.off),
+                s.p.req.x.begin() + static_cast<std::ptrdiff_t>(s.off + take),
+                xs.begin() + static_cast<std::ptrdiff_t>(j * step_len));
+            carries[j] = s.carry;
+          }
+          auto r = session.cumsum_batched_step(ls, xs, act.size(), step_len,
+                                               carries);
+          partial = ls.report;
+          for (std::size_t j = 0; j < act.size(); ++j) {
+            StreamSlot& s = slots[act[j]];
+            const std::size_t take =
+                std::min(step_len, s.p.req.x.size() - s.off);
+            const auto first =
+                r.values.begin() + static_cast<std::ptrdiff_t>(j * step_len);
+            const std::size_t chunk_off = s.off;
+            s.resp.values_f16.insert(
+                s.resp.values_f16.end(), first,
+                first + static_cast<std::ptrdiff_t>(take));
+            s.carry = s.resp.values_f16.back();
+            s.off += take;
+            const bool finished = s.off == s.p.req.x.size();
+            if (streams(s)) {
+              StreamChunk c;
+              c.offset = chunk_off;
+              c.values_f16.assign(
+                  first, first + static_cast<std::ptrdiff_t>(take));
+              c.last = finished;
+              deliver_chunk(s, std::move(c), launch_id);
+            }
+            if (finished) {
+              finalize_slot(s, ls.report, slots.size(), launch_id);
+            }
+          }
+          if (allow_admit) admit_continuations(slots, key, act.size());
+        }
+        metrics_.on_batch(slots.size(), session.cumsum_batched_finish(ls));
+        break;
       }
-      auto r = session.cumsum_batched(xs, b, lmax, head.tile,
-                                      head.ul1_schedule);
-      for (std::size_t i = 0; i < b; ++i) {
-        const auto row = r.values.begin() +
-                         static_cast<std::ptrdiff_t>(i * lmax);
-        out[i].values_f16.assign(
-            row, row + static_cast<std::ptrdiff_t>(batch[i].req.x.size()));
+      case OpKind::SegmentedCumsum: {
+        // Rows are independent flagged streams of different lengths; each
+        // step takes every active row's next chunk (up to kStep elements),
+        // concatenated — the Session forces a segment start per chunk and
+        // threads each row's fp32 carry across steps.
+        constexpr std::size_t kStep = 4096;
+        auto ls = session.segmented_cumsum_begin();
+        for (;;) {
+          std::vector<std::size_t> act;
+          for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (!slots[i].done) act.push_back(i);
+          }
+          if (act.empty()) break;
+          std::vector<half> xs;
+          std::vector<std::int8_t> fs;
+          std::vector<std::size_t> row_len(act.size());
+          std::vector<float> carries(act.size());
+          for (std::size_t j = 0; j < act.size(); ++j) {
+            const StreamSlot& s = slots[act[j]];
+            const std::size_t take =
+                std::min(kStep, s.p.req.x.size() - s.off);
+            row_len[j] = take;
+            carries[j] = s.fcarry;
+            xs.insert(xs.end(),
+                      s.p.req.x.begin() + static_cast<std::ptrdiff_t>(s.off),
+                      s.p.req.x.begin() +
+                          static_cast<std::ptrdiff_t>(s.off + take));
+            fs.insert(fs.end(),
+                      s.p.req.flags.begin() +
+                          static_cast<std::ptrdiff_t>(s.off),
+                      s.p.req.flags.begin() +
+                          static_cast<std::ptrdiff_t>(s.off + take));
+          }
+          auto r = session.segmented_cumsum_step(ls, xs, fs, row_len, carries);
+          partial = ls.report;
+          std::size_t roff = 0;
+          for (std::size_t j = 0; j < act.size(); ++j) {
+            StreamSlot& s = slots[act[j]];
+            const std::size_t take = row_len[j];
+            const auto first =
+                r.values.begin() + static_cast<std::ptrdiff_t>(roff);
+            const std::size_t chunk_off = s.off;
+            s.resp.values_f32.insert(
+                s.resp.values_f32.end(), first,
+                first + static_cast<std::ptrdiff_t>(take));
+            s.fcarry = s.resp.values_f32.back();
+            s.off += take;
+            roff += take;
+            const bool finished = s.off == s.p.req.x.size();
+            if (streams(s)) {
+              StreamChunk c;
+              c.offset = chunk_off;
+              c.values_f32.assign(
+                  first, first + static_cast<std::ptrdiff_t>(take));
+              c.last = finished;
+              deliver_chunk(s, std::move(c), launch_id);
+            }
+            if (finished) {
+              finalize_slot(s, ls.report, slots.size(), launch_id);
+            }
+          }
+          if (allow_admit) admit_continuations(slots, key, act.size());
+        }
+        metrics_.on_batch(slots.size(), session.segmented_cumsum_finish(ls));
+        break;
       }
-      rep = r.report;
-      break;
+      case OpKind::TopP: {
+        // A row's sample is already a multi-kernel pipeline, so one step =
+        // one row; the single chunk carries the token.
+        auto ls = session.top_p_begin(head.p, head.tile);
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          StreamSlot& s = slots[i];
+          auto sr = session.top_p_step(ls, s.p.req.x, s.p.req.u);
+          partial = ls.report;
+          s.resp.token = sr.index;
+          if (streams(s)) {
+            StreamChunk c;
+            c.token = sr.index;
+            c.last = true;
+            deliver_chunk(s, std::move(c), launch_id);
+          }
+          finalize_slot(s, ls.report, slots.size(), launch_id);
+          if (allow_admit) {
+            admit_continuations(slots, key, slots.size() - (i + 1));
+          }
+        }
+        metrics_.on_batch(slots.size(), session.top_p_finish(ls));
+        break;
+      }
+      case OpKind::Sort: {
+        // No batched sort kernel (ROADMAP open item) and no meaningful
+        // resumable slice — runs monolithic, never streams or admits.
+        ASCAN_ASSERT(slots.size() == 1, "sort requests are never coalesced");
+        StreamSlot& s = slots.front();
+        auto r = session.sort(s.p.req.x, s.p.req.descending,
+                              s.p.req.sort_algo, s.p.req.tile);
+        s.resp.sorted_values = std::move(r.values);
+        s.resp.indices = std::move(r.indices);
+        metrics_.on_batch(1, r.report);
+        finalize_slot(s, r.report, 1, launch_id);
+        break;
+      }
     }
-    case OpKind::SegmentedCumsum: {
-      // Concatenate the flagged streams; each request's first element is a
-      // forced segment start so carries never cross request boundaries.
-      std::size_t total = 0;
-      for (const auto& p : batch) total += p.req.x.size();
-      std::vector<half> xs;
-      std::vector<std::int8_t> fs;
-      xs.reserve(total);
-      fs.reserve(total);
-      for (const auto& p : batch) {
-        const std::size_t off = xs.size();
-        xs.insert(xs.end(), p.req.x.begin(), p.req.x.end());
-        fs.insert(fs.end(), p.req.flags.begin(), p.req.flags.end());
-        fs[off] = 1;
-      }
-      auto r = session.segmented_cumsum(xs, fs);
-      std::size_t off = 0;
-      for (std::size_t i = 0; i < b; ++i) {
-        const auto first = r.values.begin() + static_cast<std::ptrdiff_t>(off);
-        out[i].values_f32.assign(
-            first, first + static_cast<std::ptrdiff_t>(batch[i].req.x.size()));
-        off += batch[i].req.x.size();
-      }
-      rep = r.report;
-      break;
-    }
-    case OpKind::TopP: {
-      const std::size_t vocab = head.x.size();
-      std::vector<half> probs;
-      probs.reserve(b * vocab);
-      std::vector<double> u;
-      u.reserve(b);
-      for (const auto& p : batch) {
-        probs.insert(probs.end(), p.req.x.begin(), p.req.x.end());
-        u.push_back(p.req.u);
-      }
-      auto r = session.top_p_sample_batch(probs, b, vocab, head.p, u,
-                                          head.tile);
-      for (std::size_t i = 0; i < b; ++i) out[i].token = r.tokens[i];
-      rep = r.report;
-      break;
-    }
-    case OpKind::Sort: {
-      ASCAN_ASSERT(b == 1, "sort requests are never coalesced");
-      auto r = session.sort(head.x, head.descending, head.sort_algo,
-                            head.tile);
-      out[0].sorted_values = std::move(r.values);
-      out[0].indices = std::move(r.indices);
-      rep = r.report;
-      break;
-    }
-  }
-  for (std::size_t i = 0; i < b; ++i) {
-    out[i].status = Status::Ok;
-    out[i].kind = head.kind;
-    out[i].report = rep;
-    out[i].batch_size = b;
-    out[i].device = opt_.device_id;
-    out[i].launch_id = launch_id;
+  } catch (const ascend::sim::FaultError& e) {
+    // The traffic a fault burned must not vanish from the bandwidth
+    // figures: completed steps plus the failing attempt are recorded
+    // against failed_batches before the fallback path takes over.
+    Report burned = partial;
+    burned += e.attempt_report();
+    metrics_.on_batch_abandoned(burned);
+    throw;
+  } catch (...) {
+    metrics_.on_batch_abandoned(partial);
+    throw;
   }
 }
 
 void Engine::execute_batch(Session& session, std::vector<Pending> batch,
-                           Clock::time_point picked) {
+                           Clock::time_point picked, GroupExec mode) {
   const auto exec_begin = Clock::now();
-  std::vector<Response> out(batch.size());
-  try {
-    run_group(session, batch, out);
-  } catch (const std::exception& e) {
-    if (batch.size() == 1) {
-      Response r =
-          immediate_response(batch[0].req.kind, Status::Failed, e.what());
-      r.device = opt_.device_id;
-      resolve(batch[0], std::move(r), picked, exec_begin);
-      return;
-    }
-    // Fault isolation: the coalesced launch exhausted the engine-level
-    // retry policy. Re-run the members individually, each under its
-    // request-scoped policy, so one poisoned request cannot take down the
-    // batch.
-    for (auto& p : batch) execute_single(session, p, picked);
-    return;
+  std::vector<StreamSlot> slots;
+  slots.reserve(batch.size());
+  for (auto& p : batch) {
+    StreamSlot s;
+    s.p = std::move(p);
+    s.picked = picked;
+    s.exec_begin = exec_begin;
+    slots.push_back(std::move(s));
   }
-  metrics_.on_batch(batch.size(), out[0].report);
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    resolve(batch[i], std::move(out[i]), picked, exec_begin);
+  batch.clear();
+  const bool started_solo = slots.size() == 1;
+  try {
+    run_group_stepwise(session, slots, mode);
+  } catch (const std::exception& e) {
+    // Already-resolved slots stay resolved (their streamed prefixes and
+    // futures are final); only unresolved slots take the fallback.
+    for (auto& s : slots) {
+      if (s.done) continue;
+      if (mode == GroupExec::Isolated || started_solo) {
+        Response r =
+            immediate_response(s.p.req.kind, Status::Failed, e.what());
+        r.device = opt_.device_id;
+        resolve(s.p, std::move(r), s.picked, s.exec_begin);
+      } else {
+        // Fault isolation: the coalesced launch exhausted the engine-level
+        // retry policy. Re-run the members individually, each under its
+        // request-scoped policy, so one poisoned request cannot take down
+        // the batch. A partially-streamed request restarts from offset 0.
+        execute_single(session, s.p, s.picked);
+      }
+    }
   }
 }
 
 void Engine::execute_single(Session& session, Pending& p,
                             Clock::time_point picked) {
-  const auto exec_begin = Clock::now();
-  std::vector<Response> out(1);
+  ScopedRetryPolicy scope(session, p.req.retry.value_or(opt_.retry));
   std::vector<Pending> solo;
   solo.push_back(std::move(p));
-  try {
-    ScopedRetryPolicy scope(session, solo[0].req.retry.value_or(opt_.retry));
-    run_group(session, solo, out);
-    metrics_.on_batch(1, out[0].report);
-    resolve(solo[0], std::move(out[0]), picked, exec_begin);
-  } catch (const std::exception& e) {
-    Response r =
-        immediate_response(solo[0].req.kind, Status::Failed, e.what());
-    r.device = opt_.device_id;
-    resolve(solo[0], std::move(r), picked, exec_begin);
-  }
+  execute_batch(session, std::move(solo), picked, GroupExec::Isolated);
 }
 
 void Engine::resolve(Pending& p, Response r, Clock::time_point picked,

@@ -11,6 +11,17 @@
 //   serve::Response r = fut.get();      // r.values_f16, r.report, r.timing
 //   engine.shutdown(serve::ShutdownMode::Drain);
 //
+// Coalesced launches run *stepwise* (tile-granular slices via the Session
+// begin/step/finish API) rather than as one opaque call, which buys two
+// serving behaviours on the same step boundary:
+//  * Continuous batching: between steps the worker re-checks the queue and
+//    admits compatible newly-arrived requests (same GroupKey) into the
+//    in-flight launch's free rows — iteration-level scheduling, toggled by
+//    BatchPolicy::continuous (metrics: continuation_admits).
+//  * Streaming: a Request with an on_chunk callback receives each of its
+//    completed prefix slices as it lands; the future still resolves the
+//    full Response afterwards (metrics: stream_chunks, chunk_latency).
+//
 // Guarantees:
 //  * Every future resolves exactly once — success, typed-fault failure,
 //    admission rejection or shutdown cancellation. Never a dangling future.
@@ -23,8 +34,12 @@
 //    batch neighbours.
 //  * Results are bit-exact with the equivalent direct Session calls
 //    (tests/test_serve.cpp pins this for integer-valued workloads, where
-//    every float operation is exact; for general data, batching may
-//    reassociate fp32 carries in segmented scans by at most 1 ulp).
+//    every float operation is exact; for general data, batching/stepping
+//    may reassociate carries by at most 1 ulp). Streamed chunks are
+//    bit-exact prefixes of the final Response (never revised), and a
+//    request admitted mid-launch produces results identical to a
+//    standalone submit — per-row kernel math depends only on the row's
+//    own data and carry, never on batch composition or padding.
 //
 // One Engine is one simulated device's serving front. serve::Cluster
 // (cluster.hpp) composes N Engines behind one submit() with
@@ -136,18 +151,62 @@ class Engine {
   const EngineOptions& options() const { return opt_; }
 
  private:
+  /// How a batch reached this engine; controls continuation admission and
+  /// streaming at the step boundaries of the launch.
+  ///  * Local: popped from this engine's own queue — streams, and admits
+  ///    compatible newly-arrived requests between steps (when
+  ///    BatchPolicy::continuous).
+  ///  * Stolen: taken from a sibling device's queue — executes as one
+  ///    indivisible unit: no streaming (the requests' owners admitted them
+  ///    elsewhere; their stream bookkeeping lives outside this engine) and
+  ///    no admission (the thief must not graft its own queue onto a batch
+  ///    it is merely helping drain).
+  ///  * Isolated: single-request fault-isolation fallback — streams (from
+  ///    offset 0 again if a partial stream preceded the failure), never
+  ///    admits.
+  enum class GroupExec { Local, Stolen, Isolated };
+
+  /// One request riding an in-flight stepwise launch.
+  struct StreamSlot {
+    Pending p;
+    Clock::time_point picked{};      ///< batch pick / continuation admission
+    Clock::time_point exec_begin{};  ///< when this slot joined the launch
+    Response resp;                   ///< payload accumulated step by step
+    std::size_t off = 0;             ///< elements produced so far
+    half carry = half(0.0f);         ///< Cumsum running prefix (carry-in)
+    float fcarry = 0.0f;             ///< SegmentedCumsum running prefix
+    bool done = false;               ///< resolved (future fulfilled)
+  };
+
   void worker_main(std::size_t idx);
   /// Unlocks `lk`, asks the steal_source for a batch and executes it on
   /// `session`; relocks. Returns whether a batch was stolen.
   bool steal_and_execute(Session& session, std::unique_lock<std::mutex>& lk);
   void execute_batch(Session& session, std::vector<Pending> batch,
-                     Clock::time_point picked);
+                     Clock::time_point picked,
+                     GroupExec mode = GroupExec::Local);
   /// Runs one request alone under its request-scoped RetryPolicy.
   void execute_single(Session& session, Pending& p, Clock::time_point picked);
-  /// Issues the coalesced launch for `batch` and scatters results into
-  /// per-request responses (statuses untouched on throw).
-  void run_group(Session& session, std::vector<Pending>& batch,
-                 std::vector<Response>& out);
+  /// Drives the coalesced launch tile-by-tile via the Session stepwise API:
+  /// scatters every completed slice into its slot (streaming it when the
+  /// request asked), resolves slots the moment their last slice lands, and
+  /// between steps admits compatible queued requests into free rows (mode
+  /// Local + policy.continuous). On a typed fault it records the partial
+  /// Report (failed_batches / sim_* counters) and rethrows with every
+  /// unresolved slot's Pending intact for the caller's fallback.
+  void run_group_stepwise(Session& session, std::vector<StreamSlot>& slots,
+                          GroupExec mode);
+  /// Continuation admission: pops queued requests matching `key` into
+  /// `slots` (up to max_batch total active rows). Returns how many joined.
+  std::size_t admit_continuations(std::vector<StreamSlot>& slots,
+                                  const GroupKey& key, std::size_t active);
+  /// Delivers one streamed chunk to the slot's callback (no lock held) and
+  /// records first-chunk timing + chunk metrics.
+  void deliver_chunk(StreamSlot& slot, StreamChunk chunk,
+                     std::uint64_t launch_id);
+  /// Marks the slot Ok, stamps launch bookkeeping and fulfils its future.
+  void finalize_slot(StreamSlot& slot, const Report& report_so_far,
+                     std::size_t batch_size, std::uint64_t launch_id);
 
   void resolve(Pending& p, Response r, Clock::time_point picked,
                Clock::time_point exec_begin);

@@ -7,19 +7,22 @@
 
 namespace ascan::serve {
 
-namespace {
-
-int bucket_of(double seconds) {
+// Bucket b holds latencies in (2^(b-1), 2^b] µs; bucket 0 is [0, 1] µs.
+// ceil(log2(us)) (not 1 + ceil) so the (1, 2] µs bucket is reachable and
+// every bucket_upper_s boundary is actually hit (tests/test_batcher.cpp
+// pins each one).
+int LatencyHistogram::bucket_of(double seconds) {
   const double us = seconds * 1e6;
   if (us <= 1.0) return 0;
-  const int b = 1 + static_cast<int>(std::ceil(std::log2(us)));
-  return std::min(b, LatencyHistogram::kBuckets - 1);
+  const int b = static_cast<int>(std::ceil(std::log2(us)));
+  return std::min(b, kBuckets - 1);
 }
 
-/// Upper latency bound (seconds) of bucket b.
-double bucket_upper_s(int b) {
-  return b == 0 ? 1e-6 : std::ldexp(1.0, b - 1) * 1e-6;
+double LatencyHistogram::bucket_upper_s(int b) {
+  return std::ldexp(1.0, b) * 1e-6;
 }
+
+namespace {
 
 std::string fmt_us(double seconds) {
   char buf[32];
@@ -40,8 +43,10 @@ void LatencyHistogram::add(double seconds) {
 double LatencyHistogram::percentile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count_)));
+  // target >= 1 so percentile(0.0) reports the first occupied bucket (the
+  // minimum sample's bucket) instead of the empty 1 µs floor bucket.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
   std::uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += buckets_[static_cast<std::size_t>(b)];
@@ -101,8 +106,31 @@ void Metrics::on_batch(std::size_t occupancy, const Report& rep) {
   s_.sim_time_s += rep.time_s;
   s_.sim_gm_bytes += rep.gm_read_bytes + rep.gm_write_bytes;
   s_.sim_launches += rep.launches;
+  s_.sim_steps += rep.steps;
   s_.sim_retries += rep.retries;
   s_.sim_excluded_cores += rep.excluded_cores;
+}
+
+void Metrics::on_batch_abandoned(const Report& partial) {
+  std::lock_guard<std::mutex> lk(mu_);
+  s_.failed_batches++;
+  s_.sim_time_s += partial.time_s;
+  s_.sim_gm_bytes += partial.gm_read_bytes + partial.gm_write_bytes;
+  s_.sim_launches += partial.launches;
+  s_.sim_steps += partial.steps;
+  s_.sim_retries += partial.retries;
+  s_.sim_excluded_cores += partial.excluded_cores;
+}
+
+void Metrics::on_continuation_admit(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  s_.continuation_admits += n;
+}
+
+void Metrics::on_chunk(double latency_s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  s_.stream_chunks++;
+  s_.chunk_latency.add(latency_s);
 }
 
 namespace {
@@ -146,6 +174,10 @@ MetricsSnapshot MetricsSnapshot::merged(
     out.batched_requests += p.batched_requests;
     out.max_batch_observed =
         std::max(out.max_batch_observed, p.max_batch_observed);
+    out.continuation_admits += p.continuation_admits;
+    out.failed_batches += p.failed_batches;
+    out.stream_chunks += p.stream_chunks;
+    out.chunk_latency.merge(p.chunk_latency);
     out.routed_affinity += p.routed_affinity;
     out.routed_spill += p.routed_spill;
     out.steals += p.steals;
@@ -157,6 +189,7 @@ MetricsSnapshot MetricsSnapshot::merged(
     out.sim_time_s += p.sim_time_s;
     out.sim_gm_bytes += p.sim_gm_bytes;
     out.sim_launches += p.sim_launches;
+    out.sim_steps += p.sim_steps;
     out.sim_retries += p.sim_retries;
     out.sim_excluded_cores += p.sim_excluded_cores;
   }
@@ -184,7 +217,11 @@ std::string MetricsSnapshot::json() const {
      << "  \"batching\": {\"batches\":" << batches
      << ",\"batched_requests\":" << batched_requests
      << ",\"max_batch_observed\":" << max_batch_observed
-     << ",\"avg_occupancy\":" << avg_batch_occupancy << "},\n"
+     << ",\"avg_occupancy\":" << avg_batch_occupancy
+     << ",\"continuation_admits\":" << continuation_admits
+     << ",\"failed_batches\":" << failed_batches << "},\n"
+     << "  \"streaming\": {\"chunks\":" << stream_chunks
+     << ",\"chunk_latency\":" << chunk_latency.json() << "},\n"
      << "  \"cluster\": {\"routed_affinity\":" << routed_affinity
      << ",\"routed_spill\":" << routed_spill << ",\"steals\":" << steals
      << ",\"stolen_requests\":" << stolen_requests
@@ -194,7 +231,7 @@ std::string MetricsSnapshot::json() const {
      << ",\"total\":" << total_latency.json() << "},\n"
      << "  \"simulated\": {\"time_s\":" << sim_time_s
      << ",\"gm_bytes\":" << sim_gm_bytes << ",\"launches\":" << sim_launches
-     << ",\"retries\":" << sim_retries
+     << ",\"steps\":" << sim_steps << ",\"retries\":" << sim_retries
      << ",\"excluded_cores\":" << sim_excluded_cores
      << ",\"bandwidth_utilization\":" << sim_bandwidth_utilization << "}\n"
      << "}";

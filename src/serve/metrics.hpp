@@ -26,6 +26,13 @@ class LatencyHistogram {
  public:
   static constexpr int kBuckets = 47;
 
+  /// Bucket index of a latency: bucket 0 is [0, 1] µs, bucket b >= 1 is
+  /// (2^(b-1), 2^b] µs, the last bucket absorbs everything larger.
+  /// Exposed so the boundary regression tests can pin the math.
+  static int bucket_of(double seconds);
+  /// Upper latency bound (seconds) of bucket b: 2^b µs.
+  static double bucket_upper_s(int b);
+
   void add(double seconds);
 
   /// Accumulates another histogram (cluster shard -> merged view).
@@ -70,6 +77,21 @@ struct MetricsSnapshot {
   std::uint64_t batched_requests = 0;  ///< requests those launches carried
   std::uint64_t max_batch_observed = 0;
   double avg_batch_occupancy = 0;      ///< batched_requests / batches
+  /// Requests admitted into an already in-flight stepwise launch between
+  /// steps (continuous batching) rather than at a formation boundary.
+  std::uint64_t continuation_admits = 0;
+  /// Serving launches abandoned by a typed fault (the members fell back to
+  /// per-request isolation, or resolved Failed on the isolation path). The
+  /// abandoned launch's partial Report — completed steps plus the failing
+  /// attempt — is folded into the sim_* counters so fault traffic is not
+  /// undercounted.
+  std::uint64_t failed_batches = 0;
+
+  // --- Streaming -------------------------------------------------------------
+  std::uint64_t stream_chunks = 0;  ///< partial-result chunks delivered
+  /// Latency from request enqueue to each chunk's delivery. The p0/min of
+  /// this histogram is the time-to-first-chunk picture at the engine level.
+  LatencyHistogram chunk_latency;
 
   // --- Cluster: placement and work stealing ----------------------------------
   std::uint64_t routed_affinity = 0;  ///< placed on the GroupKey-hash target
@@ -87,6 +109,7 @@ struct MetricsSnapshot {
   double sim_time_s = 0;            ///< simulated execution time served
   std::uint64_t sim_gm_bytes = 0;   ///< GM read+write bytes moved
   int sim_launches = 0;             ///< simulated kernel launches
+  int sim_steps = 0;                ///< stepwise-launch resumable slices
   std::uint32_t sim_retries = 0;    ///< fault-recovery relaunches
   std::uint32_t sim_excluded_cores = 0;
   /// Achieved fraction of peak HBM bandwidth over the served launches:
@@ -128,6 +151,13 @@ class Metrics {
   void on_completed(OpKind kind, const Timing& t);
   void on_failed(const Timing& t);
   void on_batch(std::size_t occupancy, const Report& rep);
+  /// A batched launch attempt failed and is falling back to isolation:
+  /// count it and fold its partial Report into the sim_* counters so the
+  /// traffic a fault burned is not silently dropped.
+  void on_batch_abandoned(const Report& partial);
+  void on_continuation_admit(std::size_t n);
+  /// One streamed chunk delivered, `latency_s` after its request enqueued.
+  void on_chunk(double latency_s);
 
   MetricsSnapshot snapshot() const;
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -59,6 +60,32 @@ constexpr const char* status_name(Status s) {
   return "?";
 }
 
+/// One streamed partial result: the next completed slice of a request
+/// being served by a stepwise (tile-granular) launch. Chunks arrive in
+/// order with contiguous offsets; concatenating every chunk's payload
+/// reproduces the final Response payload bit-exactly (each chunk is a
+/// prefix segment — it is never revised by later chunks). For TopP the
+/// single chunk carries the token instead of a payload slice.
+struct StreamChunk {
+  OpKind kind = OpKind::Cumsum;
+  std::size_t offset = 0;  ///< element offset of this slice in the result
+  std::vector<half> values_f16;   ///< Cumsum slice
+  std::vector<float> values_f32;  ///< SegmentedCumsum slice
+  std::int32_t token = -1;        ///< TopP (single terminal chunk)
+  bool last = false;  ///< final chunk; the future resolves right after
+  int device = -1;             ///< simulated device running the launch
+  std::uint64_t launch_id = 0; ///< serving launch this slice came from
+};
+
+/// Per-chunk delivery callback. Invoked from the serving worker thread with
+/// no engine lock held, so the callback may call Engine::submit() (that is
+/// the continuous-admission pattern: react to a partial result by queueing
+/// more work). It must not block for long — it stalls the whole launch.
+/// If the launch fails mid-stream and is retried on the isolation path,
+/// streaming restarts from offset 0 (chunks carry offsets precisely so a
+/// client can handle the restart by truncating).
+using StreamCallback = std::function<void(const StreamChunk&)>;
+
 /// One client request. Use the factory functions; field meaning depends on
 /// the op kind. `retry` overrides the engine-wide RetryPolicy for this
 /// request when it executes on the fault-isolation (single-request) path.
@@ -76,6 +103,12 @@ struct Request {
   bool ul1_schedule = false;        ///< Cumsum: ScanUL1 row schedule
 
   std::optional<RetryPolicy> retry;  ///< request-scoped resilience policy
+
+  /// Optional streaming sink. When set and the request is served by a
+  /// stepwise launch, each completed slice is delivered as it finishes;
+  /// the future still resolves the full Response afterwards. Ignored
+  /// (full-result-only) on stolen batches — see serve::Cluster.
+  StreamCallback on_chunk;
 
   static Request cumsum(std::vector<half> x, std::size_t tile = 128,
                         bool ul1 = false,
@@ -129,6 +162,8 @@ struct Timing {
   double batch_s = 0;    ///< picked -> batched launch issued (gather/pad)
   double execute_s = 0;  ///< launch issued -> results available
   double total_s = 0;    ///< enqueue -> future fulfilled
+  /// enqueue -> first streamed chunk delivered; 0 when nothing streamed.
+  double first_chunk_s = 0;
 };
 
 /// What the future resolves to. Exactly one of the payload groups is
@@ -156,6 +191,9 @@ struct Response {
   /// same coalesced batch share it; consecutive launches on one device get
   /// increasing ids. 0 for requests that never launched.
   std::uint64_t launch_id = 0;
+  /// Chunks delivered to this request's on_chunk callback (0 when the
+  /// request didn't stream: no callback, Sort, or a stolen batch).
+  std::size_t chunks_streamed = 0;
   Timing timing;
 
   bool ok() const { return status == Status::Ok; }

@@ -14,8 +14,9 @@ std::string Report::summary() const {
 }
 
 std::ostream& operator<<(std::ostream& os, const Report& r) {
-  os << "time=" << format_time_s(r.time_s) << " launches=" << r.launches
-     << " gm_read=" << format_bytes(r.gm_read_bytes)
+  os << "time=" << format_time_s(r.time_s) << " launches=" << r.launches;
+  if (r.steps > 0) os << " steps=" << r.steps;
+  os << " gm_read=" << format_bytes(r.gm_read_bytes)
      << " gm_write=" << format_bytes(r.gm_write_bytes)
      << " l2_hit=" << format_bytes(r.l2_hit_bytes)
      << " busy[cube=" << format_time_s(r.cube_busy_s)

@@ -16,6 +16,12 @@ namespace ascend::sim {
 struct Report {
   double time_s = 0;  ///< simulated end-to-end time (incl. launch overhead)
   int launches = 0;   ///< kernel launches aggregated into this report
+  /// Tile-granular steps of a step-resumable (stepwise) launch aggregated
+  /// into this report — 0 for a monolithic launch. A serving layer that
+  /// drives an operator tile-by-tile (Session::cumsum_batched_begin/step/
+  /// finish) stamps the step count here so occupancy/bandwidth accounting
+  /// can distinguish "one big launch" from "N resumable slices".
+  int steps = 0;
 
   std::uint64_t gm_read_bytes = 0;
   std::uint64_t gm_write_bytes = 0;
@@ -49,6 +55,7 @@ struct Report {
   Report& operator+=(const Report& o) {
     time_s += o.time_s;
     launches += o.launches;
+    steps += o.steps;
     gm_read_bytes += o.gm_read_bytes;
     gm_write_bytes += o.gm_write_bytes;
     l2_hit_bytes += o.l2_hit_bytes;
@@ -89,7 +96,7 @@ std::ostream& operator<<(std::ostream& os, const Report& r);
 /// determinism tests comparing executors.
 inline bool identical(const Report& a, const Report& b) {
   return a.time_s == b.time_s && a.launches == b.launches &&
-         a.gm_read_bytes == b.gm_read_bytes &&
+         a.steps == b.steps && a.gm_read_bytes == b.gm_read_bytes &&
          a.gm_write_bytes == b.gm_write_bytes &&
          a.l2_hit_bytes == b.l2_hit_bytes && a.cube_busy_s == b.cube_busy_s &&
          a.vec_busy_s == b.vec_busy_s && a.mte_busy_s == b.mte_busy_s &&

@@ -1,0 +1,267 @@
+// Unit tests for the pure serving-layer pieces: the Batcher's lane /
+// aging / stealing / continuation-admission logic, the GroupKey hash
+// canonicalization, and the LatencyHistogram bucket math. No simulated
+// device is involved — these pin the host-side scheduling decisions.
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/batcher.hpp"
+#include "serve/engine.hpp"
+#include "serve/metrics.hpp"
+
+namespace ascend {
+namespace {
+
+using namespace ascan::serve;
+using ascend::half;
+
+Pending make_pending(Request req, Clock::time_point enq, std::uint64_t seq) {
+  Pending p;
+  p.req = std::move(req);
+  p.enqueued = enq;
+  p.seq = seq;
+  return p;
+}
+
+std::vector<half> row(std::size_t n) { return std::vector<half>(n, half(1.0f)); }
+
+Clock::duration aging_limit(const BatchPolicy& policy) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(policy.aging_factor * policy.max_wait_s));
+}
+
+// ---------------------------------------------------------------------------
+// Aging starvation guard.
+
+TEST(BatcherAging, BulkExactlyAtThresholdStillYieldsToInteractive) {
+  // head() uses waited > aging_factor * max_wait_s (strictly greater): a
+  // bulk request aged *exactly* to the boundary has not yet escaped.
+  BatchPolicy policy;
+  Batcher q;
+  const auto now = Clock::now();
+  q.push(make_pending(Request::cumsum(row(64), 16, false, Priority::Bulk),
+                      now - aging_limit(policy), 0));
+  q.push(make_pending(Request::cumsum(row(64), 128), now, 1));
+  auto batch = q.pop_batch(policy, now);
+  ASSERT_FALSE(batch.empty());
+  EXPECT_EQ(batch.front().req.priority, Priority::Interactive);
+  EXPECT_EQ(batch.front().seq, 1u);
+}
+
+TEST(BatcherAging, BulkJustPastThresholdOutranksInteractive) {
+  BatchPolicy policy;
+  Batcher q;
+  const auto now = Clock::now();
+  q.push(make_pending(Request::cumsum(row(64), 16, false, Priority::Bulk),
+                      now - aging_limit(policy) - std::chrono::milliseconds(1),
+                      0));
+  q.push(make_pending(Request::cumsum(row(64), 128), now, 1));
+  auto batch = q.pop_batch(policy, now);
+  ASSERT_FALSE(batch.empty());
+  EXPECT_EQ(batch.front().req.priority, Priority::Bulk);
+  EXPECT_EQ(batch.front().seq, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// pop_batch cross-lane order.
+
+TEST(BatcherPop, HeadLaneFirstThenOtherLaneFifo) {
+  // Same GroupKey everywhere: the pop must take the head's lane FIFO
+  // first, then top up from the other lane FIFO.
+  BatchPolicy policy;
+  policy.max_batch = 3;
+  Batcher q;
+  const auto now = Clock::now();
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      now, 0));
+  q.push(make_pending(Request::cumsum(row(32), 16), now, 1));
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      now, 2));
+  q.push(make_pending(Request::cumsum(row(32), 16), now, 3));
+  auto batch = q.pop_batch(policy, now);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].seq, 1u);  // interactive lane FIFO...
+  EXPECT_EQ(batch[1].seq, 3u);
+  EXPECT_EQ(batch[2].seq, 0u);  // ...then bulk lane FIFO
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BatcherPop, DifferentKeysNeverCoalesce) {
+  BatchPolicy policy;
+  Batcher q;
+  const auto now = Clock::now();
+  q.push(make_pending(Request::cumsum(row(32), 16), now, 0));
+  q.push(make_pending(Request::cumsum(row(32), 128), now, 1));
+  auto batch = q.pop_batch(policy, now);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].seq, 0u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// steal_bulk min-backlog edge.
+
+TEST(BatcherSteal, MinBacklogBoundary) {
+  BatchPolicy policy;
+  Batcher q;
+  const auto now = Clock::now();
+  const auto bulk = [&](std::uint64_t seq) {
+    return make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                        now, seq);
+  };
+  q.push(bulk(0));
+  q.push(bulk(1));
+  EXPECT_TRUE(q.steal_bulk(policy, 3).empty());  // 2 < min_backlog
+  EXPECT_EQ(q.bulk_size(), 2u);
+  q.push(bulk(2));
+  auto stolen = q.steal_bulk(policy, 3);  // backlog == min_backlog pops
+  EXPECT_EQ(stolen.size(), 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BatcherSteal, InteractiveNeverStolenAndZeroMeansOne) {
+  BatchPolicy policy;
+  Batcher q;
+  const auto now = Clock::now();
+  q.push(make_pending(Request::cumsum(row(32), 16), now, 0));
+  EXPECT_TRUE(q.steal_bulk(policy, 0).empty());  // interactive lane is safe
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      now, 1));
+  auto stolen = q.steal_bulk(policy, 0);  // min_backlog 0 clamps to 1
+  ASSERT_EQ(stolen.size(), 1u);
+  EXPECT_EQ(stolen[0].seq, 1u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// pop_matching (continuation admission).
+
+TEST(BatcherPopMatching, TakesOnlyMatchingAcrossLanesFifo) {
+  BatchPolicy policy;
+  Batcher q;
+  const auto now = Clock::now();
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      now, 0));
+  q.push(make_pending(Request::cumsum(row(32), 128), now, 1));
+  q.push(make_pending(Request::cumsum(row(48), 16), now, 2));
+  const GroupKey key = group_key(Request::cumsum(row(8), 16));
+  auto got = q.pop_matching(key, 8, policy, now);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].seq, 2u);  // interactive lane first
+  EXPECT_EQ(got[1].seq, 0u);
+  EXPECT_EQ(q.size(), 1u);  // the tile-128 request stays queued
+}
+
+TEST(BatcherPopMatching, RespectsMaxAndAgedNonMatchingWork) {
+  BatchPolicy policy;
+  Batcher q;
+  const auto now = Clock::now();
+  q.push(make_pending(Request::cumsum(row(32), 16), now, 0));
+  q.push(make_pending(Request::cumsum(row(32), 16), now, 1));
+  const GroupKey key = group_key(Request::cumsum(row(8), 16));
+  EXPECT_EQ(q.pop_matching(key, 1, policy, now).size(), 1u);
+  // An aged *non-matching* request freezes continuation admission: the
+  // launch must wind down so the starved work gets a batch of its own.
+  q.push(make_pending(
+      Request::cumsum(row(32), 128, false, Priority::Bulk),
+      now - aging_limit(policy) - std::chrono::milliseconds(1), 2));
+  EXPECT_TRUE(q.pop_matching(key, 8, policy, now).empty());
+  EXPECT_EQ(q.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// GroupKey hash canonicalization (cluster affinity placement).
+
+TEST(GroupKeyHash, SignedZeroHashesEqual) {
+  GroupKey a;
+  a.kind = OpKind::TopP;
+  a.vocab = 1024;
+  a.tile = 128;
+  a.p = 0.0;
+  GroupKey b = a;
+  b.p = -0.0;
+  ASSERT_TRUE(a == b);  // operator== already treats +-0.0 as equal...
+  EXPECT_EQ(group_key_hash(a), group_key_hash(b));  // ...so the hash must too
+}
+
+TEST(GroupKeyHash, NanPayloadsCollapse) {
+  // NaN never reaches a queue (Engine::validate rejects it), but hash
+  // consistency must not depend on NaN payload bits.
+  GroupKey a;
+  a.kind = OpKind::TopP;
+  a.p = std::nan("1");
+  GroupKey b = a;
+  b.p = std::nan("2");
+  EXPECT_EQ(group_key_hash(a), group_key_hash(b));
+}
+
+TEST(GroupKeyHash, RequestWithNegativeZeroPCanonicalizes) {
+  auto r1 = Request::top_p(row(64), 0.0, 0.5);
+  auto r2 = Request::top_p(row(64), -0.0, 0.5);
+  EXPECT_EQ(group_key_hash(group_key(r1)), group_key_hash(group_key(r2)));
+}
+
+TEST(EngineValidate, RejectsNanTopPParameters) {
+  EXPECT_FALSE(
+      Engine::validate(Request::top_p(row(64), std::nan("1"), 0.5)).empty());
+  EXPECT_FALSE(
+      Engine::validate(Request::top_p(row(64), 0.9, std::nan("1"))).empty());
+  EXPECT_TRUE(Engine::validate(Request::top_p(row(64), 0.9, 0.5)).empty());
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram bucket math regression (the bucket-1 hole).
+
+TEST(LatencyHistogramBuckets, EveryUpperBoundLandsInItsOwnBucket) {
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_upper_s(b)),
+              b)
+        << "bucket " << b;
+  }
+}
+
+TEST(LatencyHistogramBuckets, JustAboveUpperBoundGoesToNextBucket) {
+  for (int b = 0; b < LatencyHistogram::kBuckets - 1; ++b) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_upper_s(b) *
+                                          1.5),
+              b + 1)
+        << "bucket " << b;
+  }
+}
+
+TEST(LatencyHistogramBuckets, BucketOneIsReachable) {
+  // The old math mapped every sample > 1 us to bucket >= 2, so fast
+  // requests reported one bucket too high. 1.5 us belongs in (1, 2] us.
+  EXPECT_EQ(LatencyHistogram::bucket_of(1.5e-6), 1);
+  LatencyHistogram h;
+  h.add(1.5e-6);
+  h.add(1.0);  // outlier keeps max_s from clamping the percentile value
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), LatencyHistogram::bucket_upper_s(1));
+}
+
+TEST(LatencyHistogramBuckets, ExtremesClampAndZeroIsBucketZero) {
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1e-9), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(
+                LatencyHistogram::bucket_upper_s(LatencyHistogram::kBuckets -
+                                                 1) *
+                100.0),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogramBuckets, PercentileZeroReportsMinimumSampleBucket) {
+  LatencyHistogram h;
+  h.add(100e-6);  // bucket 7, upper 128 us
+  // The old target = ceil(0 * count) = 0 returned bucket 0's 1 us floor
+  // even though no sample lives there.
+  EXPECT_GT(h.percentile(0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 100e-6);  // clamped by max_s
+  LatencyHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ascend

@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <atomic>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -472,7 +474,11 @@ TEST(ServeEngine, UnrecoverableFaultFailsTypedNotHangs) {
     EXPECT_FALSE(r.reason.empty());
   }
   engine.shutdown(ShutdownMode::Drain);  // must terminate despite the faults
-  EXPECT_EQ(engine.metrics().failed, 4u);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.failed, 4u);
+  // Abandoned launches are counted, with the traffic their faults burned
+  // folded into the sim_* counters (not silently dropped).
+  EXPECT_GE(m.failed_batches, 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -491,7 +497,9 @@ TEST(ServeEngine, MetricsJsonHasTheDocumentedSchema) {
        {"\"admission\"", "\"completed_by_kind\"", "\"batching\"",
         "\"latency\"", "\"queue\"", "\"execute\"", "\"total\"", "\"p50_us\"",
         "\"p95_us\"", "\"p99_us\"", "\"simulated\"",
-        "\"bandwidth_utilization\""}) {
+        "\"bandwidth_utilization\"", "\"continuation_admits\"",
+        "\"failed_batches\"", "\"streaming\"", "\"chunk_latency\"",
+        "\"steps\""}) {
     EXPECT_NE(j.find(key), std::string::npos) << "missing " << key;
   }
   const auto m = engine.metrics();
@@ -510,6 +518,296 @@ TEST(LatencyHistogram, PercentilesAreBucketUpperBounds) {
   EXPECT_LE(h.percentile(0.5), 16e-6 + 1e-12);   // within 10 µs's bucket
   EXPECT_GE(h.percentile(0.995), 10e-3 - 1e-12);  // the outlier
   EXPECT_DOUBLE_EQ(h.max_s(), 10e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: stepwise (tile-granular) launches on the Session surface.
+// Manually driving begin/step/finish with host-side carry threading must
+// reproduce the monolithic calls bit-for-bit on integer-valued workloads.
+
+TEST(SessionStepwise, CumsumStepsMatchMonolithic) {
+  Session s;
+  const auto x = exact_scan_workload(1000, 40);  // not a multiple of 16*16
+  const auto want = s.cumsum_batched(x, 1, x.size(), 16);
+  auto ls = s.cumsum_batched_begin(16);
+  std::vector<half> got;
+  half carry(0.0f);
+  const std::size_t l = 16 * 16;
+  for (std::size_t off = 0; off < x.size();) {
+    const std::size_t take = std::min(l, x.size() - off);
+    const auto first = x.begin() + static_cast<std::ptrdiff_t>(off);
+    const std::vector<half> slice(first,
+                                  first + static_cast<std::ptrdiff_t>(take));
+    const auto r = s.cumsum_batched_step(ls, slice, 1, take, {carry});
+    got.insert(got.end(), r.values.begin(), r.values.end());
+    carry = got.back();
+    off += take;
+  }
+  const auto rep = s.cumsum_batched_finish(ls);
+  EXPECT_EQ(rep.steps, 4);  // ceil(1000 / 256)
+  EXPECT_GT(rep.launches, 0);
+  ASSERT_EQ(got.size(), want.values.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(static_cast<float>(got[i]),
+              static_cast<float>(want.values[i]))
+        << "index " << i;
+  }
+}
+
+TEST(SessionStepwise, SegmentedStepsMatchMonolithic) {
+  Session s;
+  const std::size_t n = 9000;  // 3 steps at the engine's 4096-element stride
+  const auto x = exact_scan_workload(n, 41);
+  const auto f = seg_flags(n, 42);
+  const auto want = s.segmented_cumsum(x, f);
+  auto ls = s.segmented_cumsum_begin();
+  std::vector<float> got;
+  float carry = 0.0f;
+  const std::size_t kStep = 4096;
+  for (std::size_t off = 0; off < n;) {
+    const std::size_t take = std::min(kStep, n - off);
+    const auto xb = x.begin() + static_cast<std::ptrdiff_t>(off);
+    const auto fb = f.begin() + static_cast<std::ptrdiff_t>(off);
+    const std::vector<half> xs(xb, xb + static_cast<std::ptrdiff_t>(take));
+    const std::vector<std::int8_t> fs(fb,
+                                      fb + static_cast<std::ptrdiff_t>(take));
+    const auto r = s.segmented_cumsum_step(ls, xs, fs, {take}, {carry});
+    got.insert(got.end(), r.values.begin(), r.values.end());
+    carry = got.back();
+    off += take;
+  }
+  const auto rep = s.segmented_cumsum_finish(ls);
+  EXPECT_EQ(rep.steps, 3);
+  ASSERT_EQ(got, want.values);  // fp32, integer-valued: exact equality
+}
+
+TEST(SessionStepwise, TopPStepMatchesSingle) {
+  Session s;
+  Rng rng(77);
+  const auto probs = rng.token_probs_f16(512);
+  const auto want = s.top_p_sample(probs, 0.9, 0.37);
+  auto ls = s.top_p_begin(0.9);
+  const auto got = s.top_p_step(ls, probs, 0.37);
+  const auto rep = s.top_p_finish(ls);
+  EXPECT_EQ(got.index, want.index);
+  EXPECT_EQ(rep.steps, 1);
+}
+
+TEST(SessionStepwise, MisuseThrows) {
+  Session s;
+  Session::LaunchStream closed;  // never begun
+  const auto x = exact_scan_workload(64);
+  EXPECT_THROW(s.cumsum_batched_step(closed, x, 1, 64, {half(0.0f)}), Error);
+  EXPECT_THROW(s.cumsum_batched_finish(closed), Error);
+  auto ls = s.cumsum_batched_begin(16);
+  // A step is at most one l-tile (16*16 = 256) long per row.
+  EXPECT_THROW(s.cumsum_batched_step(ls, x, 1, 300, {half(0.0f)}), Error);
+  s.cumsum_batched_finish(ls);
+  EXPECT_THROW(s.cumsum_batched_finish(ls), Error);  // double finish
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: streamed per-tile results through the Engine. Chunks must be
+// bit-exact prefixes of the final payload under both host executors.
+
+void run_streaming_prefixes(sim::ExecutorMode mode) {
+  Engine engine({.policy = {.max_batch = 4, .max_wait_s = 100e-6},
+                 .machine = cfg_with(mode)});
+  const auto x = exact_scan_workload(2048, 50);  // 8 steps at tile 16
+  Request req = Request::cumsum(x, 16);
+  std::mutex mu;
+  std::vector<StreamChunk> chunks;
+  req.on_chunk = [&](const StreamChunk& c) {
+    std::lock_guard<std::mutex> lk(mu);
+    chunks.push_back(c);
+  };
+  const auto resp = engine.submit(std::move(req)).get();
+  ASSERT_TRUE(resp.ok()) << resp.reason;
+  engine.shutdown(ShutdownMode::Drain);
+
+  std::lock_guard<std::mutex> lk(mu);
+  ASSERT_GE(chunks.size(), 2u);  // genuinely incremental delivery
+  EXPECT_EQ(resp.chunks_streamed, chunks.size());
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].kind, OpKind::Cumsum);
+    EXPECT_EQ(chunks[i].offset, off) << "chunk " << i;
+    EXPECT_EQ(chunks[i].last, i + 1 == chunks.size()) << "chunk " << i;
+    EXPECT_EQ(chunks[i].launch_id, resp.launch_id);
+    ASSERT_LE(off + chunks[i].values_f16.size(), resp.values_f16.size());
+    for (std::size_t j = 0; j < chunks[i].values_f16.size(); ++j) {
+      ASSERT_EQ(static_cast<float>(chunks[i].values_f16[j]),
+                static_cast<float>(resp.values_f16[off + j]))
+          << "chunk " << i << " element " << j;
+    }
+    off += chunks[i].values_f16.size();
+  }
+  EXPECT_EQ(off, resp.values_f16.size());  // chunks tile the full payload
+  EXPECT_GT(resp.timing.first_chunk_s, 0.0);
+  EXPECT_LE(resp.timing.first_chunk_s, resp.timing.total_s);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.stream_chunks, chunks.size());
+  EXPECT_EQ(m.chunk_latency.count(), chunks.size());
+  EXPECT_GE(m.sim_steps, static_cast<int>(chunks.size()));
+}
+
+TEST(ServeStreaming, ChunksAreBitExactPrefixesSpawn) {
+  run_streaming_prefixes(sim::ExecutorMode::Spawn);
+}
+
+TEST(ServeStreaming, ChunksAreBitExactPrefixesPool) {
+  run_streaming_prefixes(sim::ExecutorMode::Pool);
+}
+
+TEST(ServeStreaming, SegmentedChunksTileTheFinalPayload) {
+  Engine engine({.policy = {.max_batch = 4, .max_wait_s = 100e-6}});
+  const std::size_t n = 9000;  // 3 chunks at the 4096-element step stride
+  Request req = Request::segmented_cumsum(exact_scan_workload(n, 51),
+                                          seg_flags(n, 52));
+  std::mutex mu;
+  std::vector<StreamChunk> chunks;
+  req.on_chunk = [&](const StreamChunk& c) {
+    std::lock_guard<std::mutex> lk(mu);
+    chunks.push_back(c);
+  };
+  const auto resp = engine.submit(std::move(req)).get();
+  ASSERT_TRUE(resp.ok()) << resp.reason;
+  engine.shutdown(ShutdownMode::Drain);
+
+  std::lock_guard<std::mutex> lk(mu);
+  ASSERT_EQ(chunks.size(), 3u);
+  std::vector<float> concat;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].kind, OpKind::SegmentedCumsum);
+    EXPECT_EQ(chunks[i].offset, concat.size()) << "chunk " << i;
+    concat.insert(concat.end(), chunks[i].values_f32.begin(),
+                  chunks[i].values_f32.end());
+  }
+  EXPECT_EQ(concat, resp.values_f32);  // fp32: exact vector equality
+  EXPECT_TRUE(chunks.back().last);
+}
+
+TEST(ServeStreaming, TopPStreamsOneTerminalChunk) {
+  Engine engine({.policy = {.max_batch = 4, .max_wait_s = 100e-6}});
+  Rng rng(78);
+  Request req = Request::top_p(rng.token_probs_f16(512), 0.9, 0.37);
+  std::mutex mu;
+  std::vector<StreamChunk> chunks;
+  req.on_chunk = [&](const StreamChunk& c) {
+    std::lock_guard<std::mutex> lk(mu);
+    chunks.push_back(c);
+  };
+  const auto resp = engine.submit(std::move(req)).get();
+  ASSERT_TRUE(resp.ok()) << resp.reason;
+  engine.shutdown(ShutdownMode::Drain);
+  std::lock_guard<std::mutex> lk(mu);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].token, resp.token);
+  EXPECT_TRUE(chunks[0].last);
+}
+
+TEST(ServeStreaming, StolenBatchesDoNotStream) {
+  // A stolen batch runs as an indivisible throughput unit: the thief must
+  // neither stream nor continuation-admit (see serve::Cluster docs). The
+  // future still resolves the full payload.
+  Session ref;
+  const auto x = exact_scan_workload(512, 53);
+  const auto want = ref.cumsum_batched(x, 1, x.size(), 16);
+
+  auto stash = std::make_shared<std::vector<Pending>>();
+  std::atomic<int> chunk_calls{0};
+  std::promise<Response> prom;
+  auto fut = prom.get_future();
+  {
+    Pending p;
+    p.req = Request::cumsum(x, 16, false, Priority::Bulk);
+    p.req.on_chunk = [&](const StreamChunk&) { ++chunk_calls; };
+    p.promise = std::move(prom);
+    p.enqueued = Clock::now();
+    stash->push_back(std::move(p));
+  }
+  EngineOptions opt;
+  opt.policy = {.max_batch = 4, .max_wait_s = 100e-6};
+  opt.steal_source = [stash] {
+    std::vector<Pending> v;
+    std::swap(v, *stash);
+    return v;
+  };
+  Engine thief(std::move(opt));
+  const auto resp = fut.get();
+  thief.shutdown(ShutdownMode::Drain);
+  ASSERT_TRUE(resp.ok()) << resp.reason;
+  EXPECT_EQ(chunk_calls.load(), 0);
+  EXPECT_EQ(resp.chunks_streamed, 0u);
+  ASSERT_EQ(resp.values_f16.size(), want.values.size());
+  for (std::size_t i = 0; i < want.values.size(); ++i) {
+    ASSERT_EQ(static_cast<float>(resp.values_f16[i]),
+              static_cast<float>(want.values[i]))
+        << "index " << i;
+  }
+  EXPECT_GE(thief.metrics().steals, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: continuous batching — a request submitted while a compatible
+// stepwise launch is in flight joins that launch between steps, and its
+// result is identical to a standalone submit.
+
+TEST(ServeContinuation, MidLaunchAdmissionMatchesStandalone) {
+  Session ref;
+  const auto x1 = exact_scan_workload(4096, 60);  // 16 steps at tile 16
+  const auto x2 = exact_scan_workload(700, 61);
+  const auto want2 = ref.cumsum_batched(x2, 1, x2.size(), 16);
+
+  Engine engine({.policy = {.max_batch = 8, .max_wait_s = 100e-6}});
+  std::promise<std::future<Response>> second;
+  std::atomic<bool> submitted{false};
+  Request r1 = Request::cumsum(x1, 16);
+  // submit() from inside on_chunk is legal (no engine lock held) and, with
+  // a single worker, lands while the launch is mid-flight: the next step
+  // boundary must admit it into the same launch.
+  r1.on_chunk = [&](const StreamChunk&) {
+    if (!submitted.exchange(true)) {
+      second.set_value(engine.submit(Request::cumsum(x2, 16)));
+    }
+  };
+  auto f1 = engine.submit(std::move(r1));
+  const auto resp2 = second.get_future().get().get();
+  const auto resp1 = f1.get();
+  engine.shutdown(ShutdownMode::Drain);
+  ASSERT_TRUE(resp1.ok()) << resp1.reason;
+  ASSERT_TRUE(resp2.ok()) << resp2.reason;
+  EXPECT_EQ(resp2.launch_id, resp1.launch_id);  // joined the in-flight launch
+  ASSERT_EQ(resp2.values_f16.size(), want2.values.size());
+  for (std::size_t i = 0; i < want2.values.size(); ++i) {
+    ASSERT_EQ(static_cast<float>(resp2.values_f16[i]),
+              static_cast<float>(want2.values[i]))
+        << "index " << i;
+  }
+  EXPECT_GE(engine.metrics().continuation_admits, 1u);
+}
+
+TEST(ServeContinuation, DisabledPolicyKeepsBoundaryBatching) {
+  const auto x1 = exact_scan_workload(4096, 62);
+  const auto x2 = exact_scan_workload(700, 63);
+  Engine engine({.policy = {.max_batch = 8, .max_wait_s = 100e-6,
+                            .continuous = false}});
+  std::promise<std::future<Response>> second;
+  std::atomic<bool> submitted{false};
+  Request r1 = Request::cumsum(x1, 16);
+  r1.on_chunk = [&](const StreamChunk&) {
+    if (!submitted.exchange(true)) {
+      second.set_value(engine.submit(Request::cumsum(x2, 16)));
+    }
+  };
+  auto f1 = engine.submit(std::move(r1));
+  const auto resp2 = second.get_future().get().get();
+  const auto resp1 = f1.get();
+  engine.shutdown(ShutdownMode::Drain);
+  ASSERT_TRUE(resp1.ok()) << resp1.reason;
+  ASSERT_TRUE(resp2.ok()) << resp2.reason;
+  EXPECT_NE(resp2.launch_id, resp1.launch_id);  // waited for its own launch
+  EXPECT_EQ(engine.metrics().continuation_admits, 0u);
 }
 
 }  // namespace

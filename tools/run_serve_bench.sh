@@ -40,5 +40,16 @@ if h:
           f"batched {h['batched_rps']:.0f} req/s vs "
           f"no-batching {h['no_batching_rps']:.0f} req/s "
           f"({h['ratio']:.1f}x)")
+
+modes = {m["mode"]: m for m in data.get("streaming", {}).get("modes", [])}
+cont, bound = modes.get("continuous"), modes.get("boundary_only")
+if cont:
+    print(f"streaming: first chunk after {cont['time_to_first_chunk_us']:.0f} us "
+          f"vs {cont['full_latency_us']:.0f} us full response; "
+          f"{cont['continuation_admits']} continuation admits")
+if cont and bound:
+    print(f"continuous batching: interactive queue wait "
+          f"{bound['interactive_queue_us']:.0f} us -> "
+          f"{cont['interactive_queue_us']:.0f} us vs boundary-only")
 EOF
 fi
