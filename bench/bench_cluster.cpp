@@ -1,7 +1,7 @@
 // Multi-device cluster serving benchmark: throughput scaling and tail
 // latency of serve::Cluster versus a single-device serve::Engine.
 //
-//   bench_cluster [--quick] [--json PATH] [--ref-rps RPS]
+//   bench_cluster [--quick] [--chaos] [--json PATH] [--ref-rps RPS]
 //   bench_cluster --stress SECONDS [--seed S]
 //
 // Two claims are measured:
@@ -23,6 +23,16 @@
 //    simulated completion-time p99 of the burst drops. Simulated
 //    completion of a request = prefix sum of its device's unique launch
 //    times up to and including its own launch.
+//
+// --chaos adds a third scenario: a closed-loop load where a seeded
+// persistent fault kills 1 of 4 devices mid-run. Every request records the
+// bad device's health state at submit time, so per-request wall latency
+// (Response::timing.total_s) splits into before / during / after the
+// quarantine. Reported: availability (Ok fraction — the failover machinery
+// should hold it at 1.0), failover latency (requests resumed on another
+// device from their tile checkpoint), and the phase p50/p99 showing the
+// tail spike while faulted batches re-dispatch and its recovery once
+// placement stops offering the dead device.
 //
 // --stress SECONDS runs a seeded multi-client mixed workload (all four op
 // kinds, invalid requests sprinkled in) against a 4-device cluster for the
@@ -270,6 +280,138 @@ BurstResult run_burst(bool stealing, int reqs) {
 }
 
 // ---------------------------------------------------------------------------
+// Chaos: a seeded persistent fault kills one device mid-run. Availability,
+// failover latency, and the latency tail before / during / after the
+// cluster quarantines the dead device.
+
+struct ChaosPhase {
+  std::uint64_t requests = 0;
+  double p50_us = 0, p99_us = 0;
+};
+
+struct ChaosResult {
+  std::uint64_t submitted = 0, ok = 0, failed = 0, rejected = 0;
+  double availability = 0;
+  int bad_device = -1;
+  std::uint64_t failovers = 0, tiles_resumed = 0, health_transitions = 0,
+                 canary_probes = 0, shed_brownout = 0, resumed_responses = 0;
+  double failover_p50_us = 0, failover_max_us = 0;
+  ChaosPhase before, during, after;
+};
+
+ChaosResult run_chaos(int reqs) {
+  // One quarter of the traffic is a long multi-step shape (2048 elements at
+  // tile 16: eight stepwise launches per batch), so faulted batches carry
+  // mid-scan tile checkpoints. Kill that shape's affinity device — the
+  // victim is guaranteed a steady share of checkpointable load. It serves
+  // its first launches cleanly, then every launch faults: a hard device
+  // death mid-run, not a transient blip.
+  constexpr std::size_t kLongN = 2048, kLongTile = 16;
+  Rng key_rng(1);
+  const int kBad = static_cast<int>(
+      group_key_hash(group_key(Request::cumsum(bit_row(key_rng, kLongN),
+                                               kLongTile, false,
+                                               Priority::Bulk))) %
+      4);
+  std::vector<sim::FaultPlan> plans(4);
+  plans[static_cast<std::size_t>(kBad)] = sim::FaultPlan::dead_from_launch(6);
+  HealthPolicy hp;
+  hp.window = 8;
+  // React on the very first fault, so no faulted batch is ever retried
+  // locally on the dead device (a persistent fault makes that retry a
+  // guaranteed loss).
+  hp.min_samples = 1;
+  // Keep the device down: this scenario measures the before/during/after
+  // cut, not half-open readmission (canaries would blur the "after" tail).
+  hp.quarantine_hold_s = 3600;
+  Cluster cluster({.policy = {.max_batch = 8, .max_wait_s = 100e-6},
+                   .num_devices = 4,
+                   .max_queue = 2048,
+                   .retry = {.max_attempts = 2, .backoff_s = 1e-6},
+                   .device_fault_plans = plans,
+                   // Stealing off and spill pinned so quarantine-driven
+                   // placement is the only rebalancing mechanism measured.
+                   .work_stealing = false,
+                   .spill_margin = 1u << 20,
+                   .health = hp});
+
+  struct Sample {
+    double us = 0;
+    int phase = 0;  ///< 0 before, 1 during (faulting, not yet out), 2 after
+    int resumed_from = -1;
+    Status status = Status::Failed;
+  };
+  std::vector<Sample> samples(static_cast<std::size_t>(reqs));
+  constexpr int kClients = 4;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(2026 + static_cast<std::uint64_t>(c) * 7919);
+      for (std::size_t i = next.fetch_add(1);
+           i < static_cast<std::size_t>(reqs); i = next.fetch_add(1)) {
+        const bool long_shape = i % 4 == 3;
+        const std::size_t n = long_shape ? kLongN : 128 + 64 * (i % 4);
+        const std::size_t tile = long_shape ? kLongTile
+                                 : (i % 2 != 0) ? 64
+                                                : 128;
+        const auto h = cluster.device_health(kBad);
+        const int phase = h == HealthState::Healthy        ? 0
+                          : h == HealthState::Quarantined ? 2
+                                                          : 1;
+        auto fut = cluster.submit(
+            Request::cumsum(bit_row(rng, n), tile, false, Priority::Bulk));
+        const Response r = fut.get();
+        samples[i] = {r.timing.total_s * 1e6, phase, r.resumed_from, r.status};
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  cluster.shutdown(ShutdownMode::Drain);
+
+  ChaosResult out;
+  out.bad_device = kBad;
+  out.submitted = static_cast<std::uint64_t>(reqs);
+  std::vector<double> lat[3], failover_lat;
+  for (const auto& s : samples) {
+    switch (s.status) {
+      case Status::Ok: out.ok++; break;
+      case Status::Rejected: out.rejected++; break;
+      default: out.failed++; break;
+    }
+    if (s.status != Status::Ok) continue;
+    lat[s.phase].push_back(s.us);
+    if (s.resumed_from >= 0) failover_lat.push_back(s.us);
+  }
+  out.availability =
+      reqs > 0 ? static_cast<double>(out.ok) / static_cast<double>(reqs) : 0;
+  out.resumed_responses = failover_lat.size();
+  out.failover_p50_us = percentile(failover_lat, 0.50);
+  out.failover_max_us =
+      failover_lat.empty()
+          ? 0
+          : *std::max_element(failover_lat.begin(), failover_lat.end());
+  const auto phase_of = [&](int i) {
+    ChaosPhase p;
+    p.requests = lat[i].size();
+    p.p50_us = percentile(lat[i], 0.50);
+    p.p99_us = percentile(lat[i], 0.99);
+    return p;
+  };
+  out.before = phase_of(0);
+  out.during = phase_of(1);
+  out.after = phase_of(2);
+  const auto m = cluster.metrics();
+  out.failovers = m.failovers;
+  out.tiles_resumed = m.tiles_resumed;
+  out.health_transitions = m.health_transitions;
+  out.canary_probes = m.canary_probes;
+  out.shed_brownout = m.shed_brownout;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Stress mode: seeded mixed workload, every-future-resolves verification.
 
 Request random_request(Rng& rng) {
@@ -402,7 +544,7 @@ void devices_json(std::ostringstream& os, const CapacityResult& r) {
 
 std::string to_json(const CapacityResult& single, const CapacityResult& cluster,
                     const BurstResult& affinity, const BurstResult& stealing,
-                    double ref_rps) {
+                    double ref_rps, const ChaosResult* chaos) {
   const double sim_ratio =
       single.sim_capacity_rps > 0
           ? cluster.sim_capacity_rps / single.sim_capacity_rps
@@ -440,7 +582,39 @@ std::string to_json(const CapacityResult& single, const CapacityResult& cluster,
   }
   os << "    \"p99_improvement\": "
      << (stealing.p99_us > 0 ? affinity.p99_us / stealing.p99_us : 0)
-     << "\n  }\n}\n";
+     << "\n  }";
+  if (chaos) {
+    const auto phase = [&os](const char* name, const ChaosPhase& p,
+                             const char* trail) {
+      os << "      \"" << name << "\": {\"requests\": " << p.requests
+         << ", \"p50_us\": " << p.p50_us << ", \"p99_us\": " << p.p99_us
+         << "}" << trail << "\n";
+    };
+    os << ",\n  \"chaos\": {\n"
+       << "    \"note\": \"persistent fault kills device " << chaos->bad_device
+       << " mid-run; phases tagged by that device's health state at submit "
+          "time; latency is wall-clock Response::timing.total_s\",\n"
+       << "    \"requests\": " << chaos->submitted
+       << ",\n    \"ok\": " << chaos->ok
+       << ",\n    \"failed\": " << chaos->failed
+       << ",\n    \"rejected\": " << chaos->rejected
+       << ",\n    \"availability\": " << chaos->availability
+       << ",\n    \"bad_device\": " << chaos->bad_device
+       << ",\n    \"failovers\": " << chaos->failovers
+       << ",\n    \"tiles_resumed\": " << chaos->tiles_resumed
+       << ",\n    \"health_transitions\": " << chaos->health_transitions
+       << ",\n    \"canary_probes\": " << chaos->canary_probes
+       << ",\n    \"shed_brownout\": " << chaos->shed_brownout
+       << ",\n    \"failover_latency_us\": {\"resumed_responses\": "
+       << chaos->resumed_responses << ", \"p50\": " << chaos->failover_p50_us
+       << ", \"max\": " << chaos->failover_max_us << "},\n"
+       << "    \"phases\": {\n";
+    phase("before_quarantine", chaos->before, ",");
+    phase("during_failover", chaos->during, ",");
+    phase("after_quarantine", chaos->after, "");
+    os << "    }\n  }";
+  }
+  os << "\n}\n";
   return os.str();
 }
 
@@ -451,9 +625,12 @@ int main(int argc, char** argv) {
   std::string json_path;
   double stress_s = 0, ref_rps = 0;
   std::uint64_t seed = 1;
+  bool chaos_on = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos_on = true;
     } else if (std::strcmp(argv[i], "--stress") == 0 && i + 1 < argc) {
       stress_s = std::atof(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -510,9 +687,36 @@ int main(int argc, char** argv) {
               affinity.p99_us, stealing.p99_us,
               stealing.p99_us > 0 ? affinity.p99_us / stealing.p99_us : 0.0);
 
+  ChaosResult chaos;
+  if (chaos_on) {
+    chaos = run_chaos(args.quick ? 256 : 512);
+    Table ct({"chaos phase", "requests", "p50 us", "p99 us"});
+    const std::pair<const char*, const ChaosPhase*> phases[] = {
+        {"before quarantine", &chaos.before},
+        {"during failover", &chaos.during},
+        {"after quarantine", &chaos.after}};
+    for (const auto& [name, p] : phases) {
+      ct.add_row({name, static_cast<std::int64_t>(p->requests), p->p50_us,
+                  p->p99_us});
+    }
+    ct.print(std::cout);
+    std::printf("\nchaos: device %d died mid-run; availability %.4f "
+                "(%llu/%llu ok), %llu failovers, %llu tile-checkpoint "
+                "resumes, %llu responses finished on another device "
+                "(p50 %.0f us, max %.0f us)\n",
+                chaos.bad_device, chaos.availability,
+                static_cast<unsigned long long>(chaos.ok),
+                static_cast<unsigned long long>(chaos.submitted),
+                static_cast<unsigned long long>(chaos.failovers),
+                static_cast<unsigned long long>(chaos.tiles_resumed),
+                static_cast<unsigned long long>(chaos.resumed_responses),
+                chaos.failover_p50_us, chaos.failover_max_us);
+  }
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << to_json(single, cluster, affinity, stealing, ref_rps);
+    out << to_json(single, cluster, affinity, stealing, ref_rps,
+                   chaos_on ? &chaos : nullptr);
     std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;

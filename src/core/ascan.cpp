@@ -60,6 +60,23 @@ Report Session::resilient_loop(const std::function<Report()>& attempt) {
   Report penalty;  // simulated cost of failed attempts + backoff
   int attempts_at_level = 0;
   double backoff = retry_.backoff_s;
+  // Deterministic anti-stampede jitter (see RetryPolicy::backoff_jitter):
+  // a pure splitmix64 hash of (seed, call ordinal, retry ordinal), so the
+  // same policy yields the same delays on every run and host executor.
+  const auto jittered = [this](double b) {
+    if (retry_.backoff_jitter <= 0) return b;
+    const auto mix64 = [](std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    };
+    std::uint64_t h = mix64(retry_.jitter_seed ^ 0x6a09e667f3bcc909ull);
+    h = mix64(h ^ cumulative_stats_.calls);
+    h = mix64(h ^ last_stats_.retries);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    return b * (1.0 + retry_.backoff_jitter * (2.0 * u - 1.0));
+  };
   for (;;) {
     ++attempts_at_level;
     ++last_stats_.attempts;
@@ -75,8 +92,9 @@ Report Session::resilient_loop(const std::function<Report()>& attempt) {
       last_stats_.last_fault = e.kind();
       if (e.retryable() && attempts_at_level < retry_.max_attempts) {
         ++last_stats_.retries;
-        penalty.time_s += backoff;
-        last_stats_.backoff_s += backoff;
+        const double applied = jittered(backoff);
+        penalty.time_s += applied;
+        last_stats_.backoff_s += applied;
         backoff *= 2;
         continue;
       }
@@ -89,8 +107,9 @@ Report Session::resilient_loop(const std::function<Report()>& attempt) {
         exclude_core();
         ++last_stats_.excluded_cores;
         ++last_stats_.retries;
-        penalty.time_s += backoff;
-        last_stats_.backoff_s += backoff;
+        const double applied = jittered(backoff);
+        penalty.time_s += applied;
+        last_stats_.backoff_s += applied;
         backoff *= 2;
         attempts_at_level = 0;
         continue;

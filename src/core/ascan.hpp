@@ -45,6 +45,16 @@ struct RetryPolicy {
   int max_attempts = 1;  ///< attempts per degradation level (1 = no retry)
   double backoff_s = 20e-6;  ///< simulated backoff before a retry; doubles
   int max_core_exclusions = 0;  ///< AI cores that may be taken offline
+  /// Seeded deterministic jitter on each applied backoff: the delay is
+  /// scaled by a factor in [1 - backoff_jitter, 1 + backoff_jitter] drawn
+  /// from a splitmix64 hash of (jitter_seed, session call ordinal, retry
+  /// ordinal). With a whole batch of sessions retrying against one
+  /// degraded device, synchronized exponential backoff re-stampedes it at
+  /// every doubling; jitter de-synchronizes the herd while staying a pure
+  /// function of the seed — Reports remain bit-identical across runs and
+  /// host executors. 0 keeps the legacy fixed doubling.
+  double backoff_jitter = 0;
+  std::uint64_t jitter_seed = 0;
 };
 
 /// Resilience accounting for the most recent operator call.

@@ -33,12 +33,37 @@ namespace ascan::serve {
 
 using Clock = std::chrono::steady_clock;
 
+/// Tile-granular checkpoint of a request whose batched stepwise launch
+/// faulted mid-flight: everything needed to resume the row from its last
+/// completed tile on another device instead of recomputing from zero. The
+/// failing engine stashes it (Engine::execute_batch fault path), the
+/// cluster re-dispatches the Pending, and whichever engine runs it next
+/// seeds its StreamSlot from the checkpoint — the host-side carry makes
+/// the resumed scan bit-exact with an unfaulted run for integer-valued
+/// data (the same 1-ulp caveat as stepping itself otherwise).
+struct ResumeState {
+  bool active = false;
+  int from_device = -1;  ///< device the checkpoint came from
+  std::size_t off = 0;   ///< elements already produced
+  half carry{0.0f};      ///< Cumsum running prefix at `off`
+  float fcarry = 0;      ///< SegmentedCumsum running prefix at `off`
+  std::vector<half> prefix_f16;   ///< payload produced before the fault
+  std::vector<float> prefix_f32;  ///< (moved back into the resumed slot)
+  std::size_t chunks_streamed = 0;
+  double first_chunk_s = 0;
+  /// Original batch timestamps, so the resumed response's latency
+  /// decomposition spans the failover instead of restarting the clock.
+  Clock::time_point picked{};
+  Clock::time_point exec_begin{};
+};
+
 /// An admitted request waiting in (or popped from) the queue.
 struct Pending {
   Request req;
   std::promise<Response> promise;
   Clock::time_point enqueued{};
   std::uint64_t seq = 0;  ///< admission order (FIFO tie-break)
+  ResumeState resume;     ///< failover checkpoint (inactive normally)
 };
 
 /// Coalescing key: requests batch together iff their keys compare equal.

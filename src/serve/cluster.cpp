@@ -1,5 +1,6 @@
 #include "serve/cluster.hpp"
 
+#include <chrono>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -9,7 +10,9 @@
 namespace ascan::serve {
 
 Cluster::Cluster(ClusterOptions opt)
-    : opt_(std::move(opt)), metrics_(opt_.machine.hbm_bandwidth) {
+    : opt_(std::move(opt)),
+      metrics_(opt_.machine.hbm_bandwidth),
+      monitor_(opt_.num_devices >= 1 ? opt_.num_devices : 1, opt_.health) {
   ASCAN_CHECK(opt_.num_devices >= 1, "serve::Cluster: need >= 1 device");
   ASCAN_CHECK(opt_.device_machines.empty() ||
                   opt_.device_machines.size() ==
@@ -46,6 +49,14 @@ Cluster::Cluster(ClusterOptions opt)
       eo.steal_poll_s = opt_.steal_poll_s;
       eo.steal_source = [this, i] { return steal_for(i); };
     }
+    if (opt_.health.enabled) {
+      eo.outcome_sink = [this, i](bool faulted, std::uint32_t retries) {
+        on_outcome(i, faulted, retries);
+      };
+      eo.failover_sink = [this, i](std::vector<Pending> batch) {
+        return failover_from(i, std::move(batch));
+      };
+    }
     shards_.push_back(std::make_unique<Engine>(std::move(eo)));
   }
   ready_.store(true, std::memory_order_release);
@@ -73,6 +84,18 @@ std::future<Response> Cluster::submit(Request req) {
   }
   if (stopping_.load() || stopped_.load()) {
     return reject(&Metrics::on_rejected_shutdown, "cluster shutting down");
+  }
+
+  // Brownout: with too little healthy capacity, bulk work is shed up
+  // front so what remains serves the latency-sensitive lane. Interactive
+  // requests still pass through the normal admission bound below.
+  if (req.priority == Priority::Bulk && in_brownout()) {
+    metrics_.on_shed_brownout();
+    std::ostringstream os;
+    os << "cluster brownout: " << monitor_.placeable_count() << "/"
+       << shards_.size() << " devices healthy (need fraction >= "
+       << opt_.brownout_min_healthy << "), bulk lane shed";
+    return reject(&Metrics::on_rejected_capacity, os.str());
   }
 
   // Cluster-wide admission over the summed backlog. The sum is a snapshot
@@ -103,30 +126,78 @@ std::future<Response> Cluster::submit(Request req) {
 
 int Cluster::place(const Request& r, const std::vector<std::size_t>& loads) {
   const int n = static_cast<int>(shards_.size());
+  std::size_t placeable = static_cast<std::size_t>(n);
+  if (opt_.health.enabled) {
+    // Time-driven promotions first (Quarantined -> Probing after the
+    // hold); the submit path is the cluster's clock.
+    std::vector<HealthTransition> promoted;
+    monitor_.tick(&promoted);
+    for (std::size_t k = 0; k < promoted.size(); ++k) {
+      metrics_.on_health_transition();
+    }
+    // Half-open readmission: a Probing device's canary budget admits a
+    // bounded trickle of real traffic ahead of normal placement.
+    for (int i = 0; i < n; ++i) {
+      if (monitor_.try_admit_canary(i)) {
+        metrics_.on_canary_probe();
+        metrics_.on_routed_spill();
+        return i;
+      }
+    }
+    placeable = monitor_.placeable_count();
+  }
+
   const int target =
       static_cast<int>(group_key_hash(group_key(r)) %
                        static_cast<std::uint64_t>(n));
-  int least = 0;
-  for (int i = 1; i < n; ++i) {
-    if (loads[static_cast<std::size_t>(i)] <
-        loads[static_cast<std::size_t>(least)]) {
+  if (placeable == static_cast<std::size_t>(n) || placeable == 0) {
+    // Every device placeable (the common case — identical to the
+    // pre-health placement), or none (health is advisory, never brick
+    // the cluster: fall back to ignoring it).
+    int least = 0;
+    for (int i = 1; i < n; ++i) {
+      if (loads[static_cast<std::size_t>(i)] <
+          loads[static_cast<std::size_t>(least)]) {
+        least = i;
+      }
+    }
+    // Keep GroupKey locality (timing cache, batch coalescing) unless the
+    // affinity device has fallen spill_margin requests behind the least
+    // loaded one.
+    if (loads[static_cast<std::size_t>(target)] >
+        loads[static_cast<std::size_t>(least)] + spill_margin_) {
+      metrics_.on_routed_spill();
+      return least;
+    }
+    metrics_.on_routed_affinity();
+    return target;
+  }
+
+  // Health-aware placement: least-loaded among the placeable devices;
+  // affinity kept only when its device is placeable and within margin.
+  int least = -1;
+  for (int i = 0; i < n; ++i) {
+    if (!monitor_.placeable(i)) continue;
+    if (least < 0 || loads[static_cast<std::size_t>(i)] <
+                         loads[static_cast<std::size_t>(least)]) {
       least = i;
     }
   }
-  // Keep GroupKey locality (timing cache, batch coalescing) unless the
-  // affinity device has fallen spill_margin requests behind the least
-  // loaded one.
-  if (loads[static_cast<std::size_t>(target)] >
-      loads[static_cast<std::size_t>(least)] + spill_margin_) {
-    metrics_.on_routed_spill();
-    return least;
+  if (monitor_.placeable(target) &&
+      loads[static_cast<std::size_t>(target)] <=
+          loads[static_cast<std::size_t>(least)] + spill_margin_) {
+    metrics_.on_routed_affinity();
+    return target;
   }
-  metrics_.on_routed_affinity();
-  return target;
+  metrics_.on_routed_spill();
+  return least;
 }
 
 std::vector<Pending> Cluster::steal_for(int thief) {
   if (!ready_.load(std::memory_order_acquire)) return {};
+  // A sick thief must not pull sibling work onto itself, and a sick
+  // victim's queue is the quarantine drain's business, not a thief's.
+  if (opt_.health.enabled && !monitor_.placeable(thief)) return {};
   // Victim: the sibling with the deepest bulk backlog at or above the
   // steal threshold. Depths are read unlocked relative to each other; the
   // steal itself re-checks under the victim's lock.
@@ -134,6 +205,7 @@ std::vector<Pending> Cluster::steal_for(int thief) {
   std::size_t deepest = 0;
   for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
     if (i == thief) continue;
+    if (opt_.health.enabled && !monitor_.placeable(i)) continue;
     const std::size_t backlog =
         shards_[static_cast<std::size_t>(i)]->bulk_backlog();
     if (backlog >= steal_min_backlog_ && backlog > deepest) {
@@ -144,6 +216,82 @@ std::vector<Pending> Cluster::steal_for(int thief) {
   if (victim < 0) return {};
   return shards_[static_cast<std::size_t>(victim)]->steal_bulk_batch(
       steal_min_backlog_);
+}
+
+void Cluster::on_outcome(int device, bool faulted, std::uint32_t retries) {
+  if (!ready_.load(std::memory_order_acquire)) return;
+  const auto t = monitor_.record(device, faulted, retries);
+  if (!t) return;
+  metrics_.on_health_transition();
+  if (t->to == HealthState::Quarantined) drain_quarantined(device);
+}
+
+int Cluster::pick_target(int avoid) const {
+  int best = -1;
+  std::size_t best_load = 0;
+  for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
+    if (i == avoid || !monitor_.placeable(i)) continue;
+    const std::size_t load =
+        shards_[static_cast<std::size_t>(i)]->queue_depth();
+    if (best < 0 || load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+std::vector<Pending> Cluster::failover_from(int device,
+                                            std::vector<Pending> batch) {
+  if (!ready_.load(std::memory_order_acquire)) return batch;
+  // A healthy device's batch fault is an ordinary poisoned-request event;
+  // the local isolation fallback handles it. Failover engages once the
+  // outcome feed (which runs before this sink) has degraded the device.
+  if (monitor_.state(device) == HealthState::Healthy) return batch;
+  std::vector<Pending> leftovers;
+  for (auto& p : batch) {
+    const bool from_checkpoint = p.resume.active && p.resume.off > 0;
+    const int target = pick_target(device);
+    if (target >= 0 &&
+        shards_[static_cast<std::size_t>(target)]->inject(p)) {
+      metrics_.on_failover();
+      if (from_checkpoint) metrics_.on_tiles_resumed();
+    } else {
+      leftovers.push_back(std::move(p));
+    }
+  }
+  return leftovers;
+}
+
+void Cluster::drain_quarantined(int device) {
+  auto drained =
+      shards_[static_cast<std::size_t>(device)]->drain_queue();
+  for (auto& p : drained) {
+    const int target = pick_target(device);
+    if (target >= 0 &&
+        shards_[static_cast<std::size_t>(target)]->inject(p)) {
+      metrics_.on_failover();
+      continue;
+    }
+    // No placeable sibling can take it. Hand it back to the source (its
+    // own queue still executes under Drain semantics, and a cancelling
+    // shutdown resolves it as Cancelled); if even that fails — the source
+    // is stopping — resolve it here so the future never dangles.
+    if (shards_[static_cast<std::size_t>(device)]->inject(p)) continue;
+    Timing t;
+    t.total_s =
+        std::chrono::duration<double>(Clock::now() - p.enqueued).count();
+    metrics_.on_failed(t);
+    p.promise.set_value(immediate_response(
+        p.req.kind, Status::Failed,
+        "device quarantined and no healthy sibling available"));
+  }
+}
+
+bool Cluster::in_brownout() const {
+  if (!opt_.health.enabled || opt_.brownout_min_healthy <= 0) return false;
+  return static_cast<double>(monitor_.placeable_count()) <
+         opt_.brownout_min_healthy * static_cast<double>(shards_.size());
 }
 
 void Cluster::shutdown(ShutdownMode mode) {
@@ -178,7 +326,12 @@ MetricsSnapshot Cluster::metrics() const {
 
 std::string Cluster::metrics_json() const {
   std::ostringstream os;
-  os << "{\n\"merged\": " << metrics().json() << ",\n\"devices\": [";
+  os << "{\n\"merged\": " << metrics().json() << ",\n\"health\": [";
+  const auto states = monitor_.states();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    os << (i ? "," : "") << '"' << health_state_name(states[i]) << '"';
+  }
+  os << "],\n\"devices\": [";
   const auto parts = per_device_metrics();
   for (std::size_t i = 0; i < parts.size(); ++i) {
     os << (i ? ",\n" : "\n") << parts[i].json();

@@ -32,6 +32,19 @@
 // bookkeeping for zero latency win. The future still resolves the full
 // payload; only the incremental delivery is skipped.
 //
+// Fault domains (see serve/health.hpp and DESIGN.md "Fault domains &
+// health model"): every device carries a health state machine fed by its
+// launch outcomes. A Quarantined device is removed from the placement,
+// spill and steal sets; its queued work drains to healthy shards and its
+// faulted in-flight batches fail over — each unresolved member carries a
+// tile-granular checkpoint (Pending::resume) so the new device continues
+// the scan from the last completed tile's carry instead of recomputing.
+// Readmission is half-open: after a hold the device turns Probing and
+// receives a bounded trickle of canary requests; clean canaries readmit
+// it, a faulting one re-quarantines it. When the placeable fraction drops
+// below brownout_min_healthy the cluster browns out: bulk work is shed
+// with a typed rejection while the interactive lane keeps its reserve.
+//
 // Cluster-wide invariants (tests/test_cluster.cpp):
 //  * Every submitted future resolves exactly once — including across
 //    shutdown, rejection, spill and steal paths. Never a dangling future,
@@ -47,6 +60,7 @@
 #include <vector>
 
 #include "serve/engine.hpp"
+#include "serve/health.hpp"
 
 namespace ascan::serve {
 
@@ -83,6 +97,17 @@ struct ClusterOptions {
   /// deeper than the least-loaded device before spilling
   /// (0 -> policy.max_batch: keep locality until a full batch of slack).
   std::size_t spill_margin = 0;
+
+  /// Per-device health state machine (see serve/health.hpp). Quarantined
+  /// devices leave the placement, spill and steal sets; their queued work
+  /// drains to healthy shards and their faulted in-flight batches fail
+  /// over with tile-checkpoint resume.
+  HealthPolicy health;
+  /// Brownout: when the placeable (Healthy + Degraded) fraction of the
+  /// cluster drops below this, bulk submissions are shed with a typed
+  /// rejection ("brownout" in the reason) so the surviving devices keep
+  /// serving the interactive lane. 0 disables shedding.
+  double brownout_min_healthy = 0.5;
 };
 
 class Cluster {
@@ -113,6 +138,13 @@ class Cluster {
     return *shards_[static_cast<std::size_t>(i)];
   }
 
+  /// Current health state of one device / of every device in order.
+  HealthState device_health(int i) const { return monitor_.state(i); }
+  std::vector<HealthState> health_states() const { return monitor_.states(); }
+  /// Whether the cluster is currently shedding bulk work (placeable
+  /// fraction below brownout_min_healthy).
+  bool in_brownout() const;
+
   /// One metrics shard per device, in device order.
   std::vector<MetricsSnapshot> per_device_metrics() const;
   /// Every device shard plus the cluster front end's own counters
@@ -131,13 +163,27 @@ class Cluster {
   /// from the sibling with the deepest qualifying bulk backlog.
   std::vector<Pending> steal_for(int thief);
 
+  /// Engine outcome_sink target: feeds the health monitor and acts on the
+  /// transition (quarantine -> drain the device's queue to siblings).
+  void on_outcome(int device, bool faulted, std::uint32_t retries);
+  /// Engine failover_sink target: re-dispatches a faulted batch's
+  /// unresolved members (tile checkpoints riding along) to healthy
+  /// siblings; returns the members no sibling could take.
+  std::vector<Pending> failover_from(int device, std::vector<Pending> batch);
+  /// Quarantine drain: moves the device's queued requests to siblings.
+  void drain_quarantined(int device);
+  /// Least-loaded placeable device other than `avoid`; -1 when none.
+  int pick_target(int avoid) const;
+
   ClusterOptions opt_;
   std::size_t steal_min_backlog_ = 0;
   std::size_t spill_margin_ = 0;
   /// Front-end counters only — events the device shards never see
-  /// (cluster-level rejections, routing decisions) — so merging the
-  /// shards with this snapshot never double counts.
+  /// (cluster-level rejections, routing decisions, health transitions,
+  /// failovers) — so merging the shards with this snapshot never double
+  /// counts.
   Metrics metrics_;
+  HealthMonitor monitor_;
   /// Engines install their steal_source before shards_ is fully built;
   /// the callback no-ops until construction completes.
   std::atomic<bool> ready_{false};

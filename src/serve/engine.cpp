@@ -286,6 +286,9 @@ void Engine::run_group_stepwise(Session& session,
   // Copy of the aggregate report after the latest completed step, for the
   // partial-accounting path when a later step faults.
   Report partial;
+  // Final aggregate report of a completed launch, fed (with the fault
+  // outcome) to the cluster health monitor after the switch.
+  Report fin;
   try {
     switch (head.kind) {
       case OpKind::Cumsum: {
@@ -347,7 +350,8 @@ void Engine::run_group_stepwise(Session& session,
           }
           if (allow_admit) admit_continuations(slots, key, act.size());
         }
-        metrics_.on_batch(slots.size(), session.cumsum_batched_finish(ls));
+        fin = session.cumsum_batched_finish(ls);
+        metrics_.on_batch(slots.size(), fin);
         break;
       }
       case OpKind::SegmentedCumsum: {
@@ -413,7 +417,8 @@ void Engine::run_group_stepwise(Session& session,
           }
           if (allow_admit) admit_continuations(slots, key, act.size());
         }
-        metrics_.on_batch(slots.size(), session.segmented_cumsum_finish(ls));
+        fin = session.segmented_cumsum_finish(ls);
+        metrics_.on_batch(slots.size(), fin);
         break;
       }
       case OpKind::TopP: {
@@ -436,7 +441,8 @@ void Engine::run_group_stepwise(Session& session,
             admit_continuations(slots, key, slots.size() - (i + 1));
           }
         }
-        metrics_.on_batch(slots.size(), session.top_p_finish(ls));
+        fin = session.top_p_finish(ls);
+        metrics_.on_batch(slots.size(), fin);
         break;
       }
       case OpKind::Sort: {
@@ -448,8 +454,9 @@ void Engine::run_group_stepwise(Session& session,
                               s.p.req.sort_algo, s.p.req.tile);
         s.resp.sorted_values = std::move(r.values);
         s.resp.indices = std::move(r.indices);
-        metrics_.on_batch(1, r.report);
-        finalize_slot(s, r.report, 1, launch_id);
+        fin = r.report;
+        metrics_.on_batch(1, fin);
+        finalize_slot(s, fin, 1, launch_id);
         break;
       }
     }
@@ -460,11 +467,16 @@ void Engine::run_group_stepwise(Session& session,
     Report burned = partial;
     burned += e.attempt_report();
     metrics_.on_batch_abandoned(burned);
+    // Health outcome before rethrow: the cluster's failover_sink (run by
+    // execute_batch's catch) must see the post-fault device state.
+    if (opt_.outcome_sink) opt_.outcome_sink(true, burned.retries);
     throw;
   } catch (...) {
     metrics_.on_batch_abandoned(partial);
+    if (opt_.outcome_sink) opt_.outcome_sink(true, partial.retries);
     throw;
   }
+  if (opt_.outcome_sink) opt_.outcome_sink(false, fin.retries);
 }
 
 void Engine::execute_batch(Session& session, std::vector<Pending> batch,
@@ -477,6 +489,25 @@ void Engine::execute_batch(Session& session, std::vector<Pending> batch,
     s.p = std::move(p);
     s.picked = picked;
     s.exec_begin = exec_begin;
+    if (s.p.resume.active) {
+      // Failover resume: seed the slot from the tile checkpoint the
+      // faulted device stashed — the scan continues from the last
+      // completed tile's carry instead of recomputing the prefix, and the
+      // original batch timestamps keep the latency decomposition spanning
+      // the whole failover.
+      ResumeState& rs = s.p.resume;
+      s.off = rs.off;
+      s.carry = rs.carry;
+      s.fcarry = rs.fcarry;
+      s.resp.values_f16 = std::move(rs.prefix_f16);
+      s.resp.values_f32 = std::move(rs.prefix_f32);
+      s.resp.chunks_streamed = rs.chunks_streamed;
+      s.resp.timing.first_chunk_s = rs.first_chunk_s;
+      s.resp.resumed_from = rs.from_device;
+      s.picked = rs.picked;
+      s.exec_begin = rs.exec_begin;
+      rs.active = false;
+    }
     slots.push_back(std::move(s));
   }
   batch.clear();
@@ -485,7 +516,34 @@ void Engine::execute_batch(Session& session, std::vector<Pending> batch,
     run_group_stepwise(session, slots, mode);
   } catch (const std::exception& e) {
     // Already-resolved slots stay resolved (their streamed prefixes and
-    // futures are final); only unresolved slots take the fallback.
+    // futures are final); only unresolved slots take a fallback. With a
+    // cluster failover_sink installed, each unresolved member is first
+    // offered — carrying its tile checkpoint — for re-dispatch on a
+    // healthy sibling; whatever the sink hands back falls through to the
+    // local path below.
+    if (opt_.failover_sink) {
+      std::vector<Pending> offer;
+      for (auto& s : slots) {
+        if (s.done) continue;
+        stash_resume(s);
+        offer.push_back(std::move(s.p));
+      }
+      std::vector<Pending> local = opt_.failover_sink(std::move(offer));
+      for (auto& p : local) {
+        if (mode == GroupExec::Isolated || started_solo) {
+          Response r =
+              immediate_response(p.req.kind, Status::Failed, e.what());
+          r.device = opt_.device_id;
+          resolve(p, std::move(r), p.resume.picked, p.resume.exec_begin);
+        } else {
+          // The isolation re-run consumes the stashed checkpoint too —
+          // a local resume from the last completed tile, under the
+          // request-scoped retry policy.
+          execute_single(session, p, p.resume.picked);
+        }
+      }
+      return;
+    }
     for (auto& s : slots) {
       if (s.done) continue;
       if (mode == GroupExec::Isolated || started_solo) {
@@ -502,6 +560,21 @@ void Engine::execute_batch(Session& session, std::vector<Pending> batch,
       }
     }
   }
+}
+
+void Engine::stash_resume(StreamSlot& s) {
+  ResumeState& rs = s.p.resume;
+  rs.active = true;
+  rs.from_device = opt_.device_id;
+  rs.off = s.off;
+  rs.carry = s.carry;
+  rs.fcarry = s.fcarry;
+  rs.prefix_f16 = std::move(s.resp.values_f16);
+  rs.prefix_f32 = std::move(s.resp.values_f32);
+  rs.chunks_streamed = s.resp.chunks_streamed;
+  rs.first_chunk_s = s.resp.timing.first_chunk_s;
+  rs.picked = s.picked;
+  rs.exec_begin = s.exec_begin;
 }
 
 void Engine::execute_single(Session& session, Pending& p,
@@ -600,6 +673,35 @@ std::vector<Pending> Engine::steal_bulk_batch(std::size_t min_backlog) {
   }
   if (!batch.empty()) metrics_.on_steal_suffered();
   return batch;
+}
+
+bool Engine::inject(Pending& p) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ || stopped_) return false;
+    // Keep the original enqueue time (total latency spans the failover)
+    // but re-sequence into this queue's FIFO order. No admission counting:
+    // the request was admitted once, at its original shard.
+    p.seq = next_seq_++;
+    queue_.push(std::move(p));
+  }
+  work_cv_.notify_all();
+  return true;
+}
+
+std::vector<Pending> Engine::drain_queue() {
+  std::vector<Pending> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  // Shutdown owns the queue's requests (Drain executes them, Cancel
+  // resolves them Cancelled in finish_shutdown); draining here would
+  // race that accounting.
+  if (stopping_ || stopped_) return out;
+  const BatchPolicy flush{.max_batch = 1, .max_wait_s = 0};
+  while (!queue_.empty()) {
+    auto b = queue_.pop_batch(flush, Clock::now());
+    for (auto& p : b) out.push_back(std::move(p));
+  }
+  return out;
 }
 
 Engine::DeviceStats Engine::device_stats() const {

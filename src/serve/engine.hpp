@@ -94,6 +94,20 @@ struct EngineOptions {
   /// when nothing is stealable; must never block on this engine's locks.
   std::function<std::vector<Pending>()> steal_source;
   double steal_poll_s = 100e-6;  ///< idle poll cadence when stealing is on
+
+  /// Cluster hook: per-launch outcome feed for the device health monitor.
+  /// Called from the worker thread after every serving launch, with no
+  /// engine lock held — `faulted` when the launch exhausted its retry
+  /// policy (typed fault escaped), `retries` the recovered-relaunch count
+  /// of a successful launch. Must not block on this engine's locks.
+  std::function<void(bool faulted, std::uint32_t retries)> outcome_sink;
+  /// Cluster hook: every unresolved member of a faulted batch is offered
+  /// here — each carries its tile checkpoint in Pending::resume — so the
+  /// cluster can re-dispatch it to a healthy sibling. Returns the pendings
+  /// it could NOT re-dispatch; those fall back to this engine's local
+  /// isolation path. Called with no engine lock held. When unset, every
+  /// member falls back locally (standalone-engine behaviour).
+  std::function<std::vector<Pending>(std::vector<Pending>)> failover_sink;
 };
 
 class Engine {
@@ -134,6 +148,17 @@ class Engine {
   /// are never handed out. Empty while a cancelling shutdown is in
   /// progress (those requests resolve as Cancelled here).
   std::vector<Pending> steal_bulk_batch(std::size_t min_backlog);
+
+  /// Cluster failover entry point: enqueues an already-admitted Pending
+  /// (re-dispatched from a sick sibling, possibly carrying a resume
+  /// checkpoint) without counting a new admission — the request was
+  /// admitted once, at its original shard. Returns false (leaving `p`
+  /// intact) when this engine is stopping or stopped.
+  bool inject(Pending& p);
+  /// Cluster quarantine drain: removes and returns every queued request so
+  /// the cluster can re-dispatch them to healthy shards. Empty while a
+  /// shutdown is in progress (shutdown owns the queue's requests then).
+  std::vector<Pending> drain_queue();
 
   /// Post-shutdown per-device degradation view, aggregated over the
   /// engine's Sessions. Reading it while workers are live is racy.
@@ -207,6 +232,10 @@ class Engine {
   /// Marks the slot Ok, stamps launch bookkeeping and fulfils its future.
   void finalize_slot(StreamSlot& slot, const Report& report_so_far,
                      std::size_t batch_size, std::uint64_t launch_id);
+  /// Stashes the slot's tile checkpoint into its Pending (Pending::resume)
+  /// so a failover target can continue the row from the last completed
+  /// tile.
+  void stash_resume(StreamSlot& slot);
 
   void resolve(Pending& p, Response r, Clock::time_point picked,
                Clock::time_point exec_begin);

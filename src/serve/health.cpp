@@ -1,0 +1,158 @@
+#include "serve/health.hpp"
+
+#include "common/check.hpp"
+
+namespace ascan::serve {
+
+HealthMonitor::HealthMonitor(int num_devices, HealthPolicy policy)
+    : policy_(policy) {
+  ASCAN_CHECK(num_devices >= 1, "HealthMonitor: need >= 1 device");
+  ASCAN_CHECK(policy_.window >= 1, "HealthMonitor: window must be >= 1");
+  ASCAN_CHECK(policy_.min_samples >= 1,
+              "HealthMonitor: min_samples must be >= 1");
+  ASCAN_CHECK(policy_.canary_batches >= 1,
+              "HealthMonitor: canary_batches must be >= 1");
+  devs_.resize(static_cast<std::size_t>(num_devices));
+  for (auto& d : devs_) d.ring.assign(policy_.window, 0.0);
+}
+
+void HealthMonitor::push_outcome(Dev& d, double severity) {
+  if (d.filled == d.ring.size()) {
+    d.sum -= d.ring[d.head];
+  } else {
+    ++d.filled;
+  }
+  d.ring[d.head] = severity;
+  d.sum += severity;
+  d.head = (d.head + 1) % d.ring.size();
+}
+
+std::optional<HealthTransition> HealthMonitor::record(int device, bool faulted,
+                                                      std::uint32_t retries) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!policy_.enabled) return std::nullopt;
+  ASCAN_CHECK(device >= 0 && device < static_cast<int>(devs_.size()),
+              "HealthMonitor: device index out of range");
+  Dev& d = devs_[static_cast<std::size_t>(device)];
+  const double severity =
+      faulted ? 1.0 : (retries > 0 ? policy_.retry_weight : 0.0);
+  push_outcome(d, severity);
+
+  const auto transition = [&](HealthState to) -> HealthTransition {
+    const HealthState from = d.state;
+    d.state = to;
+    return HealthTransition{device, from, to};
+  };
+
+  switch (d.state) {
+    case HealthState::Probing:
+      if (d.canaries_in_flight > 0) --d.canaries_in_flight;
+      if (faulted) {
+        // The canary died: back to quarantine, hold restarts.
+        d.quarantined_at = ClockT::now();
+        d.canary_ok = 0;
+        d.canaries_in_flight = 0;
+        return transition(HealthState::Quarantined);
+      }
+      if (++d.canary_ok >= policy_.canary_batches) {
+        // Readmitted with a clean slate — stale quarantine-era outcomes
+        // must not immediately re-degrade the device.
+        d.ring.assign(policy_.window, 0.0);
+        d.head = d.filled = 0;
+        d.sum = 0;
+        d.canary_ok = 0;
+        return transition(HealthState::Healthy);
+      }
+      return std::nullopt;
+    case HealthState::Quarantined:
+      // Straggler outcomes from launches already in flight when the device
+      // was quarantined; they only feed the window.
+      return std::nullopt;
+    case HealthState::Healthy:
+      if (d.filled >= policy_.min_samples &&
+          dev_score(d) >= policy_.degraded_score) {
+        return transition(HealthState::Degraded);
+      }
+      return std::nullopt;
+    case HealthState::Degraded:
+      if (d.filled >= policy_.min_samples &&
+          dev_score(d) >= policy_.quarantine_score) {
+        d.quarantined_at = ClockT::now();
+        d.canary_ok = 0;
+        d.canaries_in_flight = 0;
+        return transition(HealthState::Quarantined);
+      }
+      if (dev_score(d) <= policy_.healthy_score) {
+        return transition(HealthState::Healthy);
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void HealthMonitor::tick(std::vector<HealthTransition>* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!policy_.enabled) return;
+  const auto now = ClockT::now();
+  for (std::size_t i = 0; i < devs_.size(); ++i) {
+    Dev& d = devs_[i];
+    if (d.state != HealthState::Quarantined) continue;
+    const double held =
+        std::chrono::duration<double>(now - d.quarantined_at).count();
+    if (held < policy_.quarantine_hold_s) continue;
+    d.state = HealthState::Probing;
+    d.canary_ok = 0;
+    d.canaries_in_flight = 0;
+    if (out != nullptr) {
+      out->push_back(HealthTransition{static_cast<int>(i),
+                                      HealthState::Quarantined,
+                                      HealthState::Probing});
+    }
+  }
+}
+
+HealthState HealthMonitor::state(int device) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return devs_[static_cast<std::size_t>(device)].state;
+}
+
+std::vector<HealthState> HealthMonitor::states() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<HealthState> out;
+  out.reserve(devs_.size());
+  for (const auto& d : devs_) out.push_back(d.state);
+  return out;
+}
+
+double HealthMonitor::score(int device) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dev_score(devs_[static_cast<std::size_t>(device)]);
+}
+
+bool HealthMonitor::placeable(int device) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const HealthState s = devs_[static_cast<std::size_t>(device)].state;
+  return s == HealthState::Healthy || s == HealthState::Degraded;
+}
+
+std::size_t HealthMonitor::placeable_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& d : devs_) {
+    if (d.state == HealthState::Healthy || d.state == HealthState::Degraded) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool HealthMonitor::try_admit_canary(int device) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Dev& d = devs_[static_cast<std::size_t>(device)];
+  if (d.state != HealthState::Probing) return false;
+  if (d.canaries_in_flight >= policy_.canary_batches) return false;
+  ++d.canaries_in_flight;
+  return true;
+}
+
+}  // namespace ascan::serve

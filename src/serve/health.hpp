@@ -1,0 +1,143 @@
+// serve — per-device health state machine of the cluster fault domain.
+//
+// A multi-device cluster must stop treating every device as permanently
+// healthy: a device with a persistent fault (dead HBM stack, wedged DMA
+// ring) keeps burning each routed request's bounded retry budget until
+// callers see failures. The HealthMonitor turns per-launch outcomes —
+// typed fault failures and retry-recovered successes, the signals
+// Session RetryStats and FaultError already carry — into a per-device
+// state machine:
+//
+//     Healthy ──score>=degraded──▶ Degraded ──score>=quarantine──▶ Quarantined
+//        ▲                           │  ▲                              │
+//        │◀──score<=healthy──────────┘  │                       hold elapses
+//        │                              │ canary faults                │
+//        │◀──canary_batches clean───── Probing ◀───────────────────────┘
+//
+//  * Healthy — full traffic: placement, spill and steal-victim eligible.
+//  * Degraded — still placeable, but the owning Cluster re-dispatches this
+//    device's faulted in-flight batches to healthy siblings (failover with
+//    tile-checkpoint resume) instead of retrying them locally.
+//  * Quarantined — removed from placement, spill and steal sets; its
+//    queued work is drained to healthy shards. After quarantine_hold_s it
+//    becomes Probing.
+//  * Probing — half-open: up to canary_batches canary requests are let
+//    through; canary_batches consecutive clean outcomes readmit the device
+//    (Healthy, window reset), any fault re-quarantines it.
+//
+// Scoring is a sliding window of the last `window` launch outcomes per
+// device: a typed fault scores 1.0, a success that needed retries scores
+// retry_weight, a clean success 0. The mean over the window is compared
+// against the thresholds once min_samples outcomes have arrived.
+//
+// The monitor is a passive, internally synchronized scoreboard: it decides
+// *states*, the Cluster acts on the returned transitions (drain, failover,
+// brownout). It never calls back into engines, so it can be consulted from
+// any engine worker thread without lock-order concerns.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace ascan::serve {
+
+enum class HealthState : std::uint8_t {
+  Healthy,
+  Degraded,
+  Quarantined,
+  Probing,
+};
+
+constexpr const char* health_state_name(HealthState s) {
+  switch (s) {
+    case HealthState::Healthy: return "healthy";
+    case HealthState::Degraded: return "degraded";
+    case HealthState::Quarantined: return "quarantined";
+    case HealthState::Probing: return "probing";
+  }
+  return "?";
+}
+
+/// Tuning knobs of the per-device health state machine.
+struct HealthPolicy {
+  bool enabled = true;
+  std::size_t window = 16;      ///< sliding window of launch outcomes
+  std::size_t min_samples = 4;  ///< no verdict before this many outcomes
+  double degraded_score = 0.25;    ///< Healthy -> Degraded at/above
+  double quarantine_score = 0.5;   ///< Degraded -> Quarantined at/above
+  double healthy_score = 0.125;    ///< Degraded -> Healthy at/below
+  double retry_weight = 0.4;  ///< severity of a success that needed retries
+  /// Wall-clock hold in Quarantined before the device turns Probing.
+  double quarantine_hold_s = 1e-3;
+  /// Canary budget of a Probing device: at most this many canaries in
+  /// flight at once, and this many consecutive clean outcomes readmit.
+  std::size_t canary_batches = 2;
+};
+
+/// One state-machine transition, as returned to the acting Cluster.
+struct HealthTransition {
+  int device = -1;
+  HealthState from = HealthState::Healthy;
+  HealthState to = HealthState::Healthy;
+};
+
+class HealthMonitor {
+ public:
+  using ClockT = std::chrono::steady_clock;
+
+  HealthMonitor(int num_devices, HealthPolicy policy);
+
+  /// Feeds one launch outcome for `device`. `faulted` means the launch
+  /// exhausted its retry policy (typed FaultError escaped); `retries` is
+  /// the recovered-relaunch count of a successful launch. Returns the
+  /// transition when the state changed.
+  std::optional<HealthTransition> record(int device, bool faulted,
+                                         std::uint32_t retries);
+
+  /// Time-driven promotions (Quarantined -> Probing after the hold).
+  /// Appends any transitions to `out` (may be null).
+  void tick(std::vector<HealthTransition>* out = nullptr);
+
+  HealthState state(int device) const;
+  std::vector<HealthState> states() const;
+  /// Current sliding-window fault score of `device` (0 when unsampled).
+  double score(int device) const;
+
+  /// Whether `device` may receive regular traffic (placement, spill,
+  /// steal): Healthy or Degraded.
+  bool placeable(int device) const;
+  std::size_t placeable_count() const;
+
+  /// Half-open admission: true reserves one canary slot on a Probing
+  /// device (released when its outcome is recorded).
+  bool try_admit_canary(int device);
+
+  const HealthPolicy& policy() const { return policy_; }
+
+ private:
+  struct Dev {
+    HealthState state = HealthState::Healthy;
+    std::vector<double> ring;  ///< last `window` outcome severities
+    std::size_t head = 0;
+    std::size_t filled = 0;
+    double sum = 0;
+    ClockT::time_point quarantined_at{};
+    std::size_t canaries_in_flight = 0;
+    std::size_t canary_ok = 0;
+  };
+
+  double dev_score(const Dev& d) const {
+    return d.filled ? d.sum / static_cast<double>(d.filled) : 0.0;
+  }
+  void push_outcome(Dev& d, double severity);
+
+  mutable std::mutex mu_;
+  HealthPolicy policy_;
+  std::vector<Dev> devs_;
+};
+
+}  // namespace ascan::serve

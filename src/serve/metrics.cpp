@@ -183,6 +183,11 @@ MetricsSnapshot MetricsSnapshot::merged(
     out.steals += p.steals;
     out.stolen_requests += p.stolen_requests;
     out.steals_suffered += p.steals_suffered;
+    out.health_transitions += p.health_transitions;
+    out.failovers += p.failovers;
+    out.tiles_resumed += p.tiles_resumed;
+    out.canary_probes += p.canary_probes;
+    out.shed_brownout += p.shed_brownout;
     out.queue_latency.merge(p.queue_latency);
     out.execute_latency.merge(p.execute_latency);
     out.total_latency.merge(p.total_latency);
@@ -225,7 +230,12 @@ std::string MetricsSnapshot::json() const {
      << "  \"cluster\": {\"routed_affinity\":" << routed_affinity
      << ",\"routed_spill\":" << routed_spill << ",\"steals\":" << steals
      << ",\"stolen_requests\":" << stolen_requests
-     << ",\"steals_suffered\":" << steals_suffered << "},\n"
+     << ",\"steals_suffered\":" << steals_suffered
+     << ",\"health_transitions\":" << health_transitions
+     << ",\"failovers\":" << failovers
+     << ",\"tiles_resumed\":" << tiles_resumed
+     << ",\"canary_probes\":" << canary_probes
+     << ",\"shed_brownout\":" << shed_brownout << "},\n"
      << "  \"latency\": {\"queue\":" << queue_latency.json()
      << ",\"execute\":" << execute_latency.json()
      << ",\"total\":" << total_latency.json() << "},\n"

@@ -100,6 +100,19 @@ struct MetricsSnapshot {
   std::uint64_t stolen_requests = 0;  ///< requests those stolen batches held
   std::uint64_t steals_suffered = 0;  ///< formed batches peers took from here
 
+  // --- Cluster: device health and failover (see serve/health.hpp) ------------
+  std::uint64_t health_transitions = 0;  ///< state-machine edges taken
+  /// Requests re-dispatched from a sick device to a healthy sibling —
+  /// both a quarantine's queue drain and mid-launch batch failover.
+  std::uint64_t failovers = 0;
+  /// Failovers that resumed from a nonzero tile checkpoint: the host-side
+  /// carry of the last completed tile seeded the launch on the new device.
+  std::uint64_t tiles_resumed = 0;
+  std::uint64_t canary_probes = 0;  ///< canaries admitted to Probing devices
+  /// Bulk requests shed by brownout admission (healthy capacity below the
+  /// configured fraction). Each is also counted in rejected_capacity.
+  std::uint64_t shed_brownout = 0;
+
   // --- Latency ---------------------------------------------------------------
   LatencyHistogram queue_latency;
   LatencyHistogram execute_latency;
@@ -147,6 +160,12 @@ class Metrics {
   void on_routed_spill() { bump(&MetricsSnapshot::routed_spill); }
   void on_steal_suffered() { bump(&MetricsSnapshot::steals_suffered); }
   void on_steal(std::size_t stolen_request_count);
+
+  void on_health_transition() { bump(&MetricsSnapshot::health_transitions); }
+  void on_failover() { bump(&MetricsSnapshot::failovers); }
+  void on_tiles_resumed() { bump(&MetricsSnapshot::tiles_resumed); }
+  void on_canary_probe() { bump(&MetricsSnapshot::canary_probes); }
+  void on_shed_brownout() { bump(&MetricsSnapshot::shed_brownout); }
 
   void on_completed(OpKind kind, const Timing& t);
   void on_failed(const Timing& t);

@@ -194,6 +194,10 @@ struct Response {
   /// Chunks delivered to this request's on_chunk callback (0 when the
   /// request didn't stream: no callback, Sort, or a stolen batch).
   std::size_t chunks_streamed = 0;
+  /// Device failover provenance: when >= 0, the request's launch faulted
+  /// on this device and the request was resumed elsewhere from its tile
+  /// checkpoint (compare with `device`, the shard that finished it).
+  int resumed_from = -1;
   Timing timing;
 
   bool ok() const { return status == Status::Ok; }

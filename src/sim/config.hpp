@@ -104,6 +104,16 @@ struct MachineConfig {
   /// (0 = disabled). A launch whose simulated clock would pass the deadline
   /// aborts with TimeoutError instead of hanging forever.
   double watchdog_s = 0;
+  /// Launch-shape scaling of the watchdog: the effective deadline is
+  /// watchdog_s + watchdog_scale * T_ref, where T_ref is a serial-work
+  /// estimate of the launch derived from its own trace (total GM bytes at
+  /// effective HBM bandwidth plus total recorded cycles at the nominal
+  /// clock). A flat deadline tuned for small launches misclassifies
+  /// giant-but-healthy launches (many rows x many tiles) as hangs and
+  /// burns their retry budget; scaling grows the headroom with the shape
+  /// while real hangs are still caught (a wedged engine never completes,
+  /// deadline or not). 0 restores the flat pre-scaling deadline.
+  double watchdog_scale = 8.0;
 
   // --- Host execution engine ---------------------------------------------------
   /// Sub-core execution strategy (see ExecutorMode). Runtime-switchable via

@@ -29,6 +29,15 @@ double FaultInjector::u01(std::uint64_t launch, std::uint32_t subcore,
 FaultKind FaultInjector::transfer_fault(std::uint64_t launch,
                                         std::uint32_t subcore,
                                         std::uint32_t ordinal) {
+  if (plan_.persistent_from_launch >= 0 &&
+      launch >= static_cast<std::uint64_t>(plan_.persistent_from_launch) &&
+      ordinal == 0) {
+    // Persistent device death: every sub-core's first transfer fails on
+    // every launch from the configured ordinal on, attempt after attempt.
+    // The earliest such op aborts the launch; marking one per sub-core
+    // keeps the decision independent of which sub-cores carry transfers.
+    return plan_.persistent_kind;
+  }
   if (plan_.force_mte_on_launch >= 0 &&
       launch == static_cast<std::uint64_t>(plan_.force_mte_on_launch)) {
     // Exactly one forced fault: the first transfer queried for that launch.

@@ -75,10 +75,20 @@ struct FaultPlan {
   /// "any single transient fault must be survivable").
   std::int64_t force_mte_on_launch = -1;
 
+  /// When >= 0: the device suffers a *persistent* fault — every launch
+  /// from ordinal `persistent_from_launch` onward fails with
+  /// `persistent_kind` on its first transfer, attempt after attempt. This
+  /// models a device that serves traffic normally and then dies mid-run
+  /// and stays dead (bad HBM stack, wedged DMA ring): retries burn their
+  /// budget without ever succeeding, which is exactly the signal a
+  /// cluster-level health state machine must quarantine on.
+  std::int64_t persistent_from_launch = -1;
+  FaultKind persistent_kind = FaultKind::MteTransient;
+
   bool any() const {
     return mte_transient_rate > 0 || ecc_single_rate > 0 ||
            ecc_double_rate > 0 || hang_rate > 0 || throttle_rate > 0 ||
-           force_mte_on_launch >= 0;
+           force_mte_on_launch >= 0 || persistent_from_launch >= 0;
   }
 
   /// A plan with no faults (the default device behaviour).
@@ -88,6 +98,15 @@ struct FaultPlan {
   static FaultPlan one_transient_mte(std::int64_t launch = 0) {
     FaultPlan p;
     p.force_mte_on_launch = launch;
+    return p;
+  }
+
+  /// A device that dies at launch ordinal `launch` and never recovers.
+  static FaultPlan dead_from_launch(std::int64_t launch,
+                                    FaultKind kind = FaultKind::MteTransient) {
+    FaultPlan p;
+    p.persistent_from_launch = launch;
+    p.persistent_kind = kind;
     return p;
   }
 };

@@ -105,6 +105,7 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline,
   // byte accounting.
   sc.dep_offsets.assign(max_id + 2, 0);
   std::uint32_t max_epoch = 0;
+  double total_cycles = 0;
   for (std::uint32_t s = 0; s < num_subcores; ++s) {
     for (const TraceOp& op : trace.per_subcore[s]) {
       OpState& o = st[op.id];
@@ -125,8 +126,23 @@ Report Scheduler::run(const KernelTrace& trace, Timeline* timeline,
           rep.gm_read_bytes += op.bytes;
         }
       }
+      total_cycles += op.cycles;
       ++rep.num_ops;
     }
+  }
+
+  // Launch-shape watchdog scaling: grow the deadline with a serial-work
+  // estimate of *this* trace so a giant-but-healthy launch is never
+  // misclassified as a hang by a deadline tuned for small ones. Real hangs
+  // are unaffected — a wedged engine never completes, and the t_next >= inf
+  // check below converts it to TimeoutError regardless of the deadline.
+  if (watchdog < kInf && cfg_.watchdog_scale > 0) {
+    const double total_bytes =
+        static_cast<double>(rep.gm_read_bytes + rep.gm_write_bytes);
+    const double t_ref =
+        total_bytes / (cfg_.hbm_bandwidth * cfg_.hbm_efficiency) +
+        cfg_.cycles_to_s(total_cycles);
+    watchdog += cfg_.watchdog_scale * t_ref;
   }
 
   // Dependents and barrier groups in CSR form. Fill order matches the old

@@ -53,8 +53,11 @@ class SchedScratch {
 struct SchedulerFaults {
   /// Fault decisions for this launch; nullptr = fault-free execution.
   FaultInjector* injector = nullptr;
-  /// Absolute simulated-time deadline for the launch; 0 falls back to
-  /// cfg.watchdog_s, and a final value of 0 disables the watchdog.
+  /// Base simulated-time deadline for the launch; 0 falls back to
+  /// cfg.watchdog_s, and a final value of 0 disables the watchdog. The
+  /// effective deadline additionally grows with the launch's own trace
+  /// shape (cfg.watchdog_scale), so one flat constant cannot misclassify
+  /// giant-but-healthy launches as hangs.
   double watchdog_s = 0;
 };
 

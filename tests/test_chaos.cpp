@@ -414,6 +414,113 @@ TEST(Chaos, ClusterShutdownNeverWedgesWhileADeviceHangs) {
   EXPECT_EQ(cluster.device(1).device_stats().op_failures, 0u);
 }
 
+TEST(Chaos, ClusterQuarantinesDeadDeviceAndResumesFromTileCheckpoints) {
+  using namespace ascan::serve;
+  // The acceptance scenario of the device-health tentpole: a device serves
+  // traffic normally, then dies mid-run and stays dead (persistent fault
+  // from launch ordinal 2 onward). The cluster must degrade -> quarantine
+  // it, fail its in-flight batches over to siblings — resuming from the
+  // tile checkpoints stashed at the fault — and complete *every* submitted
+  // request bit-exact with the unfaulted single-device run.
+  constexpr std::size_t kReqs = 32;
+  constexpr std::size_t kN = 2048;  // 8 tile columns of 16x16 per row
+  ascan::Session ref(chaos_cfg());
+  std::vector<std::vector<half>> inputs;
+  std::vector<std::vector<half>> want;
+  for (std::size_t i = 0; i < kReqs; ++i) {
+    auto x = testing::exact_scan_workload(kN, 900 + i);
+    want.push_back(ref.cumsum_batched(x, 1, kN, 16).values);
+    inputs.push_back(std::move(x));
+  }
+
+  // Every request shares one GroupKey; the device we kill is its affinity
+  // target, so the whole backlog sits on the dying device when it dies.
+  const int bad = static_cast<int>(
+      group_key_hash(group_key(Request::cumsum(inputs[0], 16))) % 4);
+  std::vector<sim::FaultPlan> plans(4);
+  plans[static_cast<std::size_t>(bad)] = sim::FaultPlan::dead_from_launch(2);
+
+  HealthPolicy hp;
+  hp.window = 4;
+  hp.min_samples = 1;           // degrade on the 1st fault, quarantine on 2nd
+  hp.quarantine_hold_s = 3600;  // never readmitted within the test
+  Cluster cluster({.policy = {.max_batch = 4, .max_wait_s = 100e-6},
+                   .num_devices = 4,
+                   .max_queue = 512,
+                   .machine = chaos_cfg(),
+                   .retry = {.max_attempts = 2, .backoff_s = 1e-6},
+                   .device_fault_plans = plans,
+                   .work_stealing = false,
+                   .spill_margin = 1 << 20,  // pin the key to `bad`
+                   .health = hp});
+  std::vector<std::future<Response>> futs;
+  futs.reserve(kReqs);
+  for (const auto& x : inputs) {
+    futs.push_back(
+        cluster.submit(Request::cumsum(x, 16, false, Priority::Bulk)));
+  }
+  std::size_t resumed_elsewhere = 0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const auto r = futs[i].get();
+    ASSERT_EQ(r.status, Status::Ok) << "case " << i << ": " << r.reason;
+    ASSERT_EQ(r.values_f16.size(), want[i].size()) << "case " << i;
+    for (std::size_t j = 0; j < want[i].size(); ++j) {
+      ASSERT_EQ(static_cast<float>(r.values_f16[j]),
+                static_cast<float>(want[i][j]))
+          << "case " << i << " index " << j << " device " << r.device
+          << " resumed_from " << r.resumed_from;
+    }
+    if (r.resumed_from >= 0) {
+      // Failover provenance: the launch faulted on the dead device and the
+      // request finished on a different (healthy) one.
+      EXPECT_EQ(r.resumed_from, bad) << "case " << i;
+      EXPECT_NE(r.device, bad) << "case " << i;
+      ++resumed_elsewhere;
+    }
+  }
+  cluster.shutdown(ShutdownMode::Drain);
+  EXPECT_EQ(cluster.device_health(bad), HealthState::Quarantined);
+  for (int d = 0; d < 4; ++d) {
+    if (d != bad) EXPECT_EQ(cluster.device_health(d), HealthState::Healthy);
+  }
+  const auto m = cluster.metrics();
+  EXPECT_EQ(m.admitted, m.completed);  // every admitted request finished Ok
+  EXPECT_EQ(m.failed + m.cancelled, 0u);
+  EXPECT_GE(m.failovers, 1u);
+  EXPECT_GE(m.tiles_resumed, 1u)
+      << "no in-flight batch resumed from a tile checkpoint";
+  EXPECT_GE(resumed_elsewhere, 1u);
+  EXPECT_GE(m.health_transitions, 2u);  // Healthy -> Degraded -> Quarantined
+  EXPECT_EQ(m.shed_brownout, 0u);       // 3/4 healthy is above the floor
+  RecordProperty("failovers", static_cast<int>(m.failovers));
+  RecordProperty("tiles_resumed", static_cast<int>(m.tiles_resumed));
+}
+
+TEST(Chaos, WatchdogDeadlineScalesWithLaunchShape) {
+  // The watchdog deadline must grow with the launch's own serial-work
+  // estimate: a flat deadline tuned for small launches would misclassify a
+  // giant-but-healthy launch as a hang. With scaling disabled the big
+  // launch trips the flat deadline mid-run; with the default scale the
+  // same launch completes bit-exact.
+  const auto x = testing::exact_scan_workload(1 << 20, 33);
+  ascan::Session probe(chaos_cfg());
+  const auto ref = probe.cumsum(x);
+  ASSERT_GT(ref.report.time_s, 0.0);
+
+  auto cfg = chaos_cfg();
+  cfg.watchdog_s = ref.report.time_s / 8;  // below the launch's own runtime
+  cfg.watchdog_scale = 0;                  // flat deadline: misclassified
+  ascan::Session flat(cfg);
+  EXPECT_THROW(flat.cumsum(x), sim::TimeoutError);
+
+  cfg.watchdog_scale = 8.0;  // deadline grows with the launch shape
+  ascan::Session scaled(cfg);
+  const auto got = scaled.cumsum(x);
+  EXPECT_EQ(got.values, ref.values);
+  EXPECT_EQ(got.report.hangs, 0u);
+  EXPECT_EQ(got.report.retries, 0u);
+}
+
 TEST(Chaos, ThrottledStragglersOnlyStretchTime) {
   const auto x = testing::exact_scan_workload(2048, 15);
   ascan::Session clean(chaos_cfg());

@@ -5,9 +5,12 @@
 // device-parallel shutdown, per-device metrics shards) is exercised and
 // asserted directly.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -466,6 +469,238 @@ TEST(ServeCluster, PerDeviceAndMergedMetricsAgree) {
        {"\"merged\"", "\"devices\"", "\"cluster\"", "\"routed_affinity\"",
         "\"steals\"", "\"admission\"", "\"latency\"", "\"simulated\""}) {
     EXPECT_NE(j.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Device health: the per-device state machine (serve/health.hpp), brownout
+// shedding, half-open readmission, and shutdown racing a quarantine drain.
+
+TEST(ServeClusterHealth, HealthMonitorWalksTheStateMachine) {
+  HealthPolicy hp;
+  hp.window = 4;
+  hp.min_samples = 2;
+  hp.quarantine_hold_s = 0;  // promote on the very next tick
+  hp.canary_batches = 2;
+  HealthMonitor mon(2, hp);
+  EXPECT_EQ(mon.state(0), HealthState::Healthy);
+  EXPECT_TRUE(mon.placeable(0));
+  EXPECT_EQ(mon.placeable_count(), 2u);
+
+  // Clean traffic never transitions; a retried success scores retry_weight.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(mon.record(0, false, 0).has_value());
+  EXPECT_EQ(mon.score(0), 0.0);
+  EXPECT_FALSE(mon.record(1, false, 3).has_value());
+  EXPECT_EQ(mon.score(1), hp.retry_weight);
+
+  // Faults walk Healthy -> Degraded -> Quarantined (two records: one fault
+  // in the window of 4 cleans is exactly the degraded threshold, two are
+  // the quarantine threshold).
+  auto t1 = mon.record(0, true, 0);
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ(t1->from, HealthState::Healthy);
+  EXPECT_EQ(t1->to, HealthState::Degraded);
+  EXPECT_TRUE(mon.placeable(0));  // degraded still takes traffic
+  auto t2 = mon.record(0, true, 0);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(t2->to, HealthState::Quarantined);
+  EXPECT_FALSE(mon.placeable(0));
+  EXPECT_EQ(mon.placeable_count(), 1u);
+  EXPECT_FALSE(mon.try_admit_canary(0));  // not probing yet
+
+  // Hold elapses -> Probing, with a bounded canary budget.
+  std::vector<HealthTransition> promoted;
+  mon.tick(&promoted);
+  ASSERT_EQ(promoted.size(), 1u);
+  EXPECT_EQ(promoted[0].device, 0);
+  EXPECT_EQ(promoted[0].to, HealthState::Probing);
+  EXPECT_FALSE(mon.placeable(0));  // probing is canaries-only
+  EXPECT_TRUE(mon.try_admit_canary(0));
+  EXPECT_TRUE(mon.try_admit_canary(0));
+  EXPECT_FALSE(mon.try_admit_canary(0));  // budget of 2 exhausted
+
+  // A faulting canary re-quarantines; clean canaries readmit with a reset
+  // window (stale quarantine-era faults must not re-degrade instantly).
+  auto t3 = mon.record(0, true, 0);
+  ASSERT_TRUE(t3.has_value());
+  EXPECT_EQ(t3->to, HealthState::Quarantined);
+  mon.tick(nullptr);
+  ASSERT_TRUE(mon.try_admit_canary(0));
+  EXPECT_FALSE(mon.record(0, false, 0).has_value());  // 1 of 2 clean
+  ASSERT_TRUE(mon.try_admit_canary(0));
+  auto t4 = mon.record(0, false, 0);
+  ASSERT_TRUE(t4.has_value());
+  EXPECT_EQ(t4->from, HealthState::Probing);
+  EXPECT_EQ(t4->to, HealthState::Healthy);
+  EXPECT_EQ(mon.score(0), 0.0);  // clean slate
+  EXPECT_EQ(mon.placeable_count(), 2u);
+}
+
+TEST(ServeClusterHealth, BrownoutShedsBulkAndKeepsInteractiveLane) {
+  using sim::FaultPlan;
+  const auto x = exact_scan_workload(256, 41);
+  // With 2 devices and a 0.75 floor, losing one device browns the cluster
+  // out. The key's affinity target is the device we kill.
+  const int bad =
+      static_cast<int>(group_key_hash(group_key(Request::cumsum(x))) % 2);
+  std::vector<FaultPlan> plans(2);
+  plans[static_cast<std::size_t>(bad)] = FaultPlan::dead_from_launch(0);
+  HealthPolicy hp;
+  hp.window = 4;
+  hp.min_samples = 1;
+  hp.quarantine_hold_s = 3600;  // stays quarantined for the whole test
+  Cluster cluster({.policy = {.max_batch = 4, .max_wait_s = 50e-6},
+                   .num_devices = 2,
+                   .retry = {.max_attempts = 2, .backoff_s = 1e-6},
+                   .device_fault_plans = plans,
+                   .work_stealing = false,
+                   .spill_margin = 1 << 20,
+                   .health = hp,
+                   .brownout_min_healthy = 0.75});
+  EXPECT_FALSE(cluster.in_brownout());
+
+  // Two faulted launches quarantine the bad device; both requests still
+  // complete via failover to the healthy sibling.
+  for (int i = 0; i < 2; ++i) {
+    const auto r = cluster.submit(Request::cumsum(x)).get();
+    ASSERT_TRUE(r.ok()) << r.reason;
+    EXPECT_NE(r.device, bad);
+  }
+  ASSERT_EQ(cluster.device_health(bad), HealthState::Quarantined);
+  ASSERT_TRUE(cluster.in_brownout());
+
+  // Brownout: bulk work is shed with a typed reason; the interactive lane
+  // keeps serving on the surviving device.
+  const auto bulk =
+      cluster.submit(Request::cumsum(x, 128, false, Priority::Bulk)).get();
+  EXPECT_EQ(bulk.status, Status::Rejected);
+  EXPECT_NE(bulk.reason.find("brownout"), std::string::npos) << bulk.reason;
+  const auto inter = cluster.submit(Request::cumsum(x)).get();
+  EXPECT_TRUE(inter.ok()) << inter.reason;
+  EXPECT_NE(inter.device, bad);
+
+  cluster.shutdown(ShutdownMode::Drain);
+  const auto m = cluster.metrics();
+  EXPECT_GE(m.shed_brownout, 1u);
+  EXPECT_GE(m.failovers, 1u);
+  EXPECT_GE(m.health_transitions, 2u);
+  // Shed requests are capacity rejections too (one admission accounting).
+  EXPECT_GE(m.rejected_capacity, m.shed_brownout);
+  // The JSON surfaces both the counters and the live per-device states.
+  const std::string j = cluster.metrics_json();
+  for (const char* key : {"\"health\"", "\"quarantined\"", "\"failovers\"",
+                          "\"tiles_resumed\"", "\"shed_brownout\"",
+                          "\"canary_probes\"", "\"health_transitions\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(ServeClusterHealth, ProbingCanaryRefaultsAndRequarantines) {
+  using sim::FaultPlan;
+  const auto x = exact_scan_workload(256, 43);
+  const int bad =
+      static_cast<int>(group_key_hash(group_key(Request::cumsum(x))) % 2);
+  std::vector<FaultPlan> plans(2);
+  plans[static_cast<std::size_t>(bad)] = FaultPlan::dead_from_launch(0);
+  HealthPolicy hp;
+  hp.window = 4;
+  hp.min_samples = 1;
+  hp.quarantine_hold_s = 1e-3;  // readmission attempt almost immediately
+  hp.canary_batches = 1;
+  Cluster cluster({.policy = {.max_batch = 4, .max_wait_s = 50e-6},
+                   .num_devices = 2,
+                   .retry = {.max_attempts = 2, .backoff_s = 1e-6},
+                   .device_fault_plans = plans,
+                   .work_stealing = false,
+                   .spill_margin = 1 << 20,
+                   .health = hp});
+  for (int i = 0; i < 2; ++i) {
+    const auto r = cluster.submit(Request::cumsum(x)).get();
+    ASSERT_TRUE(r.ok()) << r.reason;
+  }
+  ASSERT_EQ(cluster.device_health(bad), HealthState::Quarantined);
+
+  // After the hold the next submit is routed to the probing device as a
+  // canary; the canary faults on the still-dead device, the device goes
+  // straight back to quarantine, and the request itself still completes
+  // via failover.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto r = cluster.submit(Request::cumsum(x)).get();
+  EXPECT_TRUE(r.ok()) << r.reason;
+  EXPECT_EQ(r.resumed_from, bad);
+  EXPECT_NE(r.device, bad);
+  EXPECT_EQ(cluster.device_health(bad), HealthState::Quarantined);
+  cluster.shutdown(ShutdownMode::Drain);
+  const auto m = cluster.metrics();
+  EXPECT_GE(m.canary_probes, 1u);
+  EXPECT_GE(m.failovers, 2u);
+  // Quarantine -> Probing -> Quarantine on top of the initial two.
+  EXPECT_GE(m.health_transitions, 4u);
+}
+
+TEST(ServeClusterHealth, ShutdownRacingQuarantineDrainResolvesEveryFuture) {
+  using sim::FaultPlan;
+  // Shutdown races failover and the quarantine drain: submitter threads
+  // flood the cluster while the affinity device is dying and the main
+  // thread cancels mid-stream. Whatever interleaving results, every future
+  // must resolve with a terminal status — never a dangling future.
+  const auto x = exact_scan_workload(512, 47);
+  const int bad =
+      static_cast<int>(group_key_hash(group_key(Request::cumsum(x))) % 4);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<FaultPlan> plans(4);
+    plans[static_cast<std::size_t>(bad)] = FaultPlan::dead_from_launch(0);
+    HealthPolicy hp;
+    hp.window = 4;
+    hp.min_samples = 1;
+    hp.quarantine_hold_s = round == 0 ? 1e-4 : 3600;  // race probing too
+    auto cluster = std::make_unique<Cluster>(
+        ClusterOptions{.policy = {.max_batch = 4, .max_wait_s = 50e-6},
+                       .num_devices = 4,
+                       .max_queue = 1024,
+                       .retry = {.max_attempts = 2, .backoff_s = 1e-6},
+                       .device_fault_plans = plans,
+                       .steal_min_backlog = 4,
+                       .spill_margin = 1 << 20,
+                       .health = hp});
+    constexpr std::size_t kReqs = 96;
+    std::vector<std::future<Response>> futs(kReqs);
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c) {
+      clients.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < kReqs;
+             i = next.fetch_add(1)) {
+          futs[i] = cluster->submit(Request::cumsum(
+              x, 128, false, i % 3 ? Priority::Bulk : Priority::Interactive));
+        }
+      });
+    }
+    // Let the flood meet the dying device, then shut down mid-drain.
+    while (next.load() < kReqs / 2) std::this_thread::yield();
+    cluster->shutdown(round == 2 ? ShutdownMode::Drain
+                                 : ShutdownMode::Cancel);
+    for (auto& t : clients) t.join();
+    std::size_t ok = 0, terminal = 0;
+    for (auto& f : futs) {
+      ASSERT_TRUE(f.valid());
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(10)),
+                std::future_status::ready)
+          << "round " << round << ": dangling future";
+      const auto r = f.get();
+      ASSERT_TRUE(r.status == Status::Ok || r.status == Status::Failed ||
+                  r.status == Status::Cancelled ||
+                  r.status == Status::Rejected)
+          << "round " << round << ": " << status_name(r.status);
+      ++terminal;
+      if (r.ok()) ++ok;
+    }
+    EXPECT_EQ(terminal, kReqs);
+    EXPECT_GT(ok, 0u) << "round " << round << ": nothing completed";
+    // Post-shutdown metrics balance: everything admitted is accounted for.
+    const auto m = cluster->metrics();
+    EXPECT_EQ(m.admitted, m.completed + m.failed + m.cancelled)
+        << "round " << round;
   }
 }
 

@@ -15,7 +15,10 @@
 //   ascan_cli cluster-demo [--devices 4] [--requests 96] [--clients 4]
 //                          [--batch 8] [--wait-us 200] [--queue 512]
 //                          [--no-steal]
+//   ascan_cli health-demo [--devices 4] [--requests 160] [--clients 4]
+//                         [--batch 4] [--hold-us 1500] [--dead-launch 4]
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <iostream>
@@ -500,6 +503,117 @@ int cmd_cluster_demo(const Args& a) {
   return 0;
 }
 
+// Health demo: one device of the cluster dies mid-run under a seeded
+// persistent fault. A monitor thread tails the per-device health states and
+// prints a row every time the vector changes — the state machine walking
+// Healthy -> Degraded -> Quarantined -> Probing (canary) and, because the
+// fault is persistent, back to Quarantined — while clients keep submitting
+// and every request still completes via tile-checkpoint failover.
+int cmd_health_demo(const Args& a) {
+  const std::size_t requests = a.num("requests", 160);
+  const int clients = static_cast<int>(a.num("clients", 4));
+  const int devices = static_cast<int>(a.num("devices", 4));
+  const std::size_t batch = a.num("batch", 4);
+  const double hold_us = a.real("hold-us", 1500.0);
+  const std::size_t dead_launch = a.num("dead-launch", 4);
+
+  using namespace ascan::serve;
+  // The workload: 2048 elements at tile 16 — eight stepwise launches per
+  // batch, so a faulted batch resumes from a mid-scan tile checkpoint. Its
+  // affinity device is the victim, guaranteeing it a share of the load.
+  constexpr std::size_t kN = 2048, kTile = 16;
+  const int bad = static_cast<int>(
+      group_key_hash(group_key(Request::cumsum(std::vector<half>(kN), kTile,
+                                               false, Priority::Bulk))) %
+      static_cast<std::size_t>(devices));
+  std::vector<sim::FaultPlan> plans(static_cast<std::size_t>(devices));
+  plans[static_cast<std::size_t>(bad)] =
+      sim::FaultPlan::dead_from_launch(dead_launch);
+  HealthPolicy hp;
+  hp.window = 8;
+  hp.min_samples = 1;  // fail over on the first fault
+  hp.quarantine_hold_s = hold_us * 1e-6;
+  hp.canary_batches = 1;
+  Cluster cluster({.policy = {.max_batch = batch, .max_wait_s = 100e-6},
+                   .num_devices = devices,
+                   .max_queue = 1024,
+                   .retry = {.max_attempts = 2, .backoff_s = 1e-6},
+                   .device_fault_plans = plans,
+                   .work_stealing = false,
+                   .spill_margin = 1u << 20,
+                   .health = hp});
+  std::printf("health-demo: %zu requests, %d clients, %d devices; device %d "
+              "dies from launch %zu on (persistent fault), quarantine hold "
+              "%.0f us\n\n",
+              requests, clients, devices, bad, dead_launch, hold_us);
+
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto last = cluster.health_states();
+    const auto print_row = [&](const std::vector<HealthState>& st) {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      std::string line;
+      for (std::size_t d = 0; d < st.size(); ++d) {
+        line += "  d" + std::to_string(d) + "=" + health_state_name(st[d]);
+      }
+      const auto m = cluster.metrics();
+      std::printf("[%8.2f ms]%s  | failovers %llu, tile-resumes %llu, "
+                  "canaries %llu, transitions %llu\n",
+                  ms, line.c_str(),
+                  static_cast<unsigned long long>(m.failovers),
+                  static_cast<unsigned long long>(m.tiles_resumed),
+                  static_cast<unsigned long long>(m.canary_probes),
+                  static_cast<unsigned long long>(m.health_transitions));
+      std::fflush(stdout);
+    };
+    print_row(last);
+    while (!done.load()) {
+      auto cur = cluster.health_states();
+      if (cur != last) {
+        print_row(cur);
+        last = cur;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    const auto cur = cluster.health_states();
+    if (cur != last) print_row(cur);
+  });
+
+  std::atomic<std::size_t> next{0}, ok{0}, resumed{0}, other{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t i = next.fetch_add(1); i < requests;
+           i = next.fetch_add(1)) {
+        Rng rng(42 + i);
+        std::vector<half> x(kN);
+        for (auto& v : x) v = half(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+        const auto r = cluster
+                           .submit(Request::cumsum(std::move(x), kTile, false,
+                                                   Priority::Bulk))
+                           .get();
+        if (r.ok()) ok++;
+        else other++;
+        if (r.resumed_from >= 0) resumed++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  done.store(true);
+  monitor.join();
+  cluster.shutdown(ShutdownMode::Drain);
+
+  const auto m = cluster.metrics();
+  std::printf("\n%zu/%zu requests ok (%zu finished on another device after "
+              "their first device faulted, %zu not ok)\n",
+              ok.load(), requests, resumed.load(), other.load());
+  std::printf("\nmetrics:\n%s\n", cluster.metrics_json().c_str());
+  return m.failed == 0 && other.load() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -513,17 +627,18 @@ int main(int argc, char** argv) {
     if (a.command == "chaos") return cmd_chaos(a);
     if (a.command == "serve-demo") return cmd_serve_demo(a);
     if (a.command == "cluster-demo") return cmd_cluster_demo(a);
+    if (a.command == "health-demo") return cmd_health_demo(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   std::fprintf(stderr,
                "usage: ascan_cli info|scan|sort|topp|reduce|chaos|serve-demo"
-               "|cluster-demo "
+               "|cluster-demo|health-demo "
                "[--n N] [--algo A] [--s S] [--blocks B] [--p P] [--u U] "
                "[--baseline] [--trace FILE] [--plans P] [--seed0 S] "
                "[--retries R] [--exclusions E] [--requests N] [--clients C] "
                "[--batch B] [--wait-us W] [--queue Q] [--devices D] "
-               "[--no-steal]\n");
+               "[--no-steal] [--hold-us H] [--dead-launch L]\n");
   return 2;
 }

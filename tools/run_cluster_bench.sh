@@ -6,10 +6,12 @@
 #   tools/run_cluster_bench.sh [build-dir] [extra bench_cluster flags...]
 #
 # The bench measures 4-device capacity scaling against a single-device
-# engine (in simulated device time — see the "note" field in the JSON) and
-# the hot-key-burst tail-latency cut from cross-device work stealing. The
-# saturating batched wall-clock rate from BENCH_serve.json, when present,
-# is passed along as --ref-rps for context.
+# engine (in simulated device time — see the "note" field in the JSON), the
+# hot-key-burst tail-latency cut from cross-device work stealing, and the
+# chaos scenario (a persistent fault kills one device mid-run: availability,
+# failover latency, and p99 before/during/after quarantine). The saturating
+# batched wall-clock rate from BENCH_serve.json, when present, is passed
+# along as --ref-rps for context.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -38,7 +40,7 @@ print(data.get("headline", {}).get("batched_rps", 0))
 fi
 
 out_json="$repo_root/BENCH_cluster.json"
-"$bench_bin" --json "$out_json" "${ref_args[@]}" "$@"
+"$bench_bin" --json "$out_json" --chaos "${ref_args[@]}" "$@"
 
 echo
 echo "Wrote $out_json"
@@ -61,5 +63,14 @@ if b:
           f"{b['affinity_only']['bulk_p99_us']:.0f} us -> "
           f"{b['work_stealing']['bulk_p99_us']:.0f} us "
           f"({b['p99_improvement']:.2f}x)")
+c = data.get("chaos", {})
+if c:
+    ph = c["phases"]
+    print(f"chaos: device {c['bad_device']} died mid-run, availability "
+          f"{c['availability']:.4f}, {c['failovers']} failovers, "
+          f"{c['tiles_resumed']} tile resumes; p99 us "
+          f"before {ph['before_quarantine']['p99_us']:.0f} / "
+          f"during {ph['during_failover']['p99_us']:.0f} / "
+          f"after {ph['after_quarantine']['p99_us']:.0f}")
 EOF
 fi
