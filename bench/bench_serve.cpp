@@ -11,12 +11,26 @@
 // Headlines: time-to-first-chunk is a fraction of the full-response
 // latency, and continuation admission cuts the interactive queue wait.
 //
-//   bench_serve [--quick] [--stream] [--json PATH]
+// A third scenario measures the SLO / preemption path: saturating bulk
+// load (long multi-step cumsum launches) against deadline-bearing
+// interactive traffic of a different GroupKey, once with tile-boundary
+// preemption on and once off. Headline: preemption strictly lowers the
+// interactive deadline-miss rate and p99 at the same offered load.
+//
+//   bench_serve [--quick] [--stream] [--slo] [--json PATH]
+//   bench_serve --slo-stress SECONDS [--seed S]
 //
 // --stream runs only the streaming scenario (the perf_smoke_stream test).
+// --slo runs only the SLO / preemption scenario.
+// --slo-stress runs a seeded randomized deadline/tier/preemption soak for
+// SECONDS wall seconds and exits nonzero on any invariant violation (CI
+// runs this for 30 s per push).
 // --json writes the full sweep as one JSON object (tools/run_serve_bench.sh
 // puts it at BENCH_serve.json).
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -211,9 +225,231 @@ std::string stream_json(const std::vector<StreamResult>& runs) {
   return os.str();
 }
 
+// ---------------------------------------------------------------------------
+// SLO / preemption scenario.
+
+struct SloResult {
+  std::string mode;  ///< "preemption" | "no_preemption"
+  std::uint64_t interactive_requests = 0;
+  std::uint64_t deadline_misses = 0;
+  double miss_rate = 0;
+  double interactive_p50_us = 0, interactive_p99_us = 0;
+  double bulk_mean_us = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t preempted_tiles_resumed = 0;
+};
+
+double percentile_of(std::vector<double>& v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(q * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+/// Saturating bulk load — long multi-step cumsum launches (tile 16) kept
+/// continuously in flight by closed-loop bulk clients — against
+/// interactive clients submitting short gold-tier rows of a *different*
+/// GroupKey (tile 64) with a per-request deadline. The only difference
+/// between the two modes is BatchPolicy::preemption: with it on, a queued
+/// interactive deadline parks the bulk launch at the next tile boundary
+/// instead of waiting out its remaining steps.
+SloResult run_slo_scenario(bool preemption, double deadline_s,
+                           int bulk_clients, int inter_clients,
+                           std::uint64_t bulk_per, std::uint64_t inter_per) {
+  constexpr std::size_t kTile = 16;
+  constexpr std::size_t kBulkLen = kTile * kTile * 48;  // 48 tile boundaries
+  constexpr std::size_t kInterLen = 256;  // tile 64: one step, distinct key
+  // Aging limit far above the deadline scale: the scenario measures the
+  // preemption lever in isolation (the no-starvation interplay is pinned
+  // by tests/test_slo.cpp).
+  Engine engine({.policy = {.max_batch = 4,
+                            .max_wait_s = 100e-6,
+                            .aging_factor = 1e6,
+                            .preemption = preemption,
+                            .preempt_slack_s = deadline_s}});
+  std::mutex mu;
+  std::vector<double> inter_lat;
+  double bulk_sum = 0;
+  std::uint64_t misses = 0;
+
+  const auto fill = [](Rng& rng, std::size_t n) {
+    std::vector<ascan::half> x(n);
+    for (auto& v : x) v = ascan::half(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+    return x;
+  };
+  std::vector<std::thread> threads;
+  for (int c = 0; c < bulk_clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(1500 + static_cast<std::uint64_t>(c));
+      for (std::uint64_t i = 0; i < bulk_per; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        engine
+            .submit(Request::cumsum(fill(rng, kBulkLen), kTile, false,
+                                    Priority::Bulk))
+            .get();
+        const double total = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+        std::lock_guard<std::mutex> lk(mu);
+        bulk_sum += total;
+      }
+    });
+  }
+  for (int c = 0; c < inter_clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(1900 + static_cast<std::uint64_t>(c));
+      for (std::uint64_t i = 0; i < inter_per; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto resp =
+            engine
+                .submit(Request::cumsum(fill(rng, kInterLen), 64)
+                            .with_slo(SloTier::Gold, deadline_s))
+                .get();
+        const double total = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+        std::lock_guard<std::mutex> lk(mu);
+        inter_lat.push_back(total);
+        if (resp.deadline_missed) ++misses;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.shutdown(ShutdownMode::Drain);
+
+  const auto m = engine.metrics();
+  SloResult r;
+  r.mode = preemption ? "preemption" : "no_preemption";
+  r.interactive_requests = inter_lat.size();
+  r.deadline_misses = misses;
+  r.miss_rate = inter_lat.empty()
+                    ? 0
+                    : static_cast<double>(misses) /
+                          static_cast<double>(inter_lat.size());
+  r.interactive_p50_us = percentile_of(inter_lat, 0.50) * 1e6;
+  r.interactive_p99_us = percentile_of(inter_lat, 0.99) * 1e6;
+  const auto bulk_total =
+      static_cast<double>(bulk_clients) * static_cast<double>(bulk_per);
+  r.bulk_mean_us = bulk_total > 0 ? bulk_sum / bulk_total * 1e6 : 0;
+  r.preemptions = m.preemptions;
+  r.preempted_tiles_resumed = m.preempted_tiles_resumed;
+  return r;
+}
+
+/// One uncontended long bulk launch, to scale the scenario deadline to
+/// whatever this host actually simulates the launch at.
+double calibrate_bulk_wall_s() {
+  Engine engine({.policy = {.max_batch = 1, .max_wait_s = 0}});
+  Rng rng(7);
+  std::vector<ascan::half> x(16 * 16 * 48);
+  for (auto& v : x) v = ascan::half(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.submit(Request::cumsum(std::move(x), 16, false, Priority::Bulk))
+      .get();
+  const double w = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  engine.shutdown(ShutdownMode::Drain);
+  return w;
+}
+
+std::string slo_json(const std::vector<SloResult>& runs, double deadline_s) {
+  std::ostringstream os;
+  os << "  \"slo\": {\n"
+     << "    \"workload\": \"bulk cumsum rows of 12288 fp16 elements "
+        "(tile 16, 48 boundaries) + gold-tier 256-element rows, distinct "
+        "GroupKey\",\n"
+     << "    \"deadline_us\": " << deadline_s * 1e6 << ",\n"
+     << "    \"modes\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    os << "      {\"mode\": \"" << r.mode
+       << "\", \"interactive_requests\": " << r.interactive_requests
+       << ", \"deadline_misses\": " << r.deadline_misses
+       << ", \"miss_rate\": " << r.miss_rate
+       << ", \"interactive_p50_us\": " << r.interactive_p50_us
+       << ", \"interactive_p99_us\": " << r.interactive_p99_us
+       << ", \"bulk_mean_us\": " << r.bulk_mean_us
+       << ", \"preemptions\": " << r.preemptions
+       << ", \"preempted_tiles_resumed\": " << r.preempted_tiles_resumed
+       << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Seeded SLO soak (CI): randomized tiers, deadlines and lengths under
+// full preemption for a fixed wall duration. Every future must resolve
+// Ok; the process exits nonzero on any violation.
+
+int run_slo_stress(double seconds, std::uint64_t seed) {
+  std::printf("slo stress: %.0f s, seed %llu\n", seconds,
+              static_cast<unsigned long long>(seed));
+  Engine engine({.policy = {.max_batch = 4,
+                            .max_wait_s = 100e-6,
+                            .aging_factor = 16.0,
+                            .preempt_slack_s = 0},  // adaptive horizon
+                 .max_queue = 512});
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<bool> violated{false};
+  const auto t_end =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 6; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(seed * 1000003ull + static_cast<std::uint64_t>(c));
+      while (std::chrono::steady_clock::now() < t_end) {
+        Request r = [&] {
+          if (rng.bernoulli(0.3)) {  // long preemptible bulk launch
+            const std::size_t n = 16 * 16 * (8 + rng.next_below(40));
+            std::vector<ascan::half> x(n);
+            for (auto& v : x) v = ascan::half(rng.bernoulli(0.5) ? 1.f : 0.f);
+            return Request::cumsum(std::move(x), 16, false, Priority::Bulk);
+          }
+          std::vector<ascan::half> x(64 + 64 * rng.next_below(8));
+          for (auto& v : x) v = ascan::half(rng.bernoulli(0.5) ? 1.f : 0.f);
+          return Request::cumsum(std::move(x), 64);
+        }();
+        if (rng.bernoulli(0.7)) {
+          const auto tier = static_cast<SloTier>(rng.next_below(3));
+          r.with_slo(tier, 100e-6 * static_cast<double>(1 + rng.next_below(50)));
+        }
+        const auto resp = engine.submit(std::move(r)).get();
+        if (!resp.ok()) {
+          std::fprintf(stderr, "slo stress: request failed: %s\n",
+                       resp.reason.c_str());
+          violated.store(true);
+          return;
+        }
+        served.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.shutdown(ShutdownMode::Drain);
+  const auto m = engine.metrics();
+  std::printf("slo stress: served %llu (misses %llu, preemptions %llu, "
+              "parked tiles resumed %llu)\n",
+              static_cast<unsigned long long>(served.load()),
+              static_cast<unsigned long long>(m.deadline_misses),
+              static_cast<unsigned long long>(m.preemptions),
+              static_cast<unsigned long long>(m.preempted_tiles_resumed));
+  if (m.admitted != m.completed) {
+    std::fprintf(stderr, "slo stress: admitted %llu != completed %llu\n",
+                 static_cast<unsigned long long>(m.admitted),
+                 static_cast<unsigned long long>(m.completed));
+    violated.store(true);
+  }
+  return violated.load() ? 1 : 0;
+}
+
 std::string to_json(const std::vector<RunResult>& runs, double no_batching_rps,
                     double batched_rps,
-                    const std::vector<StreamResult>& stream_runs) {
+                    const std::vector<StreamResult>& stream_runs,
+                    const std::vector<SloResult>& slo_runs,
+                    double slo_deadline_s) {
   std::ostringstream os;
   os << "{\n  \"bench\": \"serve_closed_loop\",\n"
      << "  \"machine\": \"simulated Ascend 910B4\",\n"
@@ -232,7 +468,8 @@ std::string to_json(const std::vector<RunResult>& runs, double no_batching_rps,
   os << "  ],\n  \"headline\": {\"no_batching_rps\": " << no_batching_rps
      << ", \"batched_rps\": " << batched_rps << ", \"ratio\": "
      << (no_batching_rps > 0 ? batched_rps / no_batching_rps : 0) << "},\n"
-     << stream_json(stream_runs) << "\n}\n";
+     << stream_json(stream_runs) << ",\n"
+     << slo_json(slo_runs, slo_deadline_s) << "\n}\n";
   return os.str();
 }
 
@@ -242,12 +479,23 @@ int main(int argc, char** argv) {
   const auto args = BenchArgs::parse(argc, argv);
   std::string json_path;
   bool stream_only = false;
+  bool slo_only = false;
+  double stress_seconds = 0;
+  std::uint64_t stress_seed = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[i + 1];
     }
     if (std::string(argv[i]) == "--stream") stream_only = true;
+    if (std::string(argv[i]) == "--slo") slo_only = true;
+    if (std::string(argv[i]) == "--slo-stress" && i + 1 < argc) {
+      stress_seconds = std::atof(argv[i + 1]);
+    }
+    if (std::string(argv[i]) == "--seed" && i + 1 < argc) {
+      stress_seed = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    }
   }
+  if (stress_seconds > 0) return run_slo_stress(stress_seconds, stress_seed);
 
   std::vector<StreamResult> stream_runs;
   const auto run_streaming = [&] {
@@ -279,8 +527,50 @@ int main(int argc, char** argv) {
                 bound.interactive_queue_us, cont.interactive_queue_us);
   };
 
+  std::vector<SloResult> slo_runs;
+  double slo_deadline_s = 0;
+  const auto run_slo = [&] {
+    print_header("SLO tiers / tile-boundary preemption",
+                 "saturating bulk load vs gold-tier deadline traffic");
+    // Scale the deadline to this host: a third of one uncontended bulk
+    // launch. Without preemption an interactive arrival mid-launch waits
+    // out the remaining steps and blows through it; with preemption it
+    // waits at most one tile step.
+    const double bulk_wall = calibrate_bulk_wall_s();
+    slo_deadline_s = std::max(200e-6, bulk_wall / 3.0);
+    const int bulk_clients = 2;
+    const int inter_clients = args.quick ? 2 : 4;
+    const std::uint64_t bulk_per = args.quick ? 8 : 24;
+    const std::uint64_t inter_per = args.quick ? 60 : 200;
+    Table st({"mode", "inter p50 us", "inter p99 us", "miss rate",
+              "bulk mean us", "preemptions"});
+    for (bool preemption : {true, false}) {
+      const auto r = run_slo_scenario(preemption, slo_deadline_s,
+                                      bulk_clients, inter_clients, bulk_per,
+                                      inter_per);
+      slo_runs.push_back(r);
+      st.add_row({r.mode, r.interactive_p50_us, r.interactive_p99_us,
+                  r.miss_rate, r.bulk_mean_us,
+                  static_cast<std::int64_t>(r.preemptions)});
+    }
+    st.print(std::cout);
+    const auto& on = slo_runs[0];
+    const auto& off = slo_runs[1];
+    std::printf("\nslo: deadline %.0f us; preemption cuts interactive p99 "
+                "%.0f us -> %.0f us and miss rate %.1f%% -> %.1f%% "
+                "(%llu parks)\n",
+                slo_deadline_s * 1e6, off.interactive_p99_us,
+                on.interactive_p99_us, off.miss_rate * 100,
+                on.miss_rate * 100,
+                static_cast<unsigned long long>(on.preemptions));
+  };
+
   if (stream_only) {
     run_streaming();
+    return 0;
+  }
+  if (slo_only) {
+    run_slo();
     return 0;
   }
 
@@ -319,10 +609,12 @@ int main(int argc, char** argv) {
               no_batching_rps > 0 ? batched_rps / no_batching_rps : 0.0);
 
   run_streaming();
+  run_slo();
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << to_json(runs, no_batching_rps, batched_rps, stream_runs);
+    out << to_json(runs, no_batching_rps, batched_rps, stream_runs, slo_runs,
+                   slo_deadline_s);
     std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;

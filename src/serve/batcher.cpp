@@ -51,18 +51,40 @@ std::uint64_t group_key_hash(const GroupKey& k) {
 }
 
 void Batcher::push(Pending p) {
-  (p.req.priority == Priority::Interactive ? hi_ : lo_)
-      .push_back(std::move(p));
+  // EDF insert: each lane stays sorted by (deadline, seq). With no
+  // deadlines in play every key is (max(), seq) and this degenerates to
+  // plain FIFO — the pre-SLO behaviour, bit for bit. A re-queued request
+  // (preemption park, failover inject) keeps its original seq, so it
+  // re-enters at its original FIFO position among its deadline peers.
+  auto& lane = p.req.priority == Priority::Interactive ? hi_ : lo_;
+  const auto pos = std::upper_bound(
+      lane.begin(), lane.end(), p, [](const Pending& a, const Pending& b) {
+        if (a.deadline != b.deadline) return a.deadline < b.deadline;
+        return a.seq < b.seq;
+      });
+  lane.insert(pos, std::move(p));
+}
+
+double Batcher::oldest_bulk_wait_s(Clock::time_point now) const {
+  // The lane is EDF-ordered, not arrival-ordered, so the front is not
+  // necessarily the oldest request — the starvation guard must scan.
+  double waited = 0;
+  for (const auto& p : lo_) {
+    waited = std::max(
+        waited, std::chrono::duration<double>(now - p.enqueued).count());
+  }
+  return waited;
 }
 
 const Pending* Batcher::head(const BatchPolicy& policy,
                              Clock::time_point now) const {
-  // Bulk work that has aged past the starvation guard outranks the
-  // interactive lane; otherwise interactive first, FIFO within a lane.
+  // Aging decides the *lane*, EDF (the lane order) decides the request:
+  // bulk work that has aged past the starvation guard outranks the
+  // interactive lane; otherwise interactive first. Within the winning
+  // lane the front is the earliest deadline (FIFO among equals).
   if (!lo_.empty()) {
-    const double waited =
-        std::chrono::duration<double>(now - lo_.front().enqueued).count();
-    if (waited > policy.aging_factor * policy.max_wait_s || hi_.empty()) {
+    if (oldest_bulk_wait_s(now) > policy.aging_factor * policy.max_wait_s ||
+        hi_.empty()) {
       return &lo_.front();
     }
   }
@@ -147,6 +169,24 @@ std::vector<Pending> Batcher::pop_matching(const GroupKey& key,
     }
   }
   return out;
+}
+
+Clock::time_point Batcher::earliest_deadline() const {
+  // Lanes are EDF-sorted, so each front carries its lane's minimum.
+  auto dl = Clock::time_point::max();
+  if (!hi_.empty()) dl = std::min(dl, hi_.front().deadline);
+  if (!lo_.empty()) dl = std::min(dl, lo_.front().deadline);
+  return dl;
+}
+
+Clock::time_point Batcher::earliest_interactive_deadline(
+    const GroupKey* exclude_key) const {
+  for (const auto& p : hi_) {
+    if (p.deadline == Clock::time_point::max()) break;  // EDF: rest are later
+    if (exclude_key != nullptr && group_key(p.req) == *exclude_key) continue;
+    return p.deadline;
+  }
+  return Clock::time_point::max();
 }
 
 std::vector<Pending> Batcher::steal_bulk(const BatchPolicy& policy,

@@ -44,6 +44,18 @@ using Clock = std::chrono::steady_clock;
 struct ResumeState {
   bool active = false;
   int from_device = -1;  ///< device the checkpoint came from
+  /// Checkpoint provenance: parked by tile-boundary preemption (an
+  /// interactive deadline pre-empted the bulk launch) rather than stashed
+  /// by a fault. Distinguishes the preempted_tiles_resumed counter from
+  /// the failover tiles_resumed one.
+  bool preempted = false;
+  /// Parks this request has accumulated so far (threaded back into
+  /// Response::preemptions when the resumed run completes).
+  std::uint32_t preemptions = 0;
+  /// Failover provenance already earned before this stash (the response's
+  /// resumed_from at park/fault time). A later same-device park/resume
+  /// must not erase an earlier cross-device failover from the response.
+  int resumed_from = -1;
   std::size_t off = 0;   ///< elements already produced
   half carry{0.0f};      ///< Cumsum running prefix at `off`
   float fcarry = 0;      ///< SegmentedCumsum running prefix at `off`
@@ -62,8 +74,11 @@ struct Pending {
   Request req;
   std::promise<Response> promise;
   Clock::time_point enqueued{};
+  /// Absolute deadline (enqueued + Request::deadline_s); time_point::max()
+  /// for best-effort requests. EDF sort key within a lane.
+  Clock::time_point deadline = Clock::time_point::max();
   std::uint64_t seq = 0;  ///< admission order (FIFO tie-break)
-  ResumeState resume;     ///< failover checkpoint (inactive normally)
+  ResumeState resume;     ///< failover/preemption checkpoint
 };
 
 /// Coalescing key: requests batch together iff their keys compare equal.
@@ -99,10 +114,29 @@ struct BatchPolicy {
   /// launch's free rows (iteration-level scheduling). Off = requests only
   /// join at batch-formation boundaries.
   bool continuous = true;
+  /// Tile-boundary preemption: at each step boundary of an all-bulk scan
+  /// launch (Cumsum / SegmentedCumsum), if a queued interactive request's
+  /// deadline falls inside the preemption horizon the launch parks — every
+  /// unfinished row becomes a host-side tile checkpoint (Pending::resume)
+  /// re-queued for a bit-exact resume — so the interactive batch runs
+  /// next instead of waiting out the bulk tail. A launch whose oldest
+  /// unfinished row has itself aged past the starvation guard is never
+  /// preempted (aging outranks preemption, exactly as it outranks lane
+  /// priority in head()).
+  bool preemption = true;
+  /// Preemption horizon in seconds: park when an interactive deadline is
+  /// closer than this to now. 0 = adaptive — use the wall duration of the
+  /// launch's previous step (one more step would risk the deadline).
+  double preempt_slack_s = 0;
 };
 
 class Batcher {
  public:
+  /// Inserts in EDF position within the request's lane: ordered by
+  /// (deadline, seq). Best-effort requests (deadline = max()) therefore
+  /// stay FIFO among themselves and behind every deadline-bearing
+  /// request; equal deadlines tie-break FIFO by admission seq — stable
+  /// and deterministic across runs.
   void push(Pending p);
 
   bool empty() const { return hi_.empty() && lo_.empty(); }
@@ -119,14 +153,16 @@ class Batcher {
                         Clock::time_point now) const;
 
   /// Removes and returns the next batch: the head request (priority +
-  /// aging order) plus every queued request with the same GroupKey, FIFO,
-  /// up to max_batch. Never empty when size() > 0.
+  /// aging order) plus every queued request with the same GroupKey, in
+  /// lane order (EDF; FIFO among equal deadlines), up to max_batch.
+  /// Never empty when size() > 0.
   std::vector<Pending> pop_batch(const BatchPolicy& policy,
                                  Clock::time_point now);
 
   /// Continuous-batching admission: removes and returns up to `max_n`
-  /// queued requests whose GroupKey equals `key`, FIFO (interactive lane
-  /// first), for joining an in-flight stepwise launch mid-stream. Returns
+  /// queued requests whose GroupKey equals `key`, in lane order
+  /// (interactive lane first, EDF within it), for joining an in-flight
+  /// stepwise launch mid-stream. Returns
   /// empty when any *non-matching* queued request has aged past the
   /// starvation guard (aging_factor * max_wait_s): continuation admission
   /// must not keep extending a launch while incompatible work starves
@@ -143,8 +179,23 @@ class Batcher {
   std::vector<Pending> steal_bulk(const BatchPolicy& policy,
                                   std::size_t min_backlog);
 
+  /// Earliest absolute deadline over both lanes; time_point::max() when
+  /// no queued request carries one. O(1): lanes are EDF-sorted.
+  Clock::time_point earliest_deadline() const;
+
+  /// Earliest deadline among queued *interactive* requests — the signal
+  /// the engine's tile-boundary preemption check watches. When
+  /// `exclude_key` is non-null, requests whose GroupKey equals it are
+  /// skipped: they can join the in-flight launch through continuation
+  /// admission instead of preempting it.
+  Clock::time_point earliest_interactive_deadline(
+      const GroupKey* exclude_key) const;
+
  private:
   const Pending* head(const BatchPolicy& policy, Clock::time_point now) const;
+  /// Longest wait among queued bulk requests (the aging-guard signal; the
+  /// EDF lane order means the front is not necessarily the oldest).
+  double oldest_bulk_wait_s(Clock::time_point now) const;
 
   std::deque<Pending> hi_;  ///< Priority::Interactive
   std::deque<Pending> lo_;  ///< Priority::Bulk

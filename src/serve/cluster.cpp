@@ -120,8 +120,31 @@ std::future<Response> Cluster::submit(Request req) {
     return reject(&Metrics::on_rejected_capacity, os.str());
   }
 
+  // Per-tenant admission quota, checked last so a quota admission is only
+  // recorded for requests that actually reach a device.
+  if (!admit_tenant(req.tenant, Clock::now())) {
+    std::ostringstream os;
+    os << "tenant quota exhausted: \"" << req.tenant << "\" at "
+       << opt_.tenant_quota << " admissions in the last "
+       << opt_.tenant_quota_window_s << " s";
+    return reject(&Metrics::on_rejected_quota, os.str());
+  }
+
   const int dev = place(req, loads);
   return shards_[static_cast<std::size_t>(dev)]->submit(std::move(req));
+}
+
+bool Cluster::admit_tenant(const std::string& tenant, Clock::time_point now) {
+  if (opt_.tenant_quota == 0) return true;
+  std::lock_guard<std::mutex> lk(quota_mu_);
+  auto& admits = tenant_admits_[tenant];
+  const auto horizon =
+      now - std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(opt_.tenant_quota_window_s));
+  while (!admits.empty() && admits.front() < horizon) admits.pop_front();
+  if (admits.size() >= opt_.tenant_quota) return false;
+  admits.push_back(now);
+  return true;
 }
 
 int Cluster::place(const Request& r, const std::vector<std::size_t>& loads) {
@@ -267,10 +290,15 @@ void Cluster::drain_quarantined(int device) {
   auto drained =
       shards_[static_cast<std::size_t>(device)]->drain_queue();
   for (auto& p : drained) {
+    // A preemption-parked batch waiting in the dying device's queue rides
+    // the same drain: its tile checkpoints cross to the sibling and the
+    // resumed rows stay bit-exact (counted with the mid-launch failovers).
+    const bool from_checkpoint = p.resume.active && p.resume.off > 0;
     const int target = pick_target(device);
     if (target >= 0 &&
         shards_[static_cast<std::size_t>(target)]->inject(p)) {
       metrics_.on_failover();
+      if (from_checkpoint) metrics_.on_tiles_resumed();
       continue;
     }
     // No placeable sibling can take it. Hand it back to the source (its

@@ -56,7 +56,10 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "serve/engine.hpp"
@@ -108,6 +111,15 @@ struct ClusterOptions {
   /// rejection ("brownout" in the reason) so the surviving devices keep
   /// serving the interactive lane. 0 disables shedding.
   double brownout_min_healthy = 0.5;
+
+  /// Per-tenant admission quota: the most requests one tenant
+  /// (Request::tenant; "" is the shared default bucket) may have admitted
+  /// within the trailing tenant_quota_window_s window. Submissions past
+  /// the quota are rejected with a typed "tenant quota exhausted" reason
+  /// (metrics: rejected_quota) before any device sees them, so a noisy
+  /// tenant cannot crowd the shared queue. 0 disables metering.
+  std::size_t tenant_quota = 0;
+  double tenant_quota_window_s = 1.0;
 };
 
 class Cluster {
@@ -174,6 +186,10 @@ class Cluster {
   void drain_quarantined(int device);
   /// Least-loaded placeable device other than `avoid`; -1 when none.
   int pick_target(int avoid) const;
+  /// Per-tenant sliding-window admission meter: records the admission and
+  /// returns true, or returns false when `tenant` is at quota. Always
+  /// true when tenant_quota is 0.
+  bool admit_tenant(const std::string& tenant, Clock::time_point now);
 
   ClusterOptions opt_;
   std::size_t steal_min_backlog_ = 0;
@@ -190,6 +206,9 @@ class Cluster {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
   std::mutex shutdown_mu_;  ///< serialises shutdown callers
+  std::mutex quota_mu_;     ///< guards tenant_admits_
+  /// Admission timestamps per tenant within the trailing quota window.
+  std::map<std::string, std::deque<Clock::time_point>> tenant_admits_;
   std::vector<std::unique_ptr<Engine>> shards_;
 };
 

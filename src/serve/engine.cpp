@@ -57,6 +57,9 @@ Engine::~Engine() { shutdown(ShutdownMode::Drain); }
 
 std::string Engine::validate(const Request& r) {
   if (r.x.empty()) return "empty input";
+  if (std::isnan(r.deadline_s) || r.deadline_s < 0) {
+    return "deadline must be >= 0";
+  }
   switch (r.kind) {
     case OpKind::Cumsum:
       if (!valid_tile(r.tile)) return "invalid tile size";
@@ -121,6 +124,7 @@ std::future<Response> Engine::submit(Request req) {
     p.req = std::move(req);
     p.promise = std::move(promise);
     p.enqueued = Clock::now();
+    if (p.req.deadline_s > 0) p.deadline = p.enqueued + dur(p.req.deadline_s);
     p.seq = next_seq_++;
     queue_.push(std::move(p));
     metrics_.on_admitted();
@@ -184,12 +188,16 @@ void Engine::worker_main(std::size_t idx) {
 
       // Dynamic batching: hold the launch until a full batch is ready or
       // the oldest request's wait deadline expires. Shutdown (drain mode)
-      // flushes immediately.
+      // flushes immediately. A queued SLO deadline earlier than the
+      // formation deadline caps the hold — batching slack must never be
+      // the reason a deadline is missed (an already-late deadline makes
+      // the wait return immediately and the pop go out partial).
       const auto now = Clock::now();
-      const auto deadline =
+      auto deadline =
           queue_.head_enqueued(opt_.policy, now) +
           std::chrono::duration_cast<Clock::duration>(
               std::chrono::duration<double>(opt_.policy.max_wait_s));
+      deadline = std::min(deadline, queue_.earliest_deadline());
       work_cv_.wait_until(lk, deadline, [&] {
         return stopping_ ||
                queue_.full_batch_ready(opt_.policy, Clock::now());
@@ -278,6 +286,14 @@ void Engine::run_group_stepwise(Session& session,
   const std::uint64_t launch_id =
       next_launch_id_.fetch_add(1, std::memory_order_relaxed);
   const bool allow_admit = mode == GroupExec::Local && opt_.policy.continuous;
+  // Tile-boundary preemption is confined to the resumable scans: their
+  // host-side carry makes a park/resume bit-exact (the same property the
+  // failover checkpoints lean on). Sort is monolithic and TopP rows are
+  // atomic, so neither has a boundary worth parking at. Only Local
+  // launches park — a thief must return a stolen batch complete.
+  const bool preemptible =
+      mode == GroupExec::Local && opt_.policy.preemption &&
+      (head.kind == OpKind::Cumsum || head.kind == OpKind::SegmentedCumsum);
   // Stolen batches never stream: the thief runs them as one indivisible
   // throughput unit (see GroupExec).
   const auto streams = [&](const StreamSlot& s) {
@@ -299,6 +315,7 @@ void Engine::run_group_stepwise(Session& session,
         auto ls = session.cumsum_batched_begin(head.tile, head.ul1_schedule);
         const std::size_t l = head.tile * head.tile;
         for (;;) {
+          const auto step_begin = Clock::now();
           std::vector<std::size_t> act;
           std::size_t step_len = 0;
           for (std::size_t i = 0; i < slots.size(); ++i) {
@@ -349,6 +366,11 @@ void Engine::run_group_stepwise(Session& session,
             }
           }
           if (allow_admit) admit_continuations(slots, key, act.size());
+          if (preemptible &&
+              should_preempt(key, slots, secs(Clock::now() - step_begin))) {
+            park_unfinished(slots);
+            break;
+          }
         }
         fin = session.cumsum_batched_finish(ls);
         metrics_.on_batch(slots.size(), fin);
@@ -362,6 +384,7 @@ void Engine::run_group_stepwise(Session& session,
         constexpr std::size_t kStep = 4096;
         auto ls = session.segmented_cumsum_begin();
         for (;;) {
+          const auto step_begin = Clock::now();
           std::vector<std::size_t> act;
           for (std::size_t i = 0; i < slots.size(); ++i) {
             if (!slots[i].done) act.push_back(i);
@@ -416,6 +439,11 @@ void Engine::run_group_stepwise(Session& session,
             }
           }
           if (allow_admit) admit_continuations(slots, key, act.size());
+          if (preemptible &&
+              should_preempt(key, slots, secs(Clock::now() - step_begin))) {
+            park_unfinished(slots);
+            break;
+          }
         }
         fin = session.segmented_cumsum_finish(ls);
         metrics_.on_batch(slots.size(), fin);
@@ -503,10 +531,22 @@ void Engine::execute_batch(Session& session, std::vector<Pending> batch,
       s.resp.values_f32 = std::move(rs.prefix_f32);
       s.resp.chunks_streamed = rs.chunks_streamed;
       s.resp.timing.first_chunk_s = rs.first_chunk_s;
-      s.resp.resumed_from = rs.from_device;
+      s.resp.preemptions = rs.preemptions;
+      // resumed_from is *failover* provenance. A preemption park resumed
+      // on its own device is the normal course of an SLO-tiered launch,
+      // not a failover — only a checkpoint that crossed devices (fault
+      // stash, or a parked batch drained off a dying device) records it.
+      // Either way an earlier cross-device failover stays on the record:
+      // a later same-device park must not launder the provenance away.
+      s.resp.resumed_from =
+          rs.preempted && rs.from_device == opt_.device_id
+              ? rs.resumed_from
+              : rs.from_device;
+      if (rs.preempted && rs.off > 0) metrics_.on_preempted_tile_resumed();
       s.picked = rs.picked;
       s.exec_begin = rs.exec_begin;
       rs.active = false;
+      rs.preempted = false;
     }
     slots.push_back(std::move(s));
   }
@@ -514,6 +554,10 @@ void Engine::execute_batch(Session& session, std::vector<Pending> batch,
   const bool started_solo = slots.size() == 1;
   try {
     run_group_stepwise(session, slots, mode);
+    // Preemption parks leave the launch cleanly (no exception) with
+    // their slots unresolved and checkpointed; hand them back to the
+    // queue so the interactive work they yielded to runs next.
+    requeue_parked(slots);
   } catch (const std::exception& e) {
     // Already-resolved slots stay resolved (their streamed prefixes and
     // futures are final); only unresolved slots take a fallback. With a
@@ -562,10 +606,84 @@ void Engine::execute_batch(Session& session, std::vector<Pending> batch,
   }
 }
 
+bool Engine::should_preempt(const GroupKey& key,
+                            const std::vector<StreamSlot>& slots,
+                            double step_s) {
+  // Only an all-bulk remainder may park: an interactive row riding the
+  // launch (continuation admission) is already being served at its own
+  // lane's latency — parking it to serve different interactive work
+  // would just shuffle the miss around.
+  bool any_unfinished = false;
+  std::size_t active = 0;
+  auto oldest = Clock::time_point::max();
+  for (const auto& s : slots) {
+    if (s.done) continue;
+    if (s.p.req.priority == Priority::Interactive) return false;
+    any_unfinished = true;
+    active++;
+    oldest = std::min(oldest, s.p.enqueued);
+  }
+  if (!any_unfinished) return false;
+  const auto now = Clock::now();
+  // Aging composes with preemption exactly as it composes with lane
+  // priority: a bulk launch whose oldest row has waited out the
+  // starvation guard has earned the device and cannot be parked again.
+  if (secs(now - oldest) >
+      opt_.policy.aging_factor * opt_.policy.max_wait_s) {
+    return false;
+  }
+  // Interactive requests matching this launch's key can still be seated
+  // by continuation admission while rows are free — only then are they
+  // no reason to park.
+  const bool key_joinable =
+      opt_.policy.continuous && active < opt_.policy.max_batch;
+  const double horizon =
+      opt_.policy.preempt_slack_s > 0 ? opt_.policy.preempt_slack_s : step_s;
+  std::lock_guard<std::mutex> lk(mu_);
+  // A cancelling shutdown owns the queue; nothing there will run anyway.
+  if (stopping_ && stop_mode_ == ShutdownMode::Cancel) return false;
+  const auto dl =
+      queue_.earliest_interactive_deadline(key_joinable ? &key : nullptr);
+  if (dl == Clock::time_point::max()) return false;
+  return dl <= now + dur(horizon);
+}
+
+void Engine::park_unfinished(std::vector<StreamSlot>& slots) {
+  metrics_.on_preemption();
+  for (auto& s : slots) {
+    if (s.done) continue;
+    s.resp.preemptions++;
+    stash_resume(s);
+    s.p.resume.preempted = true;
+  }
+}
+
+void Engine::requeue_parked(std::vector<StreamSlot>& slots) {
+  std::vector<Pending> parked;
+  for (auto& s : slots) {
+    if (!s.done && s.p.resume.active) parked.push_back(std::move(s.p));
+  }
+  if (parked.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Original seq and enqueue time ride along, so the parked rows
+    // re-enter at their old FIFO position among their deadline peers and
+    // the aging clock keeps running from the original admission. Even
+    // mid-shutdown the push is safe: Drain serves the queue to empty and
+    // Cancel's finish_shutdown resolves whatever remains — no future
+    // dangles either way.
+    for (auto& p : parked) queue_.push(std::move(p));
+  }
+  work_cv_.notify_all();
+}
+
 void Engine::stash_resume(StreamSlot& s) {
   ResumeState& rs = s.p.resume;
   rs.active = true;
   rs.from_device = opt_.device_id;
+  rs.preempted = false;
+  rs.preemptions = s.resp.preemptions;
+  rs.resumed_from = s.resp.resumed_from;
   rs.off = s.off;
   rs.carry = s.carry;
   rs.fcarry = s.fcarry;
@@ -592,8 +710,12 @@ void Engine::resolve(Pending& p, Response r, Clock::time_point picked,
   r.timing.batch_s = secs(exec_begin - picked);
   r.timing.execute_s = secs(now - exec_begin);
   r.timing.total_s = secs(now - p.enqueued);
+  if (p.deadline != Clock::time_point::max() && now > p.deadline) {
+    r.deadline_missed = true;
+    metrics_.on_deadline_miss();
+  }
   if (r.status == Status::Ok) {
-    metrics_.on_completed(r.kind, r.timing);
+    metrics_.on_completed(r.kind, p.req.tier, r.timing);
   } else {
     metrics_.on_failed(r.timing);
   }

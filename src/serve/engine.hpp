@@ -237,6 +237,23 @@ class Engine {
   /// tile.
   void stash_resume(StreamSlot& slot);
 
+  /// Tile-boundary preemption predicate, evaluated at each step boundary
+  /// of a Local Cumsum/SegmentedCumsum launch: true when every unfinished
+  /// slot is bulk-lane, none has aged past the starvation guard (aging
+  /// outranks preemption), and a queued interactive request's deadline
+  /// falls within the preemption horizon (policy.preempt_slack_s, or the
+  /// previous step's wall duration when 0). Requests matching `key` are
+  /// ignored while continuation admission could still seat them.
+  bool should_preempt(const GroupKey& key,
+                      const std::vector<StreamSlot>& slots, double step_s);
+  /// Parks every unfinished slot as a preemption checkpoint
+  /// (Pending::resume with preempted provenance) and counts the park.
+  void park_unfinished(std::vector<StreamSlot>& slots);
+  /// Re-queues preemption-parked pendings (original seq and enqueue time
+  /// kept, no admission counting) so the next pop serves the interactive
+  /// work first and the parked batch resumes bit-exact afterwards.
+  void requeue_parked(std::vector<StreamSlot>& slots);
+
   void resolve(Pending& p, Response r, Clock::time_point picked,
                Clock::time_point exec_begin);
 

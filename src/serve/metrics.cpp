@@ -81,13 +81,14 @@ void Metrics::on_steal(std::size_t stolen_request_count) {
   s_.stolen_requests += stolen_request_count;
 }
 
-void Metrics::on_completed(OpKind kind, const Timing& t) {
+void Metrics::on_completed(OpKind kind, SloTier tier, const Timing& t) {
   std::lock_guard<std::mutex> lk(mu_);
   s_.completed++;
   s_.by_kind[static_cast<std::size_t>(kind)]++;
   s_.queue_latency.add(t.queue_s);
   s_.execute_latency.add(t.execute_s);
   s_.total_latency.add(t.total_s);
+  s_.tier_latency[static_cast<std::size_t>(tier)].add(t.total_s);
 }
 
 void Metrics::on_failed(const Timing& t) {
@@ -164,6 +165,7 @@ MetricsSnapshot MetricsSnapshot::merged(
     out.rejected_capacity += p.rejected_capacity;
     out.rejected_invalid += p.rejected_invalid;
     out.rejected_shutdown += p.rejected_shutdown;
+    out.rejected_quota += p.rejected_quota;
     out.cancelled += p.cancelled;
     out.completed += p.completed;
     out.failed += p.failed;
@@ -188,6 +190,12 @@ MetricsSnapshot MetricsSnapshot::merged(
     out.tiles_resumed += p.tiles_resumed;
     out.canary_probes += p.canary_probes;
     out.shed_brownout += p.shed_brownout;
+    out.deadline_misses += p.deadline_misses;
+    out.preemptions += p.preemptions;
+    out.preempted_tiles_resumed += p.preempted_tiles_resumed;
+    for (std::size_t k = 0; k < out.tier_latency.size(); ++k) {
+      out.tier_latency[k].merge(p.tier_latency[k]);
+    }
     out.queue_latency.merge(p.queue_latency);
     out.execute_latency.merge(p.execute_latency);
     out.total_latency.merge(p.total_latency);
@@ -211,6 +219,7 @@ std::string MetricsSnapshot::json() const {
      << ",\"rejected_capacity\":" << rejected_capacity
      << ",\"rejected_invalid\":" << rejected_invalid
      << ",\"rejected_shutdown\":" << rejected_shutdown
+     << ",\"rejected_quota\":" << rejected_quota
      << ",\"cancelled\":" << cancelled << ",\"completed\":" << completed
      << ",\"failed\":" << failed << "},\n"
      << "  \"completed_by_kind\": {";
@@ -227,6 +236,15 @@ std::string MetricsSnapshot::json() const {
      << ",\"failed_batches\":" << failed_batches << "},\n"
      << "  \"streaming\": {\"chunks\":" << stream_chunks
      << ",\"chunk_latency\":" << chunk_latency.json() << "},\n"
+     << "  \"slo\": {\"deadline_misses\":" << deadline_misses
+     << ",\"preemptions\":" << preemptions
+     << ",\"preempted_tiles_resumed\":" << preempted_tiles_resumed
+     << ",\"tier_latency\":{";
+  for (std::size_t k = 0; k < tier_latency.size(); ++k) {
+    os << (k ? "," : "") << '"' << slo_tier_name(static_cast<SloTier>(k))
+       << "\":" << tier_latency[k].json();
+  }
+  os << "}},\n"
      << "  \"cluster\": {\"routed_affinity\":" << routed_affinity
      << ",\"routed_spill\":" << routed_spill << ",\"steals\":" << steals
      << ",\"stolen_requests\":" << stolen_requests

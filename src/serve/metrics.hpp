@@ -66,6 +66,9 @@ struct MetricsSnapshot {
   std::uint64_t rejected_capacity = 0;  ///< queue-full rejections
   std::uint64_t rejected_invalid = 0;   ///< argument-validation rejections
   std::uint64_t rejected_shutdown = 0;  ///< submitted after shutdown began
+  /// Cluster per-tenant admission-quota rejections (typed reason; counted
+  /// by the cluster front end only).
+  std::uint64_t rejected_quota = 0;
   std::uint64_t cancelled = 0;   ///< admitted, dropped by cancel-shutdown
   std::uint64_t completed = 0;   ///< resolved Ok
   std::uint64_t failed = 0;      ///< resolved Failed (typed fault)
@@ -112,6 +115,21 @@ struct MetricsSnapshot {
   /// Bulk requests shed by brownout admission (healthy capacity below the
   /// configured fraction). Each is also counted in rejected_capacity.
   std::uint64_t shed_brownout = 0;
+
+  // --- SLO: deadlines and tile-boundary preemption ---------------------------
+  /// Requests that carried a deadline and resolved after it expired.
+  std::uint64_t deadline_misses = 0;
+  /// Bulk stepwise launches parked at a tile boundary because a queued
+  /// interactive deadline would otherwise have been missed (each park
+  /// checkpoints every unfinished row — see Engine / DESIGN.md "SLO tiers
+  /// & preemption").
+  std::uint64_t preemptions = 0;
+  /// Preemption-parked rows resumed from a nonzero tile checkpoint (the
+  /// preemption analogue of the failover counter tiles_resumed).
+  std::uint64_t preempted_tiles_resumed = 0;
+  /// Total request latency split by SloTier (gold/silver/bronze), so an
+  /// SLO dashboard reads each tier's p99 directly.
+  std::array<LatencyHistogram, kSloTierCount> tier_latency;
 
   // --- Latency ---------------------------------------------------------------
   LatencyHistogram queue_latency;
@@ -161,13 +179,20 @@ class Metrics {
   void on_steal_suffered() { bump(&MetricsSnapshot::steals_suffered); }
   void on_steal(std::size_t stolen_request_count);
 
+  void on_rejected_quota() { bump(&MetricsSnapshot::rejected_quota); }
+  void on_deadline_miss() { bump(&MetricsSnapshot::deadline_misses); }
+  void on_preemption() { bump(&MetricsSnapshot::preemptions); }
+  void on_preempted_tile_resumed() {
+    bump(&MetricsSnapshot::preempted_tiles_resumed);
+  }
+
   void on_health_transition() { bump(&MetricsSnapshot::health_transitions); }
   void on_failover() { bump(&MetricsSnapshot::failovers); }
   void on_tiles_resumed() { bump(&MetricsSnapshot::tiles_resumed); }
   void on_canary_probe() { bump(&MetricsSnapshot::canary_probes); }
   void on_shed_brownout() { bump(&MetricsSnapshot::shed_brownout); }
 
-  void on_completed(OpKind kind, const Timing& t);
+  void on_completed(OpKind kind, SloTier tier, const Timing& t);
   void on_failed(const Timing& t);
   void on_batch(std::size_t occupancy, const Report& rep);
   /// A batched launch attempt failed and is falling back to isolation:

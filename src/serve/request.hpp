@@ -42,6 +42,26 @@ constexpr const char* op_kind_name(OpKind k) {
 /// protected from total starvation by an aging factor (see Batcher).
 enum class Priority : std::uint8_t { Interactive, Bulk };
 
+/// SLO tiers: a latency-accounting label orthogonal to the Priority lane.
+/// The tier selects which per-tier latency histogram a completion lands in
+/// (serve::Metrics) and documents the intent of the request's deadline;
+/// the *lane* is still chosen by Priority and the *urgency* by the
+/// deadline (EDF within each lane — see Batcher). Conventionally Gold and
+/// Silver ride the interactive lane and Bronze the bulk lane, but the
+/// fields are independent so a tenant can run e.g. deadline-bearing bulk.
+enum class SloTier : std::uint8_t { Gold, Silver, Bronze };
+
+inline constexpr std::size_t kSloTierCount = 3;
+
+constexpr const char* slo_tier_name(SloTier t) {
+  switch (t) {
+    case SloTier::Gold: return "gold";
+    case SloTier::Silver: return "silver";
+    case SloTier::Bronze: return "bronze";
+  }
+  return "?";
+}
+
 /// Terminal state of a served request.
 enum class Status : std::uint8_t {
   Ok,        ///< executed; payload fields are valid
@@ -104,6 +124,18 @@ struct Request {
 
   std::optional<RetryPolicy> retry;  ///< request-scoped resilience policy
 
+  /// SLO tier label; selects the per-tier latency histogram.
+  SloTier tier = SloTier::Silver;
+  /// Relative deadline in seconds from submit(); 0 = best-effort (no
+  /// deadline). Drives EDF ordering within the request's lane, the
+  /// engine's tile-boundary preemption of bulk launches, and the
+  /// deadline_misses counter. A missed deadline never cancels the request
+  /// — it completes and is counted (Response::deadline_missed).
+  double deadline_s = 0;
+  /// Tenant identity for the cluster's per-tenant admission quotas; the
+  /// empty string is the shared default bucket.
+  std::string tenant;
+
   /// Optional streaming sink. When set and the request is served by a
   /// stepwise launch, each completed slice is delivered as it finishes;
   /// the future still resolves the full Response afterwards. Ignored
@@ -154,6 +186,19 @@ struct Request {
     r.priority = prio;
     return r;
   }
+
+  /// Fluent SLO stamp for factory chaining:
+  ///   engine.submit(Request::cumsum(x).with_slo(SloTier::Gold, 2e-3));
+  Request& with_slo(SloTier t, double deadline = 0) {
+    tier = t;
+    deadline_s = deadline;
+    return *this;
+  }
+  /// Fluent tenant stamp (cluster per-tenant admission quotas).
+  Request& with_tenant(std::string id) {
+    tenant = std::move(id);
+    return *this;
+  }
 };
 
 /// Host wall-clock latency decomposition of one request (seconds).
@@ -198,6 +243,13 @@ struct Response {
   /// on this device and the request was resumed elsewhere from its tile
   /// checkpoint (compare with `device`, the shard that finished it).
   int resumed_from = -1;
+  /// Times this request's bulk launch was preempted at a tile boundary
+  /// (parked as a checkpoint so a deadline-pressed interactive batch could
+  /// run) before completing. 0 for an unpreempted run.
+  std::uint32_t preemptions = 0;
+  /// The request carried a deadline and resolved after it expired. The
+  /// result is still valid — deadlines are accounting, not cancellation.
+  bool deadline_missed = false;
   Timing timing;
 
   bool ok() const { return status == Status::Ok; }

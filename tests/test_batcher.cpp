@@ -173,6 +173,168 @@ TEST(BatcherPopMatching, RespectsMaxAndAgedNonMatchingWork) {
 }
 
 // ---------------------------------------------------------------------------
+// EDF ordering within a lane and its composition with the aging guard
+// (PR 9 SLO tiers). The sort key is (deadline, seq): earliest deadline
+// first, equal deadlines FIFO by admission order, best-effort requests
+// (deadline = max()) behind every deadline-bearing one.
+
+Pending make_deadline_pending(Request req, Clock::time_point enq,
+                              std::uint64_t seq, Clock::time_point deadline) {
+  Pending p = make_pending(std::move(req), enq, seq);
+  p.deadline = deadline;
+  return p;
+}
+
+TEST(BatcherEdf, TighterDeadlineOvertakesEarlierArrival) {
+  BatchPolicy policy;
+  policy.max_batch = 1;
+  Batcher q;
+  const auto now = Clock::now();
+  q.push(make_deadline_pending(Request::cumsum(row(32), 16), now, 0,
+                               now + std::chrono::milliseconds(10)));
+  q.push(make_deadline_pending(Request::cumsum(row(32), 16), now, 1,
+                               now + std::chrono::milliseconds(2)));
+  q.push(make_pending(Request::cumsum(row(32), 16), now, 2));  // best-effort
+  EXPECT_EQ(q.pop_batch(policy, now).front().seq, 1u);  // tightest deadline
+  EXPECT_EQ(q.pop_batch(policy, now).front().seq, 0u);
+  EXPECT_EQ(q.pop_batch(policy, now).front().seq, 2u);  // best-effort last
+}
+
+TEST(BatcherEdf, EqualDeadlinesTieBreakFifoByArrivalStably) {
+  // Equal deadlines must pop FIFO by seq, whatever order they were pushed
+  // in, and the order must be identical across repeated runs.
+  const BatchPolicy policy;
+  const auto now = Clock::now();
+  const auto dl = now + std::chrono::milliseconds(5);
+  std::vector<std::uint64_t> first_run;
+  for (int run = 0; run < 3; ++run) {
+    Batcher q;
+    // Push out of seq order: 2, 0, 1.
+    q.push(make_deadline_pending(Request::cumsum(row(32), 16), now, 2, dl));
+    q.push(make_deadline_pending(Request::cumsum(row(32), 16), now, 0, dl));
+    q.push(make_deadline_pending(Request::cumsum(row(32), 16), now, 1, dl));
+    const auto batch = q.pop_batch(policy, now);
+    ASSERT_EQ(batch.size(), 3u);
+    std::vector<std::uint64_t> order;
+    for (const auto& p : batch) order.push_back(p.seq);
+    if (run == 0) {
+      first_run = order;
+      EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2}));
+    } else {
+      EXPECT_EQ(order, first_run) << "EDF tie-break unstable across runs";
+    }
+  }
+}
+
+TEST(BatcherEdf, AgingGuardStillDecidesTheLaneUnderEdf) {
+  // Aging picks the lane, EDF picks the request: an aged best-effort bulk
+  // request outranks a fresh interactive one with a tight deadline, even
+  // though the bulk lane's EDF front is a deadline-bearing newcomer.
+  BatchPolicy policy;
+  policy.max_batch = 1;
+  Batcher q;
+  const auto now = Clock::now();
+  const auto aged =
+      now - aging_limit(policy) - std::chrono::milliseconds(1);
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      aged, 0));
+  q.push(make_deadline_pending(
+      Request::cumsum(row(32), 16, false, Priority::Bulk), now, 1,
+      now + std::chrono::microseconds(50)));
+  q.push(make_deadline_pending(Request::cumsum(row(32), 128), now, 2,
+                               now + std::chrono::microseconds(50)));
+  // The aged request (seq 0) won the lane decision; within the bulk lane
+  // EDF leads with the deadline-bearing seq 1.
+  auto b = q.pop_batch(policy, now);
+  EXPECT_EQ(b.front().req.priority, Priority::Bulk);
+  EXPECT_EQ(b.front().seq, 1u);
+  // Without the aged request the interactive lane leads again.
+  b = q.pop_batch(policy, now);  // pops the aged bulk (seq 0)
+  EXPECT_EQ(b.front().seq, 0u);
+  b = q.pop_batch(policy, now);
+  EXPECT_EQ(b.front().seq, 2u);
+}
+
+TEST(BatcherEdf, AgingScanFindsOldRequestBehindEdfFront) {
+  // The aging guard must scan the whole bulk lane: an EDF-sorted lane can
+  // hold an aged best-effort request *behind* a fresh deadline-bearing
+  // front, and the guard must still fire for it.
+  BatchPolicy policy;
+  policy.max_batch = 1;
+  Batcher q;
+  const auto now = Clock::now();
+  q.push(make_deadline_pending(
+      Request::cumsum(row(32), 16, false, Priority::Bulk), now, 0,
+      now + std::chrono::milliseconds(1)));  // EDF front, fresh
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      now - aging_limit(policy) - std::chrono::milliseconds(1),
+                      1));  // aged, sorted behind the deadline
+  q.push(make_deadline_pending(Request::cumsum(row(32), 128), now, 2,
+                               now + std::chrono::microseconds(10)));
+  auto b = q.pop_batch(policy, now);
+  EXPECT_EQ(b.front().req.priority, Priority::Bulk)
+      << "aged bulk behind the EDF front must still win the lane";
+}
+
+TEST(BatcherEdf, PopMatchingGuardComposesWithDeadlines) {
+  // pop_matching's starvation guard keys on *age*, not deadline: a
+  // deadline-bearing non-matching request that has not aged does not
+  // freeze continuation admission, an aged one does — deterministically,
+  // whatever the deadlines say.
+  BatchPolicy policy;
+  Batcher q;
+  const auto now = Clock::now();
+  const GroupKey key = group_key(Request::cumsum(row(8), 16));
+  q.push(make_deadline_pending(Request::cumsum(row(32), 16), now, 0,
+                               now + std::chrono::milliseconds(3)));
+  q.push(make_deadline_pending(Request::cumsum(row(32), 128), now, 1,
+                               now - std::chrono::milliseconds(1)));
+  // The non-matching tile-128 request's deadline is already past, but it
+  // has not aged: admission continues (preemption, not the continuation
+  // guard, is the mechanism that rescues it).
+  auto got = q.pop_matching(key, 8, policy, now);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].seq, 0u);
+  // Backdate it past the aging limit: the guard freezes admission.
+  q.push(make_deadline_pending(Request::cumsum(row(32), 16), now, 2,
+                               now + std::chrono::milliseconds(3)));
+  q.push(make_pending(
+      Request::cumsum(row(32), 128, false, Priority::Bulk),
+      now - aging_limit(policy) - std::chrono::milliseconds(1), 3));
+  EXPECT_TRUE(q.pop_matching(key, 8, policy, now).empty());
+}
+
+TEST(BatcherEdf, EarliestDeadlineProbesReportLaneMinima) {
+  BatchPolicy policy;
+  Batcher q;
+  const auto now = Clock::now();
+  EXPECT_EQ(q.earliest_deadline(), Clock::time_point::max());
+  EXPECT_EQ(q.earliest_interactive_deadline(nullptr),
+            Clock::time_point::max());
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      now, 0));  // best-effort bulk
+  q.push(make_deadline_pending(
+      Request::cumsum(row(32), 16, false, Priority::Bulk), now, 1,
+      now + std::chrono::milliseconds(1)));
+  EXPECT_EQ(q.earliest_deadline(), now + std::chrono::milliseconds(1));
+  // Bulk deadlines never show up in the preemption probe.
+  EXPECT_EQ(q.earliest_interactive_deadline(nullptr),
+            Clock::time_point::max());
+  q.push(make_deadline_pending(Request::cumsum(row(32), 16), now, 2,
+                               now + std::chrono::milliseconds(2)));
+  EXPECT_EQ(q.earliest_interactive_deadline(nullptr),
+            now + std::chrono::milliseconds(2));
+  // Excluding the in-flight launch's key hides requests that could join
+  // it via continuation admission instead of preempting it.
+  const GroupKey key = group_key(Request::cumsum(row(8), 16));
+  EXPECT_EQ(q.earliest_interactive_deadline(&key),
+            Clock::time_point::max());
+  const GroupKey other = group_key(Request::cumsum(row(8), 128));
+  EXPECT_EQ(q.earliest_interactive_deadline(&other),
+            now + std::chrono::milliseconds(2));
+}
+
+// ---------------------------------------------------------------------------
 // GroupKey hash canonicalization (cluster affinity placement).
 
 TEST(GroupKeyHash, SignedZeroHashesEqual) {

@@ -539,5 +539,105 @@ TEST(Chaos, ThrottledStragglersOnlyStretchTime) {
   EXPECT_EQ(got.report.retries, 0u);
 }
 
+TEST(Chaos, DeviceDiesWhileHoldingPreemptionParkedBatchFailsOverBitExact) {
+  using namespace ascan::serve;
+  // Cross-test of the SLO-preemption tentpole against the device-health
+  // machinery: a bulk launch is preempted at a tile boundary (parked as a
+  // host-side checkpoint in the device's own queue), then the device dies
+  // serving the interactive traffic that caused the park and is
+  // quarantined while still *holding* the parked batch. The quarantine
+  // drain must carry the checkpoint to a healthy sibling, which resumes
+  // from the parked tile — not from scratch — and completes bit-exact.
+  constexpr std::size_t kN = 8192;  // tile 16 -> 32 tile boundaries
+  ascan::Session ref(chaos_cfg());
+  const auto x = testing::exact_scan_workload(kN, 401);
+  const auto want = ref.cumsum_batched(x, 1, kN, 16).values;
+
+  const int bad = static_cast<int>(
+      group_key_hash(group_key(Request::cumsum(x, 16))) % 2);
+  // Two interactive requests whose GroupKeys also hash to the dying
+  // device (distinct keys -> two separate launches -> two faults ->
+  // quarantine). Length is part of the GroupKey, so scan lengths until
+  // the affinity hash matches.
+  const auto hi_len = [&](std::size_t from) {
+    for (std::size_t n = from;; n += 16) {
+      const auto k = group_key(Request::cumsum(testing::exact_scan_workload(n), 64));
+      if (static_cast<int>(group_key_hash(k) % 2) == bad) return n;
+    }
+  };
+  const std::size_t n1 = hi_len(256), n2 = hi_len(n1 + 16);
+
+  std::vector<sim::FaultPlan> plans(2);
+  // Launch 0 is the bulk batch (parks cleanly); everything after it
+  // faults, so the interactive launches kill the device while the parked
+  // checkpoint is still queued on it.
+  plans[static_cast<std::size_t>(bad)] = sim::FaultPlan::dead_from_launch(1);
+  HealthPolicy hp;
+  hp.window = 4;
+  hp.min_samples = 1;
+  hp.quarantine_hold_s = 3600;
+  Cluster cluster({.policy = {.max_batch = 2,
+                              .max_wait_s = 50e-6,
+                              .aging_factor = 1e9,
+                              .preempt_slack_s = 1e9},
+                   .num_devices = 2,
+                   .machine = chaos_cfg(),
+                   .retry = {.max_attempts = 2, .backoff_s = 1e-6},
+                   .device_fault_plans = plans,
+                   .work_stealing = false,
+                   .spill_margin = 1 << 20,  // placement is pure affinity
+                   .health = hp});
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  Request bulk = Request::cumsum(x, 16, false, Priority::Bulk);
+  bulk.on_chunk = [&](const StreamChunk&) {
+    std::lock_guard<std::mutex> lk(mu);
+    started = true;
+    cv.notify_all();
+  };
+  auto bulk_fut = cluster.submit(std::move(bulk));
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    ASSERT_TRUE(cv.wait_for(lk, std::chrono::seconds(10),
+                            [&] { return started; }))
+        << "bulk launch never started on the affinity device";
+  }
+  auto hi1 = cluster.submit(
+      Request::cumsum(testing::exact_scan_workload(n1), 64)
+          .with_slo(SloTier::Gold, 10e-3));
+  auto hi2 = cluster.submit(
+      Request::cumsum(testing::exact_scan_workload(n2), 64)
+          .with_slo(SloTier::Gold, 10e-3));
+
+  const auto r = bulk_fut.get();
+  ASSERT_EQ(r.status, Status::Ok) << r.reason;
+  // The interactive launches died with the device; they may fail over or
+  // fail typed, but must resolve either way.
+  for (auto* f : {&hi1, &hi2}) {
+    const auto hr = f->get();
+    ASSERT_TRUE(hr.status == Status::Ok || hr.status == Status::Failed);
+  }
+  cluster.shutdown(ShutdownMode::Drain);
+
+  EXPECT_EQ(cluster.device_health(bad), HealthState::Quarantined);
+  EXPECT_GE(r.preemptions, 1u) << "bulk was never parked";
+  EXPECT_EQ(r.resumed_from, bad)
+      << "parked batch did not fail over from the dead device";
+  EXPECT_NE(r.device, bad);
+  ASSERT_EQ(r.values_f16.size(), want.size());
+  for (std::size_t j = 0; j < want.size(); ++j) {
+    ASSERT_EQ(static_cast<float>(r.values_f16[j]),
+              static_cast<float>(want[j]))
+        << "index " << j << " (resumed_from " << r.resumed_from << ")";
+  }
+  const auto m = cluster.metrics();
+  EXPECT_GE(m.preemptions, 1u);
+  EXPECT_GE(m.tiles_resumed, 1u)
+      << "the parked checkpoint was recomputed from scratch";
+  EXPECT_GE(m.preempted_tiles_resumed, 1u);
+}
+
 }  // namespace
 }  // namespace ascend

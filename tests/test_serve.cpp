@@ -499,7 +499,9 @@ TEST(ServeEngine, MetricsJsonHasTheDocumentedSchema) {
         "\"p95_us\"", "\"p99_us\"", "\"simulated\"",
         "\"bandwidth_utilization\"", "\"continuation_admits\"",
         "\"failed_batches\"", "\"streaming\"", "\"chunk_latency\"",
-        "\"steps\""}) {
+        "\"steps\"", "\"slo\"", "\"deadline_misses\"", "\"preemptions\"",
+        "\"preempted_tiles_resumed\"", "\"tier_latency\"", "\"gold\"",
+        "\"silver\"", "\"bronze\"", "\"rejected_quota\""}) {
     EXPECT_NE(j.find(key), std::string::npos) << "missing " << key;
   }
   const auto m = engine.metrics();

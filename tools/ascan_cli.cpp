@@ -12,6 +12,7 @@
 //                    [--exclusions 1]
 //   ascan_cli serve-demo [--requests 64] [--clients 4] [--batch 16]
 //                        [--wait-us 500] [--queue 256]
+//                        [--deadline-us 0] [--tier gold|silver|bronze]
 //   ascan_cli cluster-demo [--devices 4] [--requests 96] [--clients 4]
 //                          [--batch 8] [--wait-us 200] [--queue 512]
 //                          [--no-steal]
@@ -351,6 +352,18 @@ int cmd_serve_demo(const Args& a) {
   const double wait_us = a.real("wait-us", 500.0);
 
   using namespace ascan::serve;
+  // SLO stamp applied to every request: --deadline-us 0 (default) keeps
+  // the demo best-effort; a positive value exercises the EDF lanes,
+  // deadline-miss accounting and (for bulk launches) tile-boundary
+  // preemption visible in the printed metrics' "slo" section.
+  const double deadline_us = a.real("deadline-us", 0.0);
+  const std::string tier_name = a.str("tier", "silver");
+  const SloTier tier = tier_name == "gold"     ? SloTier::Gold
+                       : tier_name == "bronze" ? SloTier::Bronze
+                                               : SloTier::Silver;
+  const auto stamp = [&](Request r) {
+    return std::move(r.with_slo(tier, deadline_us * 1e-6));
+  };
   const std::size_t max_queue = a.num("queue", 256);
   Engine engine({.policy = {.max_batch = batch,
                             .max_wait_s = wait_us * 1e-6},
@@ -373,24 +386,24 @@ int cmd_serve_demo(const Args& a) {
         Rng rng(42 + i);
         switch (i % 4) {
           case 0:
-            futs[i] = engine.submit(Request::cumsum(
-                rng.uniform_f16(256 + 128 * (i % 3), -1.0, 1.0)));
+            futs[i] = engine.submit(stamp(Request::cumsum(
+                rng.uniform_f16(256 + 128 * (i % 3), -1.0, 1.0))));
             break;
           case 1: {
             auto x = rng.uniform_f16(256, -1.0, 1.0);
             auto f = rng.mask_i8(x.size(), 0.05);
             f[0] = 1;
             futs[i] = engine.submit(
-                Request::segmented_cumsum(std::move(x), std::move(f)));
+                stamp(Request::segmented_cumsum(std::move(x), std::move(f))));
             break;
           }
           case 2:
             futs[i] = engine.submit(
-                Request::sort(rng.uniform_f16(256, -100.0, 100.0)));
+                stamp(Request::sort(rng.uniform_f16(256, -100.0, 100.0))));
             break;
           default:
-            futs[i] = engine.submit(Request::top_p(
-                rng.token_probs_f16(1024), 0.9, rng.next_double()));
+            futs[i] = engine.submit(stamp(Request::top_p(
+                rng.token_probs_f16(1024), 0.9, rng.next_double())));
             break;
         }
       }

@@ -51,5 +51,15 @@ if cont and bound:
     print(f"continuous batching: interactive queue wait "
           f"{bound['interactive_queue_us']:.0f} us -> "
           f"{cont['interactive_queue_us']:.0f} us vs boundary-only")
+
+slo = data.get("slo", {})
+smodes = {m["mode"]: m for m in slo.get("modes", [])}
+on, off = smodes.get("preemption"), smodes.get("no_preemption")
+if on and off:
+    print(f"slo (deadline {slo['deadline_us']:.0f} us): preemption cuts "
+          f"interactive p99 {off['interactive_p99_us']:.0f} us -> "
+          f"{on['interactive_p99_us']:.0f} us, miss rate "
+          f"{off['miss_rate']*100:.1f}% -> {on['miss_rate']*100:.1f}% "
+          f"({on['preemptions']} parks)")
 EOF
 fi
