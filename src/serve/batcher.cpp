@@ -57,6 +57,7 @@ void Batcher::push(Pending p) {
   // (preemption park, failover inject) keeps its original seq, so it
   // re-enters at its original FIFO position among its deadline peers.
   auto& lane = p.req.priority == Priority::Interactive ? hi_ : lo_;
+  if (&lane == &lo_) lo_enq_.insert(p.enqueued);
   const auto pos = std::upper_bound(
       lane.begin(), lane.end(), p, [](const Pending& a, const Pending& b) {
         if (a.deadline != b.deadline) return a.deadline < b.deadline;
@@ -65,15 +66,18 @@ void Batcher::push(Pending p) {
   lane.insert(pos, std::move(p));
 }
 
+void Batcher::lo_erase_enqueued(Clock::time_point t) {
+  const auto it = lo_enq_.find(t);
+  if (it != lo_enq_.end()) lo_enq_.erase(it);
+}
+
 double Batcher::oldest_bulk_wait_s(Clock::time_point now) const {
   // The lane is EDF-ordered, not arrival-ordered, so the front is not
-  // necessarily the oldest request — the starvation guard must scan.
-  double waited = 0;
-  for (const auto& p : lo_) {
-    waited = std::max(
-        waited, std::chrono::duration<double>(now - p.enqueued).count());
-  }
-  return waited;
+  // necessarily the oldest request; lo_enq_ tracks the minimum enqueue
+  // time so the starvation guard stays O(1) — head() evaluates it on
+  // every pop-predicate wake.
+  if (lo_enq_.empty()) return 0;
+  return std::chrono::duration<double>(now - *lo_enq_.begin()).count();
 }
 
 const Pending* Batcher::head(const BatchPolicy& policy,
@@ -130,6 +134,7 @@ std::vector<Pending> Batcher::pop_batch(const BatchPolicy& policy,
   for (auto* lane : {first, second}) {
     for (auto it = lane->begin(); it != lane->end() && out.size() < want;) {
       if (group_key(it->req) == key) {
+        if (lane == &lo_) lo_erase_enqueued(it->enqueued);
         out.push_back(std::move(*it));
         it = lane->erase(it);
       } else {
@@ -161,6 +166,7 @@ std::vector<Pending> Batcher::pop_matching(const GroupKey& key,
   for (auto* lane : {&hi_, &lo_}) {
     for (auto it = lane->begin(); it != lane->end() && out.size() < max_n;) {
       if (coalescible(it->req.kind) && group_key(it->req) == key) {
+        if (lane == &lo_) lo_erase_enqueued(it->enqueued);
         out.push_back(std::move(*it));
         it = lane->erase(it);
       } else {
@@ -201,6 +207,7 @@ std::vector<Pending> Batcher::steal_bulk(const BatchPolicy& policy,
                                : 1;
   for (auto it = lo_.begin(); it != lo_.end() && out.size() < want;) {
     if (group_key(it->req) == key) {
+      lo_erase_enqueued(it->enqueued);
       out.push_back(std::move(*it));
       it = lo_.erase(it);
     } else {

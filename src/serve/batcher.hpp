@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <deque>
 #include <future>
+#include <set>
 #include <vector>
 
 #include "serve/request.hpp"
@@ -194,11 +195,18 @@ class Batcher {
  private:
   const Pending* head(const BatchPolicy& policy, Clock::time_point now) const;
   /// Longest wait among queued bulk requests (the aging-guard signal; the
-  /// EDF lane order means the front is not necessarily the oldest).
+  /// EDF lane order means the front is not necessarily the oldest, so the
+  /// minimum enqueue time is tracked in lo_enq_ — O(1) here, O(log n) on
+  /// each bulk-lane insert/erase. head() evaluates this on every pop
+  /// predicate wake, so it must not rescan the lane).
   double oldest_bulk_wait_s(Clock::time_point now) const;
+  /// Drops one instance of `t` from lo_enq_ (bulk-lane erase bookkeeping).
+  void lo_erase_enqueued(Clock::time_point t);
 
   std::deque<Pending> hi_;  ///< Priority::Interactive
   std::deque<Pending> lo_;  ///< Priority::Bulk
+  /// Multiset of lo_'s enqueue times; *begin() is the oldest bulk wait.
+  std::multiset<Clock::time_point> lo_enq_;
 };
 
 }  // namespace ascan::serve

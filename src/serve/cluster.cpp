@@ -50,8 +50,9 @@ Cluster::Cluster(ClusterOptions opt)
       eo.steal_source = [this, i] { return steal_for(i); };
     }
     if (opt_.health.enabled) {
-      eo.outcome_sink = [this, i](bool faulted, std::uint32_t retries) {
-        on_outcome(i, faulted, retries);
+      eo.outcome_sink = [this, i](bool faulted, std::uint32_t retries,
+                                  std::uint32_t canaries) {
+        on_outcome(i, faulted, retries, canaries);
       };
       eo.failover_sink = [this, i](std::vector<Pending> batch) {
         return failover_from(i, std::move(batch));
@@ -88,8 +89,14 @@ std::future<Response> Cluster::submit(Request req) {
 
   // Brownout: with too little healthy capacity, bulk work is shed up
   // front so what remains serves the latency-sensitive lane. Interactive
-  // requests still pass through the normal admission bound below.
-  if (req.priority == Priority::Bulk && in_brownout()) {
+  // requests still pass through the normal admission bound below. One
+  // escape hatch: a best-effort bulk request is let through while a
+  // Probing device has a free canary slot — canaries are the only way a
+  // device is readmitted, and winning one back is exactly what ends the
+  // brownout. (Advisory check; if the slot is gone by placement time the
+  // request just places normally.)
+  if (req.priority == Priority::Bulk && in_brownout() &&
+      !(req.deadline_s <= 0 && monitor_.has_canary_slot())) {
     metrics_.on_shed_brownout();
     std::ostringstream os;
     os << "cluster brownout: " << monitor_.placeable_count() << "/"
@@ -130,26 +137,46 @@ std::future<Response> Cluster::submit(Request req) {
     return reject(&Metrics::on_rejected_quota, os.str());
   }
 
-  const int dev = place(req, loads);
-  return shards_[static_cast<std::size_t>(dev)]->submit(std::move(req));
+  const Placed placed = place(req, loads);
+  req.canary = placed.canary;
+  return shards_[static_cast<std::size_t>(placed.device)]->submit(
+      std::move(req));
 }
 
 bool Cluster::admit_tenant(const std::string& tenant, Clock::time_point now) {
   if (opt_.tenant_quota == 0) return true;
   std::lock_guard<std::mutex> lk(quota_mu_);
-  auto& admits = tenant_admits_[tenant];
   const auto horizon =
       now - std::chrono::duration_cast<Clock::duration>(
                 std::chrono::duration<double>(opt_.tenant_quota_window_s));
+  // Amortized reap of idle tenants: a tenant that stops submitting is
+  // never revisited by the per-tenant prune below, so without this sweep
+  // the map grows by one entry per distinct tenant id ever seen. Sweeping
+  // once every size() admissions keeps the map bounded by the tenants
+  // active within the window, at amortized O(1) per admission.
+  if (++quota_admits_since_sweep_ > tenant_admits_.size()) {
+    quota_admits_since_sweep_ = 0;
+    for (auto it = tenant_admits_.begin(); it != tenant_admits_.end();) {
+      auto& window = it->second;
+      while (!window.empty() && window.front() < horizon) window.pop_front();
+      if (window.empty()) {
+        it = tenant_admits_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  auto& admits = tenant_admits_[tenant];
   while (!admits.empty() && admits.front() < horizon) admits.pop_front();
   if (admits.size() >= opt_.tenant_quota) return false;
   admits.push_back(now);
   return true;
 }
 
-int Cluster::place(const Request& r, const std::vector<std::size_t>& loads) {
+Cluster::Placed Cluster::place(const Request& r,
+                               const std::vector<std::size_t>& loads) {
   const int n = static_cast<int>(shards_.size());
-  std::size_t placeable = static_cast<std::size_t>(n);
+  std::vector<HealthState> states;
   if (opt_.health.enabled) {
     // Time-driven promotions first (Quarantined -> Probing after the
     // hold); the submit path is the cluster's clock.
@@ -159,61 +186,88 @@ int Cluster::place(const Request& r, const std::vector<std::size_t>& loads) {
       metrics_.on_health_transition();
     }
     // Half-open readmission: a Probing device's canary budget admits a
-    // bounded trickle of real traffic ahead of normal placement.
-    for (int i = 0; i < n; ++i) {
-      if (monitor_.try_admit_canary(i)) {
-        metrics_.on_canary_probe();
-        metrics_.on_routed_spill();
-        return i;
+    // bounded trickle of real traffic ahead of normal placement — but
+    // only best-effort bulk traffic. A suspect device must not be probed
+    // with deadline-bearing or interactive requests: those are exactly
+    // the SLOs the tiers protect, and a canary that faults burns its
+    // whole retry budget.
+    if (r.priority == Priority::Bulk && r.deadline_s <= 0) {
+      for (int i = 0; i < n; ++i) {
+        if (monitor_.try_admit_canary(i)) {
+          metrics_.on_canary_probe();
+          metrics_.on_routed_spill();
+          return {i, true};
+        }
       }
     }
-    placeable = monitor_.placeable_count();
+    // One consistent snapshot of the health states. Worker-thread
+    // on_outcome() transitions race this path, so the placeable set and
+    // its count must come from a single monitor read: separate
+    // placeable_count() / placeable(i) queries could observe a set that
+    // was never simultaneously true — e.g. a nonzero count whose last
+    // member is quarantined before the per-device loop runs, leaving no
+    // candidate at all.
+    states = monitor_.states();
   }
+  const auto placeable_at = [&states](int i) {
+    if (states.empty()) return true;  // health disabled
+    const HealthState s = states[static_cast<std::size_t>(i)];
+    return s == HealthState::Healthy || s == HealthState::Degraded;
+  };
+  std::size_t placeable = 0;
+  for (int i = 0; i < n; ++i) placeable += placeable_at(i) ? 1u : 0u;
 
   const int target =
       static_cast<int>(group_key_hash(group_key(r)) %
                        static_cast<std::uint64_t>(n));
-  if (placeable == static_cast<std::size_t>(n) || placeable == 0) {
-    // Every device placeable (the common case — identical to the
-    // pre-health placement), or none (health is advisory, never brick
-    // the cluster: fall back to ignoring it).
-    int least = 0;
-    for (int i = 1; i < n; ++i) {
-      if (loads[static_cast<std::size_t>(i)] <
-          loads[static_cast<std::size_t>(least)]) {
-        least = i;
-      }
-    }
-    // Keep GroupKey locality (timing cache, batch coalescing) unless the
-    // affinity device has fallen spill_margin requests behind the least
-    // loaded one.
-    if (loads[static_cast<std::size_t>(target)] >
-        loads[static_cast<std::size_t>(least)] + spill_margin_) {
-      metrics_.on_routed_spill();
-      return least;
-    }
-    metrics_.on_routed_affinity();
-    return target;
-  }
 
   // Health-aware placement: least-loaded among the placeable devices;
   // affinity kept only when its device is placeable and within margin.
-  int least = -1;
-  for (int i = 0; i < n; ++i) {
-    if (!monitor_.placeable(i)) continue;
-    if (least < 0 || loads[static_cast<std::size_t>(i)] <
-                         loads[static_cast<std::size_t>(least)]) {
+  // Skipped when every device is placeable (the common case — identical
+  // to the pre-health placement) or none is; under one snapshot
+  // 0 < placeable < n guarantees the loop finds a candidate, and if it
+  // ever did not, falling through to the health-ignoring path below keeps
+  // the invariant that placement never bricks the cluster.
+  if (placeable > 0 && placeable < static_cast<std::size_t>(n)) {
+    int least = -1;
+    for (int i = 0; i < n; ++i) {
+      if (!placeable_at(i)) continue;
+      if (least < 0 || loads[static_cast<std::size_t>(i)] <
+                           loads[static_cast<std::size_t>(least)]) {
+        least = i;
+      }
+    }
+    if (least >= 0) {
+      if (placeable_at(target) &&
+          loads[static_cast<std::size_t>(target)] <=
+              loads[static_cast<std::size_t>(least)] + spill_margin_) {
+        metrics_.on_routed_affinity();
+        return {target, false};
+      }
+      metrics_.on_routed_spill();
+      return {least, false};
+    }
+  }
+
+  // Every device placeable, or none (health is advisory, never brick the
+  // cluster: fall back to ignoring it).
+  int least = 0;
+  for (int i = 1; i < n; ++i) {
+    if (loads[static_cast<std::size_t>(i)] <
+        loads[static_cast<std::size_t>(least)]) {
       least = i;
     }
   }
-  if (monitor_.placeable(target) &&
-      loads[static_cast<std::size_t>(target)] <=
-          loads[static_cast<std::size_t>(least)] + spill_margin_) {
-    metrics_.on_routed_affinity();
-    return target;
+  // Keep GroupKey locality (timing cache, batch coalescing) unless the
+  // affinity device has fallen spill_margin requests behind the least
+  // loaded one.
+  if (loads[static_cast<std::size_t>(target)] >
+      loads[static_cast<std::size_t>(least)] + spill_margin_) {
+    metrics_.on_routed_spill();
+    return {least, false};
   }
-  metrics_.on_routed_spill();
-  return least;
+  metrics_.on_routed_affinity();
+  return {target, false};
 }
 
 std::vector<Pending> Cluster::steal_for(int thief) {
@@ -241,9 +295,10 @@ std::vector<Pending> Cluster::steal_for(int thief) {
       steal_min_backlog_);
 }
 
-void Cluster::on_outcome(int device, bool faulted, std::uint32_t retries) {
+void Cluster::on_outcome(int device, bool faulted, std::uint32_t retries,
+                         std::uint32_t canaries) {
   if (!ready_.load(std::memory_order_acquire)) return;
-  const auto t = monitor_.record(device, faulted, retries);
+  const auto t = monitor_.record(device, faulted, retries, canaries);
   if (!t) return;
   metrics_.on_health_transition();
   if (t->to == HealthState::Quarantined) drain_quarantined(device);

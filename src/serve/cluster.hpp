@@ -167,17 +167,26 @@ class Cluster {
   std::string metrics_json() const;
 
  private:
+  /// Placement decision: the target device, and whether the request was
+  /// admitted through a Probing device's half-open canary slot (the
+  /// caller stamps Request::canary so the serving launch's outcome is
+  /// recognised as a canary verdict).
+  struct Placed {
+    int device = 0;
+    bool canary = false;
+  };
   /// Affinity target for `r` given the observed per-device loads, falling
   /// back to the least-loaded device past spill_margin. Bumps the routing
   /// counters.
-  int place(const Request& r, const std::vector<std::size_t>& loads);
+  Placed place(const Request& r, const std::vector<std::size_t>& loads);
   /// Steal callback installed on device `thief`: one formed bulk batch
   /// from the sibling with the deepest qualifying bulk backlog.
   std::vector<Pending> steal_for(int thief);
 
   /// Engine outcome_sink target: feeds the health monitor and acts on the
   /// transition (quarantine -> drain the device's queue to siblings).
-  void on_outcome(int device, bool faulted, std::uint32_t retries);
+  void on_outcome(int device, bool faulted, std::uint32_t retries,
+                  std::uint32_t canaries);
   /// Engine failover_sink target: re-dispatches a faulted batch's
   /// unresolved members (tile checkpoints riding along) to healthy
   /// siblings; returns the members no sibling could take.
@@ -206,9 +215,13 @@ class Cluster {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
   std::mutex shutdown_mu_;  ///< serialises shutdown callers
-  std::mutex quota_mu_;     ///< guards tenant_admits_
+  std::mutex quota_mu_;     ///< guards tenant_admits_ and the sweep count
   /// Admission timestamps per tenant within the trailing quota window.
+  /// Idle tenants' entries are reaped by an amortized sweep in
+  /// admit_tenant(), so the map stays bounded by the tenants active
+  /// within the window rather than every tenant id ever seen.
   std::map<std::string, std::deque<Clock::time_point>> tenant_admits_;
+  std::size_t quota_admits_since_sweep_ = 0;
   std::vector<std::unique_ptr<Engine>> shards_;
 };
 

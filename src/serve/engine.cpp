@@ -299,6 +299,15 @@ void Engine::run_group_stepwise(Session& session,
   const auto streams = [&](const StreamSlot& s) {
     return mode != GroupExec::Stolen && static_cast<bool>(s.p.req.on_chunk);
   };
+  // Canary-admitted members of the launch (counted at outcome time, since
+  // continuation admission can add slots mid-launch): on a Probing device
+  // only canary-tagged outcomes count toward readmission — a straggler
+  // launch from before the quarantine must not vouch for the device.
+  const auto canary_count = [&slots] {
+    std::uint32_t n = 0;
+    for (const auto& s : slots) n += s.p.req.canary ? 1u : 0u;
+    return n;
+  };
   // Copy of the aggregate report after the latest completed step, for the
   // partial-accounting path when a later step faults.
   Report partial;
@@ -497,14 +506,20 @@ void Engine::run_group_stepwise(Session& session,
     metrics_.on_batch_abandoned(burned);
     // Health outcome before rethrow: the cluster's failover_sink (run by
     // execute_batch's catch) must see the post-fault device state.
-    if (opt_.outcome_sink) opt_.outcome_sink(true, burned.retries);
+    if (opt_.outcome_sink) {
+      opt_.outcome_sink(true, burned.retries, canary_count());
+    }
     throw;
   } catch (...) {
     metrics_.on_batch_abandoned(partial);
-    if (opt_.outcome_sink) opt_.outcome_sink(true, partial.retries);
+    if (opt_.outcome_sink) {
+      opt_.outcome_sink(true, partial.retries, canary_count());
+    }
     throw;
   }
-  if (opt_.outcome_sink) opt_.outcome_sink(false, fin.retries);
+  if (opt_.outcome_sink) {
+    opt_.outcome_sink(false, fin.retries, canary_count());
+  }
 }
 
 void Engine::execute_batch(Session& session, std::vector<Pending> batch,

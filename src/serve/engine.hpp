@@ -99,8 +99,12 @@ struct EngineOptions {
   /// Called from the worker thread after every serving launch, with no
   /// engine lock held — `faulted` when the launch exhausted its retry
   /// policy (typed fault escaped), `retries` the recovered-relaunch count
-  /// of a successful launch. Must not block on this engine's locks.
-  std::function<void(bool faulted, std::uint32_t retries)> outcome_sink;
+  /// of a successful launch, `canaries` the number of canary-admitted
+  /// requests (Request::canary) the launch carried. Must not block on
+  /// this engine's locks.
+  std::function<void(bool faulted, std::uint32_t retries,
+                     std::uint32_t canaries)>
+      outcome_sink;
   /// Cluster hook: every unresolved member of a faulted batch is offered
   /// here — each carries its tile checkpoint in Pending::resume — so the
   /// cluster can re-dispatch it to a healthy sibling. Returns the pendings

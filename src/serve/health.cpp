@@ -28,7 +28,8 @@ void HealthMonitor::push_outcome(Dev& d, double severity) {
 }
 
 std::optional<HealthTransition> HealthMonitor::record(int device, bool faulted,
-                                                      std::uint32_t retries) {
+                                                      std::uint32_t retries,
+                                                      std::uint32_t canaries) {
   std::lock_guard<std::mutex> lk(mu_);
   if (!policy_.enabled) return std::nullopt;
   ASCAN_CHECK(device >= 0 && device < static_cast<int>(devs_.size()),
@@ -45,8 +46,18 @@ std::optional<HealthTransition> HealthMonitor::record(int device, bool faulted,
   };
 
   switch (d.state) {
-    case HealthState::Probing:
-      if (d.canaries_in_flight > 0) --d.canaries_in_flight;
+    case HealthState::Probing: {
+      if (canaries == 0) {
+        // Straggler from a launch already in flight before the quarantine
+        // (or work re-queued onto this device while it was sick): it feeds
+        // the window above, but it is not a canary verdict — it must
+        // neither advance nor reset the readmission count.
+        return std::nullopt;
+      }
+      // A coalesced launch may carry several canary-admitted requests;
+      // release every slot it held.
+      d.canaries_in_flight -=
+          std::min<std::size_t>(d.canaries_in_flight, canaries);
       if (faulted) {
         // The canary died: back to quarantine, hold restarts.
         d.quarantined_at = ClockT::now();
@@ -54,7 +65,15 @@ std::optional<HealthTransition> HealthMonitor::record(int device, bool faulted,
         d.canaries_in_flight = 0;
         return transition(HealthState::Quarantined);
       }
-      if (++d.canary_ok >= policy_.canary_batches) {
+      if (retries > 0) {
+        // Survived, but only through retries — not clean enough to vouch
+        // for the device. The consecutive-clean count restarts.
+        d.canary_ok = 0;
+        return std::nullopt;
+      }
+      // Each canary request that ran clean is one unit of evidence.
+      d.canary_ok += canaries;
+      if (d.canary_ok >= policy_.canary_batches) {
         // Readmitted with a clean slate — stale quarantine-era outcomes
         // must not immediately re-degrade the device.
         d.ring.assign(policy_.window, 0.0);
@@ -64,6 +83,7 @@ std::optional<HealthTransition> HealthMonitor::record(int device, bool faulted,
         return transition(HealthState::Healthy);
       }
       return std::nullopt;
+    }
     case HealthState::Quarantined:
       // Straggler outcomes from launches already in flight when the device
       // was quarantined; they only feed the window.
@@ -153,6 +173,17 @@ bool HealthMonitor::try_admit_canary(int device) {
   if (d.canaries_in_flight >= policy_.canary_batches) return false;
   ++d.canaries_in_flight;
   return true;
+}
+
+bool HealthMonitor::has_canary_slot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& d : devs_) {
+    if (d.state == HealthState::Probing &&
+        d.canaries_in_flight < policy_.canary_batches) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace ascan::serve

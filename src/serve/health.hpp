@@ -22,8 +22,11 @@
 //    queued work is drained to healthy shards. After quarantine_hold_s it
 //    becomes Probing.
 //  * Probing — half-open: up to canary_batches canary requests are let
-//    through; canary_batches consecutive clean outcomes readmit the device
-//    (Healthy, window reset), any fault re-quarantines it.
+//    through; canary_batches consecutive clean *canary* outcomes readmit
+//    the device (Healthy, window reset), a faulting canary re-quarantines
+//    it. Outcomes not tagged as canaries — stragglers from launches that
+//    were in flight before the quarantine — only feed the scoring window,
+//    and a canary that succeeded only via retries is not counted clean.
 //
 // Scoring is a sliding window of the last `window` launch outcomes per
 // device: a typed fault scores 1.0, a success that needed retries scores
@@ -93,10 +96,17 @@ class HealthMonitor {
 
   /// Feeds one launch outcome for `device`. `faulted` means the launch
   /// exhausted its retry policy (typed FaultError escaped); `retries` is
-  /// the recovered-relaunch count of a successful launch. Returns the
-  /// transition when the state changed.
+  /// the recovered-relaunch count of a successful launch; `canaries` is
+  /// how many canary-admitted requests the launch carried (0 for regular
+  /// traffic). The tag is what distinguishes a real canary verdict from a
+  /// straggler outcome of a launch that was already in flight when the
+  /// device was quarantined — on a Probing device only canary-tagged
+  /// outcomes advance (or reset) the readmission count, and a canary that
+  /// needed retries to succeed is released but not counted clean. Returns
+  /// the transition when the state changed.
   std::optional<HealthTransition> record(int device, bool faulted,
-                                         std::uint32_t retries);
+                                         std::uint32_t retries,
+                                         std::uint32_t canaries = 0);
 
   /// Time-driven promotions (Quarantined -> Probing after the hold).
   /// Appends any transitions to `out` (may be null).
@@ -115,6 +125,13 @@ class HealthMonitor {
   /// Half-open admission: true reserves one canary slot on a Probing
   /// device (released when its outcome is recorded).
   bool try_admit_canary(int device);
+
+  /// Whether any Probing device currently has a free canary slot — the
+  /// brownout path consults this so a shed-candidate bulk request can be
+  /// offered to a canary instead of being turned away (readmitting a
+  /// device is exactly what ends the brownout). Advisory: the slot is only
+  /// reserved by a later try_admit_canary().
+  bool has_canary_slot() const;
 
   const HealthPolicy& policy() const { return policy_; }
 

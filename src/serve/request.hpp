@@ -135,6 +135,11 @@ struct Request {
   /// Tenant identity for the cluster's per-tenant admission quotas; the
   /// empty string is the shared default bucket.
   std::string tenant;
+  /// Internal: stamped by the cluster when the request was admitted
+  /// through a Probing device's half-open canary slot, so the launch that
+  /// serves it can be tagged as a canary verdict for the health monitor
+  /// (stragglers must not readmit a device). Clients leave it false.
+  bool canary = false;
 
   /// Optional streaming sink. When set and the request is served by a
   /// stepwise launch, each completed slice is delivered as it finishes;

@@ -276,6 +276,79 @@ TEST(BatcherEdf, AgingScanFindsOldRequestBehindEdfFront) {
       << "aged bulk behind the EDF front must still win the lane";
 }
 
+// The aging signal is maintained incrementally (the EDF lane order hides
+// the oldest request mid-lane, and head() evaluates the guard on every
+// pop-predicate wake, so it must not rescan the lane). Every bulk-lane
+// removal path must retire the popped request's enqueue time: a stale
+// minimum would keep the guard firing — bulk outranking interactive —
+// after the aged work already left the queue.
+
+TEST(BatcherAging, PopBatchRetiresAgedEnqueueTime) {
+  BatchPolicy policy;
+  policy.max_batch = 1;
+  Batcher q;
+  const auto now = Clock::now();
+  const auto aged = now - aging_limit(policy) - std::chrono::milliseconds(1);
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      aged, 0));
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      now, 1));
+  q.push(make_pending(Request::cumsum(row(32), 128), now, 2));
+  auto b = q.pop_batch(policy, now);  // guard fires: the aged bulk wins
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.front().seq, 0u);
+  b = q.pop_batch(policy, now);  // aged time retired: interactive leads
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.front().req.priority, Priority::Interactive)
+      << "stale aging minimum after pop_batch";
+  b = q.pop_batch(policy, now);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.front().seq, 1u);
+}
+
+TEST(BatcherAging, PopMatchingRetiresAgedEnqueueTime) {
+  BatchPolicy policy;
+  Batcher q;
+  const auto now = Clock::now();
+  const auto aged = now - aging_limit(policy) - std::chrono::milliseconds(1);
+  const GroupKey key = group_key(Request::cumsum(row(8), 16));
+  // The aged request *matches* the in-flight key, so the guard (which
+  // watches non-matching work only) does not freeze admission and
+  // pop_matching takes it from the bulk lane.
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      aged, 0));
+  q.push(make_pending(Request::cumsum(row(32), 128), now, 1));
+  auto got = q.pop_matching(key, 8, policy, now);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].seq, 0u);
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      now, 2));
+  auto b = q.pop_batch(policy, now);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.front().req.priority, Priority::Interactive)
+      << "stale aging minimum after pop_matching";
+}
+
+TEST(BatcherAging, StealBulkRetiresAgedEnqueueTime) {
+  BatchPolicy policy;
+  policy.max_batch = 1;
+  Batcher q;
+  const auto now = Clock::now();
+  const auto aged = now - aging_limit(policy) - std::chrono::milliseconds(1);
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      aged, 0));
+  auto stolen = q.steal_bulk(policy, 1);
+  ASSERT_EQ(stolen.size(), 1u);
+  EXPECT_EQ(stolen.front().seq, 0u);
+  q.push(make_pending(Request::cumsum(row(32), 16, false, Priority::Bulk),
+                      now, 1));
+  q.push(make_pending(Request::cumsum(row(32), 128), now, 2));
+  auto b = q.pop_batch(policy, now);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.front().req.priority, Priority::Interactive)
+      << "stale aging minimum after steal_bulk";
+}
+
 TEST(BatcherEdf, PopMatchingGuardComposesWithDeadlines) {
   // pop_matching's starvation guard keys on *age*, not deadline: a
   // deadline-bearing non-matching request that has not aged does not

@@ -521,19 +521,31 @@ TEST(ServeClusterHealth, HealthMonitorWalksTheStateMachine) {
 
   // A faulting canary re-quarantines; clean canaries readmit with a reset
   // window (stale quarantine-era faults must not re-degrade instantly).
-  auto t3 = mon.record(0, true, 0);
+  auto t3 = mon.record(0, true, 0, 1);
   ASSERT_TRUE(t3.has_value());
   EXPECT_EQ(t3->to, HealthState::Quarantined);
   mon.tick(nullptr);
+  EXPECT_TRUE(mon.has_canary_slot());
   ASSERT_TRUE(mon.try_admit_canary(0));
-  EXPECT_FALSE(mon.record(0, false, 0).has_value());  // 1 of 2 clean
+  // An untagged outcome is a straggler from a pre-quarantine launch: it
+  // must neither advance nor reset the readmission count, and it leaves
+  // the reserved canary slot in flight.
+  EXPECT_FALSE(mon.record(0, false, 0).has_value());
+  EXPECT_FALSE(mon.record(0, true, 0).has_value());  // even a faulting one
+  EXPECT_EQ(mon.state(0), HealthState::Probing);
+  // A canary that survived only through retries is released but does not
+  // count clean (the consecutive-clean count restarts).
+  EXPECT_FALSE(mon.record(0, false, 2, 1).has_value());
   ASSERT_TRUE(mon.try_admit_canary(0));
-  auto t4 = mon.record(0, false, 0);
+  EXPECT_FALSE(mon.record(0, false, 0, 1).has_value());  // 1 of 2 clean
+  ASSERT_TRUE(mon.try_admit_canary(0));
+  auto t4 = mon.record(0, false, 0, 1);
   ASSERT_TRUE(t4.has_value());
   EXPECT_EQ(t4->from, HealthState::Probing);
   EXPECT_EQ(t4->to, HealthState::Healthy);
   EXPECT_EQ(mon.score(0), 0.0);  // clean slate
   EXPECT_EQ(mon.placeable_count(), 2u);
+  EXPECT_FALSE(mon.has_canary_slot());  // nobody probing any more
 }
 
 TEST(ServeClusterHealth, BrownoutShedsBulkAndKeepsInteractiveLane) {
@@ -620,12 +632,22 @@ TEST(ServeClusterHealth, ProbingCanaryRefaultsAndRequarantines) {
   }
   ASSERT_EQ(cluster.device_health(bad), HealthState::Quarantined);
 
-  // After the hold the next submit is routed to the probing device as a
-  // canary; the canary faults on the still-dead device, the device goes
+  // After the hold the next best-effort *bulk* submit is routed to the
+  // probing device as a canary (interactive and deadline-bearing requests
+  // are never canaries — their SLOs must not be staked on a suspect
+  // device); the canary faults on the still-dead device, the device goes
   // straight back to quarantine, and the request itself still completes
   // via failover.
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  const auto r = cluster.submit(Request::cumsum(x)).get();
+  // An interactive request first: it must NOT be canary-admitted — it
+  // places on the healthy sibling and the suspect device keeps probing.
+  const auto ri = cluster.submit(Request::cumsum(x)).get();
+  EXPECT_TRUE(ri.ok()) << ri.reason;
+  EXPECT_NE(ri.device, bad);
+  EXPECT_EQ(ri.resumed_from, -1);
+  EXPECT_EQ(cluster.device_health(bad), HealthState::Probing);
+  const auto r =
+      cluster.submit(Request::cumsum(x, 128, false, Priority::Bulk)).get();
   EXPECT_TRUE(r.ok()) << r.reason;
   EXPECT_EQ(r.resumed_from, bad);
   EXPECT_NE(r.device, bad);
