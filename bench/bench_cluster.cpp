@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "kernels/vec_ref.hpp"
 #include "serve/cluster.hpp"
 
 using namespace ascend;
@@ -144,6 +145,7 @@ struct CapacityResult {
   std::uint64_t stolen_requests = 0;
   std::map<int, DeviceSim> devices;
   std::vector<MetricsSnapshot> shards;
+  vecref::VerifyStats verify;  ///< every Ok response checked bit-for-bit
 };
 
 /// Saturating open loop: `total` requests are submitted as fast as the
@@ -153,11 +155,17 @@ struct CapacityResult {
 /// not "how well does it idle". Mixed row lengths and tiles spread the
 /// traffic over eight GroupKeys so affinity placement has something to
 /// distribute.
-std::pair<std::vector<Response>, double> drive(
-    const std::function<std::future<Response>(Request)>& submit,
-    std::size_t total, std::uint64_t seed) {
+struct DriveResult {
+  std::vector<Response> responses;
+  double wall_s = 0;
+  vecref::VerifyStats verify;
+};
+
+DriveResult drive(const std::function<std::future<Response>(Request)>& submit,
+                  std::size_t total, std::uint64_t seed) {
   constexpr int kSubmitters = 4;
   std::vector<std::future<Response>> futs(total);
+  std::vector<std::vector<ascan::half>> inputs(total);
   std::vector<std::thread> threads;
   threads.reserve(kSubmitters);
   const auto t0 = std::chrono::steady_clock::now();
@@ -168,8 +176,9 @@ std::pair<std::vector<Response>, double> drive(
            i += kSubmitters) {
         const std::size_t n = 128 + 64 * (i % 4);
         const std::size_t tile = (i % 2 != 0) ? 64 : 128;
+        inputs[i] = bit_row(rng, n);
         futs[i] = submit(
-            Request::cumsum(bit_row(rng, n), tile, false, Priority::Bulk));
+            Request::cumsum(inputs[i], tile, false, Priority::Bulk));
       }
     });
   }
@@ -180,20 +189,34 @@ std::pair<std::vector<Response>, double> drive(
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  return {std::move(rs), wall};
+  // Verify after the clock stops: every Ok response bit-compared against
+  // the SIMD host reference (0/1 rows: the exact-comparison corpus). The
+  // counters certify the throughput numbers are for correct answers; the
+  // check itself stays outside the measured wall time.
+  DriveResult out;
+  out.wall_s = wall;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (rs[i].ok()) {
+      vecref::verify_cumsum(inputs[i], rs[i].values_f16, out.verify);
+    }
+  }
+  out.responses = std::move(rs);
+  return out;
 }
 
-CapacityResult finish_capacity(std::string name, std::vector<Response> rs,
-                               double wall) {
+CapacityResult finish_capacity(std::string name, DriveResult d) {
   CapacityResult out;
   out.name = std::move(name);
-  out.wall_s = wall;
+  out.wall_s = d.wall_s;
+  out.verify = d.verify;
+  const auto& rs = d.responses;
   out.devices = device_sim(rs);
   for (const auto& [dev, d] : out.devices) {
     out.completed += d.served;
     out.busiest_sim_s = std::max(out.busiest_sim_s, d.busy_s);
   }
-  out.wall_rps = wall > 0 ? static_cast<double>(out.completed) / wall : 0;
+  out.wall_rps =
+      d.wall_s > 0 ? static_cast<double>(out.completed) / d.wall_s : 0;
   out.sim_capacity_rps =
       out.busiest_sim_s > 0
           ? static_cast<double>(out.completed) / out.busiest_sim_s
@@ -204,12 +227,48 @@ CapacityResult finish_capacity(std::string name, std::vector<Response> rs,
 CapacityResult run_capacity_single(const BatchPolicy& policy,
                                    std::size_t total) {
   Engine engine({.policy = policy, .max_queue = 4 * total});
-  auto [rs, wall] = drive(
+  auto d = drive(
       [&](Request r) { return engine.submit(std::move(r)); }, total, 100);
   engine.shutdown(ShutdownMode::Drain);
-  auto out = finish_capacity("single_device", std::move(rs), wall);
+  auto out = finish_capacity("single_device", std::move(d));
   out.shards.push_back(engine.metrics());
   return out;
+}
+
+/// The monolithic control for the cluster row: the same four devices, but
+/// served by ONE engine through one shared submission queue — the
+/// configuration whose global host front end made the original cluster row
+/// lose to a single device. Cluster-vs-this isolates what sharding the
+/// front end (placement + per-device queues + stealing) is worth at equal
+/// host parallelism; a cluster row below this one means the cluster front
+/// end's own overhead regressed.
+CapacityResult run_capacity_fleet_shared(const BatchPolicy& policy,
+                                         std::size_t total) {
+  Engine engine(
+      {.policy = policy, .max_queue = 4 * total, .num_workers = 4});
+  auto d = drive(
+      [&](Request r) { return engine.submit(std::move(r)); }, total, 100);
+  engine.shutdown(ShutdownMode::Drain);
+  auto out = finish_capacity("fleet4_shared_queue", std::move(d));
+  out.shards.push_back(engine.metrics());
+  return out;
+}
+
+/// Wall-clock rps on a time-shared host is noisy; repeat the closed-loop
+/// drive and keep the fastest run (the one least perturbed by unrelated
+/// scheduling), merging the bit-exactness counters from every repeat so
+/// the verification corpus still covers all of them.
+template <typename Fn>
+CapacityResult best_of(int reps, Fn&& run) {
+  CapacityResult best = run();
+  vecref::VerifyStats all = best.verify;
+  for (int i = 1; i < reps; ++i) {
+    CapacityResult r = run();
+    all.merge(r.verify);
+    if (r.wall_rps > best.wall_rps) best = std::move(r);
+  }
+  best.verify = all;
+  return best;
 }
 
 CapacityResult run_capacity_cluster(const BatchPolicy& policy,
@@ -220,10 +279,10 @@ CapacityResult run_capacity_cluster(const BatchPolicy& policy,
                    .steal_min_backlog = 8,
                    .steal_poll_s = 50e-6,
                    .spill_margin = 2});
-  auto [rs, wall] = drive(
+  auto d = drive(
       [&](Request r) { return cluster.submit(std::move(r)); }, total, 100);
   cluster.shutdown(ShutdownMode::Drain);
-  auto out = finish_capacity("cluster4_stealing", std::move(rs), wall);
+  auto out = finish_capacity("cluster4_stealing", std::move(d));
   out.shards = cluster.per_device_metrics();
   const auto m = cluster.metrics();
   out.steals = m.steals;
@@ -542,27 +601,40 @@ void devices_json(std::ostringstream& os, const CapacityResult& r) {
   os << "]";
 }
 
-std::string to_json(const CapacityResult& single, const CapacityResult& cluster,
-                    const BurstResult& affinity, const BurstResult& stealing,
-                    double ref_rps, const ChaosResult* chaos) {
+std::string to_json(const CapacityResult& single, const CapacityResult& fleet,
+                    const CapacityResult& cluster, const BurstResult& affinity,
+                    const BurstResult& stealing, double ref_rps,
+                    unsigned host_cores, const ChaosResult* chaos) {
   const double sim_ratio =
       single.sim_capacity_rps > 0
           ? cluster.sim_capacity_rps / single.sim_capacity_rps
           : 0;
+  // A 1-core host time-slices the cluster's device workers against each
+  // other and the submitters, so a single device with the whole core to
+  // itself can win on wall clock no matter how lean the front end is. The
+  // single-device ordering is therefore asserted only when the host can
+  // actually run the fleet concurrently; the fleet4_shared_queue ordering
+  // has no such excuse (same devices, same thread count) and is asserted
+  // everywhere — with a small tolerance, since both sides are wall clock.
+  const bool host_parallel = host_cores >= 4 /*devices*/ + 1;
   std::ostringstream os;
   os << "{\n  \"bench\": \"cluster_serving\",\n"
-     << "  \"machine\": \"4x simulated Ascend 910B4, one host core\",\n"
+     << "  \"machine\": \"4x simulated Ascend 910B4, " << host_cores
+     << " host core(s)\",\n"
      << "  \"note\": \"wall-clock rps cannot scale with device count on a "
         "single-core host; capacity is completed requests / busiest device's "
-        "summed simulated launch time, measured identically for both rows\",\n"
+        "summed simulated launch time, measured identically for every row; "
+        "wall_rps rows are best-of-N closed-loop runs\",\n"
      << "  \"throughput\": {\n";
-  for (const auto* r : {&single, &cluster}) {
+  for (const auto* r : {&single, &fleet, &cluster}) {
     os << "    \"" << r->name << "\": {\"completed\": " << r->completed
        << ", \"wall_s\": " << r->wall_s << ", \"wall_rps\": " << r->wall_rps
        << ", \"busiest_sim_s\": " << r->busiest_sim_s
        << ", \"sim_capacity_rps\": " << r->sim_capacity_rps
        << ", \"steals\": " << r->steals
        << ", \"stolen_requests\": " << r->stolen_requests
+       << ", \"verified\": " << r->verify.requests
+       << ", \"mismatches\": " << r->verify.mismatches
        << ", \"devices\": ";
     devices_json(os, *r);
     os << "},\n";
@@ -570,7 +642,32 @@ std::string to_json(const CapacityResult& single, const CapacityResult& cluster,
   os << "    \"capacity_ratio\": " << sim_ratio
      << ",\n    \"ref_saturating_wall_rps\": " << ref_rps
      << ",\n    \"sim_capacity_vs_ref\": "
-     << (ref_rps > 0 ? cluster.sim_capacity_rps / ref_rps : 0) << "\n  },\n"
+     << (ref_rps > 0 ? cluster.sim_capacity_rps / ref_rps : 0)
+     << ",\n    \"ordering\": {\"note\": \"expected orderings: cluster sim "
+        "capacity must scale (>= 3x one device); cluster wall rps must hold "
+        "within 10% of the same four devices behind one shared-queue engine "
+        "(sharded front end vs shared front end, equal host parallelism — "
+        "asserted at exit alongside bit_exact in full runs); and cluster "
+        "wall rps must beat one device outright when the host has cores to "
+        "run the fleet concurrently (annotated, not asserted, when "
+        "host_limited)\", "
+        "\"host_limited\": "
+     << (host_parallel ? "false" : "true")
+     << ", \"cluster_over_fleet_wall_ratio\": "
+     << (fleet.wall_rps > 0 ? cluster.wall_rps / fleet.wall_rps : 0)
+     << ", \"cluster_over_single_wall_ratio\": "
+     << (single.wall_rps > 0 ? cluster.wall_rps / single.wall_rps : 0)
+     << ", \"cluster_wall_holds_vs_shared_queue_fleet\": "
+     << (cluster.wall_rps >= 0.90 * fleet.wall_rps ? "true" : "false")
+     << ", \"cluster_wall_ge_single\": "
+     << (cluster.wall_rps >= single.wall_rps ? "true" : "false")
+     << ", \"cluster_sim_capacity_ge_3x\": "
+     << (sim_ratio >= 3.0 ? "true" : "false") << ", \"bit_exact\": "
+     << (single.verify.clean() && fleet.verify.clean() &&
+                 cluster.verify.clean()
+             ? "true"
+             : "false")
+     << "}\n  },\n"
      << "  \"hot_key_burst\": {\n";
   for (const auto* b : {&affinity, &stealing}) {
     os << "    \"" << b->name << "\": {\"completed\": " << b->completed
@@ -648,12 +745,18 @@ int main(int argc, char** argv) {
   const std::size_t total = args.quick ? 1600 : 6400;
   const int burst_reqs = args.quick ? 128 : 256;
 
-  const auto single = run_capacity_single(policy, total);
-  const auto cluster = run_capacity_cluster(policy, total);
+  const int reps = args.quick ? 1 : 3;
+  const auto single =
+      best_of(reps, [&] { return run_capacity_single(policy, total); });
+  const auto fleet =
+      best_of(reps, [&] { return run_capacity_fleet_shared(policy, total); });
+  const auto cluster =
+      best_of(reps, [&] { return run_capacity_cluster(policy, total); });
+  const unsigned host_cores = std::max(1u, std::thread::hardware_concurrency());
 
   Table cap({"run", "completed", "wall req/s", "sim capacity req/s",
              "busiest sim ms", "steals"});
-  for (const auto* r : {&single, &cluster}) {
+  for (const auto* r : {&single, &fleet, &cluster}) {
     cap.add_row({r->name, static_cast<std::int64_t>(r->completed), r->wall_rps,
                  r->sim_capacity_rps, r->busiest_sim_s * 1e3,
                  static_cast<std::int64_t>(r->steals)});
@@ -665,6 +768,48 @@ int main(int argc, char** argv) {
   std::printf("\ncapacity: cluster %.0f req/s vs single device %.0f req/s "
               "(%.2fx, simulated device time)\n",
               cluster.sim_capacity_rps, single.sim_capacity_rps, ratio);
+  vecref::VerifyStats all_verify = single.verify;
+  all_verify.merge(fleet.verify);
+  all_verify.merge(cluster.verify);
+  std::printf("verify: %llu responses (%llu elements) checked against the "
+              "SIMD host reference, %llu bit mismatches%s\n",
+              static_cast<unsigned long long>(all_verify.requests),
+              static_cast<unsigned long long>(all_verify.elements),
+              static_cast<unsigned long long>(all_verify.mismatches),
+              all_verify.clean() ? "" : "  ** BIT-EXACTNESS BROKEN **");
+  // Sharded front end vs the same fleet behind one shared-queue engine:
+  // equal device fleet, equal host thread count, so this ordering holds on
+  // any host up to scheduler noise — both front ends are lock-free now, so
+  // the two rows are legitimately close, and the exit-status assert uses a
+  // 10% wall-clock band to flag only real regressions (a reintroduced
+  // global bottleneck in the cluster front end, not a bad scheduler draw).
+  // Quick mode is a smoke run (1 rep, small corpus): numbers are printed
+  // but only bit-exactness and future resolution are load-bearing.
+  const bool shard_win =
+      args.quick || cluster.wall_rps >= 0.90 * fleet.wall_rps;
+  if (!shard_win) {
+    std::printf("FAIL: cluster wall rps %.0f more than 10%% below the "
+                "shared-queue fleet's %.0f — the sharded front end lost to "
+                "the single shared-queue engine it exists to beat\n",
+                cluster.wall_rps, fleet.wall_rps);
+  }
+  if (cluster.wall_rps < single.wall_rps) {
+    if (host_cores >= 5) {
+      std::printf("WARNING: cluster wall rps %.0f below single-device %.0f "
+                  "on a %u-core host — host hot-path overhead is eating the "
+                  "fleet's headroom\n",
+                  cluster.wall_rps, single.wall_rps, host_cores);
+    } else {
+      std::printf("note: cluster wall rps %.0f vs single-device %.0f — "
+                  "host-limited (%u core(s) time-slicing %d device workers; "
+                  "see ordering.host_limited)\n",
+                  cluster.wall_rps, single.wall_rps, host_cores, 4);
+    }
+  }
+  if (ratio < 3.0) {
+    std::printf("WARNING: sim capacity ratio %.2fx below the 3x scaling "
+                "claim\n", ratio);
+  }
   if (ref_rps > 0) {
     std::printf("reference: BENCH_serve.json saturating batched wall rate "
                 "%.0f req/s (cluster sim capacity = %.1fx)\n",
@@ -715,9 +860,9 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << to_json(single, cluster, affinity, stealing, ref_rps,
-                   chaos_on ? &chaos : nullptr);
+    out << to_json(single, fleet, cluster, affinity, stealing, ref_rps,
+                   host_cores, chaos_on ? &chaos : nullptr);
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return 0;
+  return all_verify.clean() && shard_win ? 0 : 1;
 }

@@ -37,6 +37,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "kernels/vec_ref.hpp"
 #include "serve/engine.hpp"
 
 using namespace ascend;
@@ -59,6 +60,7 @@ struct RunResult {
   double p50_us = 0, p95_us = 0, p99_us = 0;
   double avg_occupancy = 0;
   std::uint64_t rejected = 0;
+  vecref::VerifyStats verify;  ///< every Ok response checked bit-for-bit
 };
 
 /// Closed loop: each client thread submits, waits for the future, repeats.
@@ -66,20 +68,30 @@ struct RunResult {
 RunResult run_load(const PolicyCase& pc, int clients,
                    std::uint64_t requests_per_client) {
   Engine engine({.policy = pc.policy});
+  std::mutex verify_mu;
+  vecref::VerifyStats verify;
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       // Mixed row lengths exercise the zero-padding path; all requests
-      // share a GroupKey so they stay coalescible.
+      // share a GroupKey so they stay coalescible. Every Ok response is
+      // checked bit-for-bit against the SIMD host reference (0/1 rows:
+      // the exact-comparison corpus), so the throughput figures certify
+      // correct answers, not just resolved futures.
       Rng rng(100 + static_cast<std::uint64_t>(c));
+      vecref::VerifyStats local;
       for (std::uint64_t i = 0; i < requests_per_client; ++i) {
         const std::size_t n = 128 + 64 * ((i + static_cast<std::uint64_t>(c)) % 4);
         std::vector<ascan::half> x(n);
         for (auto& v : x) v = ascan::half(rng.bernoulli(0.5) ? 1.0f : 0.0f);
-        engine.submit(Request::cumsum(std::move(x))).get();
+        const auto input = x;
+        const auto resp = engine.submit(Request::cumsum(std::move(x))).get();
+        if (resp.ok()) vecref::verify_cumsum(input, resp.values_f16, local);
       }
+      std::lock_guard<std::mutex> lk(verify_mu);
+      verify.merge(local);
     });
   }
   for (auto& t : threads) t.join();
@@ -100,6 +112,7 @@ RunResult run_load(const PolicyCase& pc, int clients,
   r.p99_us = m.total_latency.percentile(0.99) * 1e6;
   r.avg_occupancy = m.avg_batch_occupancy;
   r.rejected = m.rejected_capacity;
+  r.verify = verify;
   return r;
 }
 
@@ -462,10 +475,20 @@ std::string to_json(const std::vector<RunResult>& runs, double no_batching_rps,
        << ", \"rps\": " << r.rps << ", \"p50_us\": " << r.p50_us
        << ", \"p95_us\": " << r.p95_us << ", \"p99_us\": " << r.p99_us
        << ", \"avg_occupancy\": " << r.avg_occupancy
-       << ", \"rejected\": " << r.rejected << "}"
+       << ", \"rejected\": " << r.rejected
+       << ", \"verified\": " << r.verify.requests
+       << ", \"mismatches\": " << r.verify.mismatches << "}"
        << (i + 1 < runs.size() ? "," : "") << "\n";
   }
-  os << "  ],\n  \"headline\": {\"no_batching_rps\": " << no_batching_rps
+  vecref::VerifyStats all;
+  for (const auto& r : runs) all.merge(r.verify);
+  os << "  ],\n  \"verify\": {\"note\": \"every Ok response compared "
+        "bit-for-bit against the SIMD host reference (kernels/vec_ref)\", "
+        "\"requests\": "
+     << all.requests << ", \"elements\": " << all.elements
+     << ", \"mismatches\": " << all.mismatches << ", \"bit_exact\": "
+     << (all.clean() ? "true" : "false") << "},\n"
+     << "  \"headline\": {\"no_batching_rps\": " << no_batching_rps
      << ", \"batched_rps\": " << batched_rps << ", \"ratio\": "
      << (no_batching_rps > 0 ? batched_rps / no_batching_rps : 0) << "},\n"
      << stream_json(stream_runs) << ",\n"
@@ -607,6 +630,15 @@ int main(int argc, char** argv) {
               "(%.1fx) at saturating load\n",
               batched_rps, no_batching_rps,
               no_batching_rps > 0 ? batched_rps / no_batching_rps : 0.0);
+  vecref::VerifyStats all_verify;
+  for (const auto& r : runs) all_verify.merge(r.verify);
+  std::printf("verify: %llu responses (%llu elements) checked against the "
+              "SIMD host reference, %llu bit mismatches%s\n",
+              static_cast<unsigned long long>(all_verify.requests),
+              static_cast<unsigned long long>(all_verify.elements),
+              static_cast<unsigned long long>(all_verify.mismatches),
+              all_verify.clean() ? "" : "  ** BIT-EXACTNESS BROKEN **");
+  if (!all_verify.clean()) return 1;
 
   run_streaming();
   run_slo();

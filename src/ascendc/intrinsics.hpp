@@ -14,6 +14,7 @@
 #include <cstring>
 #include <limits>
 #include <type_traits>
+#include <vector>
 
 #include "ascendc/context.hpp"
 #include "ascendc/tensor.hpp"
@@ -53,6 +54,64 @@ struct lane<half> {
   using wide = float;
   static half narrow(float w) { return half(w); }
 };
+
+/// Structure of a float16 Mmad B operand. The paper's scan kernels only
+/// ever multiply data against the constant matrices U_s (upper-triangular
+/// ones: A@U is a row-wise inclusive prefix sum) and 1_s (all ones: A@1 is
+/// a row-sum broadcast), so the emulation recognises those two shapes and
+/// replaces the O(M*K*N) MAC loop with the O(M*N) recurrence that performs
+/// the *same* float additions in the same order — results stay bit-exact.
+enum class MmadBKind { Generic, UpperOnes, AllOnes };
+
+inline MmadBKind classify_mmad_b(const half* bd, std::size_t K,
+                                 std::size_t N) {
+  if (K != N) return MmadBKind::Generic;
+  thread_local std::vector<std::uint16_t> ones_row;
+  if (ones_row.size() < N) ones_row.assign(N, 0x3c00u);  // half(1.0)
+  thread_local std::vector<std::uint16_t> zero_row;
+  if (zero_row.size() < N) zero_row.assign(N, 0u);
+  const auto* bits = reinterpret_cast<const std::uint16_t*>(bd);
+  // Probe one interior element to pick the candidate shape cheaply, then
+  // verify row by row with memcmp (vectorised by libc); any mismatch bails
+  // to the generic path immediately.
+  const bool maybe_upper = N > 1 && bits[N] == 0u;  // B[1][0]
+  if (maybe_upper) {
+    for (std::size_t k = 0; k < K; ++k) {
+      const std::uint16_t* row = bits + k * N;
+      if (std::memcmp(row, zero_row.data(), k * sizeof(std::uint16_t)) != 0 ||
+          std::memcmp(row + k, ones_row.data(),
+                      (N - k) * sizeof(std::uint16_t)) != 0) {
+        return MmadBKind::Generic;
+      }
+    }
+    return MmadBKind::UpperOnes;
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    if (std::memcmp(bits + k * N, ones_row.data(),
+                    N * sizeof(std::uint16_t)) != 0) {
+      return MmadBKind::Generic;
+    }
+  }
+  return MmadBKind::AllOnes;
+}
+
+/// c[j] += a * b[j], 8 float lanes at a time. Deliberately multiply-then-add
+/// (no FMA): each lane rounds twice, matching the scalar expression
+/// `c[j] += a * b[j]` bit for bit.
+inline void axpy_row(float* c, float a, const float* b, std::size_t n) {
+  std::size_t j = 0;
+#if defined(ASCEND_HALF_HW) && defined(__AVX2__)
+  const __m256 av = _mm256_set1_ps(a);
+  for (; j + 8 <= n; j += 8) {
+    const __m256 prod = _mm256_mul_ps(av, _mm256_loadu_ps(b + j));
+    _mm256_storeu_ps(c + j, _mm256_add_ps(_mm256_loadu_ps(c + j), prod));
+  }
+#endif
+  for (; j < n; ++j) {
+    const float prod = a * b[j];
+    c[j] = c[j] + prod;
+  }
+}
 
 }  // namespace detail
 
@@ -172,14 +231,81 @@ void Mmad(KernelContext& ctx, const LocalTensor<Acc>& c,
   const In* ad = a.data();
   const In* bd = b.data();
   if (!accumulate) std::fill(cd, cd + M * N, Acc{});
-  for (std::size_t i = 0; i < M; ++i) {
-    for (std::size_t k = 0; k < K; ++k) {
-      const Acc av = static_cast<Acc>(static_cast<float>(ad[i * K + k]));
-      if (av == Acc{}) continue;  // fast path for sparse constant operands
-      const In* brow = bd + k * N;
-      Acc* crow = cd + i * N;
-      for (std::size_t j = 0; j < N; ++j) {
-        crow[j] += av * static_cast<Acc>(static_cast<float>(brow[j]));
+  if constexpr (std::is_same_v<In, half>) {
+    // Widen the A tile to float once (8 lanes per F16C instruction) instead
+    // of converting elements inside the MAC loop; arithmetic then runs as
+    // pure float mul+add, exactly the per-lane operations of the scalar
+    // path (no FMA contraction anywhere), so results stay bit-identical.
+    thread_local std::vector<float> a_wide, b_wide;
+    a_wide.resize(M * K);
+    half_to_float_n(ad, a_wide.data(), M * K);
+    const detail::MmadBKind bkind =
+        accumulate ? detail::MmadBKind::Generic : detail::classify_mmad_b(bd, K, N);
+    if (bkind == detail::MmadBKind::UpperOnes) {
+      // C[i][j] = sum_{k<=j} A[i][k]: the generic loop adds A[i][k]*1 to
+      // crow[j] in increasing k, so a left-to-right running sum performs
+      // the identical addition sequence. (The generic loop's `av == 0` skip
+      // is a no-op here: run += ±0.0f never changes a partial sum that can
+      // only be +0.0 when zero, so no branch is needed.) Four rows advance
+      // per iteration — their sum chains are independent, which hides the
+      // float-add latency the single serial chain would expose.
+      std::size_t i = 0;
+      for (; i + 4 <= M; i += 4) {
+        const float* r0 = a_wide.data() + i * K;
+        const float* r1 = r0 + K;
+        const float* r2 = r1 + K;
+        const float* r3 = r2 + K;
+        float* c0 = cd + i * N;
+        float* c1 = c0 + N;
+        float* c2 = c1 + N;
+        float* c3 = c2 + N;
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        for (std::size_t j = 0; j < N; ++j) {
+          s0 += r0[j]; c0[j] = s0;
+          s1 += r1[j]; c1[j] = s1;
+          s2 += r2[j]; c2[j] = s2;
+          s3 += r3[j]; c3[j] = s3;
+        }
+      }
+      for (; i < M; ++i) {
+        const float* arow = a_wide.data() + i * K;
+        float* crow = cd + i * N;
+        float run = 0.0f;
+        for (std::size_t j = 0; j < N; ++j) {
+          run += arow[j];
+          crow[j] = run;
+        }
+      }
+    } else if (bkind == detail::MmadBKind::AllOnes) {
+      // C[i][j] = sum_k A[i][k] for every j, accumulated in increasing k.
+      for (std::size_t i = 0; i < M; ++i) {
+        const float* arow = a_wide.data() + i * K;
+        float run = 0.0f;
+        for (std::size_t k = 0; k < K; ++k) run += arow[k];
+        std::fill(cd + i * N, cd + i * N + N, run);
+      }
+    } else {
+      b_wide.resize(K * N);
+      half_to_float_n(bd, b_wide.data(), K * N);
+      for (std::size_t i = 0; i < M; ++i) {
+        float* crow = cd + i * N;
+        for (std::size_t k = 0; k < K; ++k) {
+          const float av = a_wide[i * K + k];
+          if (av == 0.0f) continue;  // fast path for sparse constant operands
+          detail::axpy_row(crow, av, b_wide.data() + k * N, N);
+        }
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < M; ++i) {
+      for (std::size_t k = 0; k < K; ++k) {
+        const Acc av = static_cast<Acc>(static_cast<float>(ad[i * K + k]));
+        if (av == Acc{}) continue;  // fast path for sparse constant operands
+        const In* brow = bd + k * N;
+        Acc* crow = cd + i * N;
+        for (std::size_t j = 0; j < N; ++j) {
+          crow[j] += av * static_cast<Acc>(static_cast<float>(brow[j]));
+        }
       }
     }
   }
@@ -205,8 +331,12 @@ void Fixpipe(KernelContext& ctx, const GlobalTensor<Out>& dst,
   ASCAN_CHECK(ctx.is_cube(), "Fixpipe runs on the cube core");
   ASCAN_CHECK(src.position() == TPosition::CO1, "Fixpipe source must be L0C");
   ASCAN_CHECK(n <= dst.size() && n <= src.size(), "Fixpipe overflow");
-  for (std::size_t i = 0; i < n; ++i) {
-    dst.data()[i] = static_cast<Out>(src.data()[i]);
+  if constexpr (std::is_same_v<Out, half> && std::is_same_v<Acc, float>) {
+    float_to_half_n(src.data(), dst.data(), n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst.data()[i] = static_cast<Out>(src.data()[i]);
+    }
   }
   ctx.record_transfer(sim::EngineKind::Mte3, n * sizeof(Out), dst.gm_addr(),
                       true, "fixpipe", src.state(), nullptr);
@@ -223,11 +353,15 @@ void FixpipeLocal(KernelContext& ctx, const LocalTensor<Out>& dst_l1,
                   dst_l1.position() == TPosition::B1,
               "FixpipeLocal destination must be in L1");
   ASCAN_CHECK(n <= dst_l1.size() && n <= src.size(), "FixpipeLocal overflow");
-  for (std::size_t i = 0; i < n; ++i) {
-    if constexpr (std::is_same_v<Out, half>) {
-      dst_l1.data()[i] = half(static_cast<float>(src.data()[i]));
-    } else {
-      dst_l1.data()[i] = static_cast<Out>(src.data()[i]);
+  if constexpr (std::is_same_v<Out, half> && std::is_same_v<Acc, float>) {
+    float_to_half_n(src.data(), dst_l1.data(), n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      if constexpr (std::is_same_v<Out, half>) {
+        dst_l1.data()[i] = half(static_cast<float>(src.data()[i]));
+      } else {
+        dst_l1.data()[i] = static_cast<Out>(src.data()[i]);
+      }
     }
   }
   ctx.record_compute(sim::EngineKind::Mte3,
@@ -241,7 +375,19 @@ template <typename T>
 void InitConstValue(KernelContext& ctx, const LocalTensor<T>& dst, T value,
                     std::size_t n) {
   ASCAN_CHECK(n <= dst.size(), "InitConstValue overflow");
-  std::fill(dst.data(), dst.data() + n, value);
+  unsigned char pattern[sizeof(T)];
+  std::memcpy(pattern, &value, sizeof(T));
+  bool uniform = true;
+  for (std::size_t b = 1; b < sizeof(T); ++b) {
+    uniform = uniform && pattern[b] == pattern[0];
+  }
+  if (uniform) {
+    // Covers the dominant case — zeroing padding in the last partial tile
+    // (half(0) is all-zero bytes) — without a per-element store loop.
+    std::memset(static_cast<void*>(dst.data()), pattern[0], n * sizeof(T));
+  } else {
+    std::fill(dst.data(), dst.data() + n, value);
+  }
   ctx.record_compute(sim::EngineKind::Mte1,
                      detail::local_copy_cycles(ctx.cfg(), n * sizeof(T)),
                      "init_const", {}, {dst.state()});
@@ -325,6 +471,34 @@ void Adds(KernelContext& ctx, const LocalTensor<T>& dst,
   detail::vec_unary(ctx, dst, src, n, "adds", [s](T v) {
     return detail::lane<T>::narrow(static_cast<W>(v) + s);
   });
+}
+
+/// float16 Adds is the inner loop of every scan's propagation phase; run it
+/// 8 lanes per instruction (widen, add, narrow-RNE — the same per-lane
+/// operations as the generic path, so results are bit-identical).
+inline void Adds(KernelContext& ctx, const LocalTensor<half>& dst,
+                 const LocalTensor<half>& src, half scalar, std::size_t n) {
+  ASCAN_CHECK(ctx.is_vector(), "adds runs on a vector core");
+  ASCAN_CHECK(n <= dst.size() && n <= src.size(), "adds overflow");
+  const float s = static_cast<float>(scalar);
+  std::size_t i = 0;
+#if defined(ASCEND_HALF_HW) && defined(__AVX2__)
+  const __m256 sv = _mm256_set1_ps(s);
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(src.data() + i));
+    const __m256 f = _mm256_add_ps(_mm256_cvtph_ps(h), sv);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst.data() + i),
+                     _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT |
+                                            _MM_FROUND_NO_EXC));
+  }
+#endif
+  for (; i < n; ++i) {
+    dst.data()[i] = half(static_cast<float>(src.data()[i]) + s);
+  }
+  ctx.record_compute(sim::EngineKind::Compute,
+                     detail::vec_cycles(ctx.cfg(), n * sizeof(half)), "adds",
+                     {src.state()}, {dst.state()});
 }
 
 template <typename T>

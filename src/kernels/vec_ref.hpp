@@ -1,0 +1,77 @@
+// SIMD host-side reference / verification path for the scan operators.
+//
+// ref::inclusive_scan is the semantic gold standard, but it is scalar and
+// double-accumulating — fine for unit tests, too slow to verify every
+// response of a closed-loop serving benchmark without the verification
+// itself becoming the bottleneck (and perturbing the throughput being
+// measured). This module recomputes cumsum / segmented-cumsum with AVX2
+// 8-lane prefix sums so benches can check bit-exactness of every response
+// at a small fraction of the launch cost.
+//
+// Exactness contract: for *integer-valued* inputs whose running sums stay
+// below 2^24, every float addition here is exact, so the result is
+// bit-identical to ref::inclusive_scan regardless of summation order (the
+// SIMD tree order differs from the reference's sequential order). That is
+// precisely the repo's exact-comparison corpus convention — the serving
+// benches drive 0/1 rows, where any order of exact additions agrees. For
+// general floats the tree order can round differently and this path is NOT
+// a bit-exact stand-in for ref::; tests pin the integer-valued equivalence
+// (tests/test_vecref.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/half.hpp"
+
+namespace ascend::vecref {
+
+/// Inclusive prefix sum, fp16 in / fp16 out — bit-identical to
+/// ref::inclusive_scan<half, half> on integer-valued inputs (see header).
+std::vector<half> inclusive_scan_f16(std::span<const half> x);
+
+/// Inclusive prefix sum, fp16 in / fp32 out — matches
+/// ref::inclusive_scan<half, float> under the same contract.
+std::vector<float> inclusive_scan_f32(std::span<const half> x);
+
+/// Segmented inclusive scan: y[i] = sum of x[j] for j in (last flagged
+/// position <= i) .. i; position 0 implicitly starts a segment. fp16
+/// values, fp32 output — the kernels::segmented_scan contract.
+std::vector<float> segmented_inclusive_scan(std::span<const half> x,
+                                            std::span<const std::int8_t> flags);
+
+/// Element-wise bit mismatches (NaN payloads and signed zeros count as
+/// distinct); a length difference counts every absent element.
+std::uint64_t mismatch_count(std::span<const half> expected,
+                             std::span<const half> got);
+std::uint64_t mismatch_count(std::span<const float> expected,
+                             std::span<const float> got);
+
+/// Accumulated verification tallies for a bench run. Mismatches indicate a
+/// bit-exactness break between the served responses and the host
+/// reference — the counter the serving benches export as proof that the
+/// throughput numbers are numbers for *correct* answers.
+struct VerifyStats {
+  std::uint64_t requests = 0;
+  std::uint64_t elements = 0;
+  std::uint64_t mismatches = 0;
+
+  bool clean() const { return mismatches == 0; }
+  void merge(const VerifyStats& o) {
+    requests += o.requests;
+    elements += o.elements;
+    mismatches += o.mismatches;
+  }
+};
+
+/// Recomputes the cumsum of `x` and tallies bit mismatches against `got`.
+void verify_cumsum(std::span<const half> x, std::span<const half> got,
+                   VerifyStats& stats);
+
+/// Same for a segmented cumsum response.
+void verify_segmented(std::span<const half> x,
+                      std::span<const std::int8_t> flags,
+                      std::span<const float> got, VerifyStats& stats);
+
+}  // namespace ascend::vecref

@@ -57,7 +57,7 @@ void Batcher::push(Pending p) {
   // (preemption park, failover inject) keeps its original seq, so it
   // re-enters at its original FIFO position among its deadline peers.
   auto& lane = p.req.priority == Priority::Interactive ? hi_ : lo_;
-  if (&lane == &lo_) lo_enq_.insert(p.enqueued);
+  note_inserted(&lane, p);
   const auto pos = std::upper_bound(
       lane.begin(), lane.end(), p, [](const Pending& a, const Pending& b) {
         if (a.deadline != b.deadline) return a.deadline < b.deadline;
@@ -66,9 +66,25 @@ void Batcher::push(Pending p) {
   lane.insert(pos, std::move(p));
 }
 
-void Batcher::lo_erase_enqueued(Clock::time_point t) {
-  const auto it = lo_enq_.find(t);
-  if (it != lo_enq_.end()) lo_enq_.erase(it);
+void Batcher::note_inserted(const std::deque<Pending>* lane,
+                            const Pending& p) {
+  (lane == &lo_ ? lo_enq_ : hi_enq_).insert(p.enqueued);
+  ++key_counts_[group_key_hash(group_key(p.req))];
+}
+
+void Batcher::note_erased(const std::deque<Pending>* lane, const Pending& p) {
+  auto& enq = lane == &lo_ ? lo_enq_ : hi_enq_;
+  const auto it = enq.find(p.enqueued);
+  if (it != enq.end()) enq.erase(it);
+  const auto kc = key_counts_.find(group_key_hash(group_key(p.req)));
+  if (kc != key_counts_.end() && --kc->second == 0) key_counts_.erase(kc);
+}
+
+Clock::time_point Batcher::oldest_enqueued() const {
+  auto oldest = Clock::time_point::max();
+  if (!lo_enq_.empty()) oldest = std::min(oldest, *lo_enq_.begin());
+  if (!hi_enq_.empty()) oldest = std::min(oldest, *hi_enq_.begin());
+  return oldest;
 }
 
 double Batcher::oldest_bulk_wait_s(Clock::time_point now) const {
@@ -107,14 +123,9 @@ bool Batcher::full_batch_ready(const BatchPolicy& policy,
   if (h == nullptr) return false;
   if (!coalescible(h->req.kind)) return true;  // singleton: nothing to wait for
   if (policy.max_batch <= 1) return true;
-  const GroupKey key = group_key(h->req);
-  std::size_t n = 0;
-  for (const auto* lane : {&hi_, &lo_}) {
-    for (const auto& p : *lane) {
-      if (group_key(p.req) == key && ++n >= policy.max_batch) return true;
-    }
-  }
-  return false;
+  // O(1) via the per-key count — this runs on every pop-predicate wake.
+  const auto it = key_counts_.find(group_key_hash(group_key(h->req)));
+  return it != key_counts_.end() && it->second >= policy.max_batch;
 }
 
 std::vector<Pending> Batcher::pop_batch(const BatchPolicy& policy,
@@ -134,7 +145,7 @@ std::vector<Pending> Batcher::pop_batch(const BatchPolicy& policy,
   for (auto* lane : {first, second}) {
     for (auto it = lane->begin(); it != lane->end() && out.size() < want;) {
       if (group_key(it->req) == key) {
-        if (lane == &lo_) lo_erase_enqueued(it->enqueued);
+        note_erased(lane, *it);
         out.push_back(std::move(*it));
         it = lane->erase(it);
       } else {
@@ -153,20 +164,27 @@ std::vector<Pending> Batcher::pop_matching(const GroupKey& key,
   if (max_n == 0) return out;
   // Starvation guard: if any non-matching request has aged past the bulk
   // aging threshold, stop feeding the in-flight launch and let the worker
-  // finish it so the aged work gets a batch of its own.
+  // finish it so the aged work gets a batch of its own. Fast path first:
+  // when even the globally-oldest queued request is inside the limit, no
+  // non-matching one can be past it — O(1), and the common case at every
+  // step boundary of a healthy launch. Only an aged queue pays the scan.
   const double limit = policy.aging_factor * policy.max_wait_s;
-  for (const auto* lane : {&hi_, &lo_}) {
-    for (const auto& p : *lane) {
-      if (group_key(p.req) == key) continue;
-      const double waited =
-          std::chrono::duration<double>(now - p.enqueued).count();
-      if (waited > limit) return out;
+  const auto oldest = oldest_enqueued();
+  if (oldest != Clock::time_point::max() &&
+      std::chrono::duration<double>(now - oldest).count() > limit) {
+    for (const auto* lane : {&hi_, &lo_}) {
+      for (const auto& p : *lane) {
+        if (group_key(p.req) == key) continue;
+        const double waited =
+            std::chrono::duration<double>(now - p.enqueued).count();
+        if (waited > limit) return out;
+      }
     }
   }
   for (auto* lane : {&hi_, &lo_}) {
     for (auto it = lane->begin(); it != lane->end() && out.size() < max_n;) {
       if (coalescible(it->req.kind) && group_key(it->req) == key) {
-        if (lane == &lo_) lo_erase_enqueued(it->enqueued);
+        note_erased(lane, *it);
         out.push_back(std::move(*it));
         it = lane->erase(it);
       } else {
@@ -207,7 +225,7 @@ std::vector<Pending> Batcher::steal_bulk(const BatchPolicy& policy,
                                : 1;
   for (auto it = lo_.begin(); it != lo_.end() && out.size() < want;) {
     if (group_key(it->req) == key) {
-      lo_erase_enqueued(it->enqueued);
+      note_erased(&lo_, *it);
       out.push_back(std::move(*it));
       it = lo_.erase(it);
     } else {

@@ -26,6 +26,7 @@
 #include <deque>
 #include <future>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/request.hpp"
@@ -200,13 +201,27 @@ class Batcher {
   /// each bulk-lane insert/erase. head() evaluates this on every pop
   /// predicate wake, so it must not rescan the lane).
   double oldest_bulk_wait_s(Clock::time_point now) const;
-  /// Drops one instance of `t` from lo_enq_ (bulk-lane erase bookkeeping).
-  void lo_erase_enqueued(Clock::time_point t);
+  /// Bookkeeping when a request enters a lane (enqueue-time multisets and
+  /// per-key counts).
+  void note_inserted(const std::deque<Pending>* lane, const Pending& p);
+  /// Bookkeeping when a request leaves a lane (pop, match, steal).
+  void note_erased(const std::deque<Pending>* lane, const Pending& p);
+  /// Oldest enqueue time across both lanes; time_point::max() when empty.
+  Clock::time_point oldest_enqueued() const;
 
   std::deque<Pending> hi_;  ///< Priority::Interactive
   std::deque<Pending> lo_;  ///< Priority::Bulk
   /// Multiset of lo_'s enqueue times; *begin() is the oldest bulk wait.
   std::multiset<Clock::time_point> lo_enq_;
+  /// Same for hi_ — gives pop_matching's starvation guard an O(1) negative
+  /// fast path (nothing anywhere has aged => nothing non-matching has).
+  std::multiset<Clock::time_point> hi_enq_;
+  /// Queued-request count per group_key_hash, so full_batch_ready is O(1)
+  /// instead of rescanning both lanes on every pop-predicate wake. A hash
+  /// collision can only over-count, closing a batch window early — a
+  /// benign scheduling nudge, never a correctness issue (pop_batch still
+  /// matches on the full key).
+  std::unordered_map<std::uint64_t, std::size_t> key_counts_;
 };
 
 }  // namespace ascan::serve

@@ -1,5 +1,6 @@
 #include "serve/cluster.hpp"
 
+#include <bit>
 #include <chrono>
 #include <limits>
 #include <sstream>
@@ -14,6 +15,9 @@ Cluster::Cluster(ClusterOptions opt)
       metrics_(opt_.machine.hbm_bandwidth),
       monitor_(opt_.num_devices >= 1 ? opt_.num_devices : 1, opt_.health) {
   ASCAN_CHECK(opt_.num_devices >= 1, "serve::Cluster: need >= 1 device");
+  ASCAN_CHECK(opt_.num_devices <= 64,
+              "serve::Cluster: the lock-free placement mask bounds the "
+              "fleet at 64 devices");
   ASCAN_CHECK(opt_.device_machines.empty() ||
                   opt_.device_machines.size() ==
                       static_cast<std::size_t>(opt_.num_devices),
@@ -108,8 +112,11 @@ std::future<Response> Cluster::submit(Request req) {
   // Cluster-wide admission over the summed backlog. The sum is a snapshot
   // (devices keep serving while it is taken), so the bound is enforced to
   // within the concurrency of submit() callers — same contract as a real
-  // multi-queue front end.
-  std::vector<std::size_t> loads(shards_.size());
+  // multi-queue front end. The depth snapshot lives on the stack: this
+  // path runs for every request, and a heap allocation per submit is
+  // exactly the kind of host overhead the lock-free engine path removed
+  // (the constructor bounds the fleet at kMaxInlineDevices).
+  std::size_t loads[kMaxInlineDevices];
   std::size_t total = 0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     loads[i] = shards_[i]->queue_depth();
@@ -128,8 +135,10 @@ std::future<Response> Cluster::submit(Request req) {
   }
 
   // Per-tenant admission quota, checked last so a quota admission is only
-  // recorded for requests that actually reach a device.
-  if (!admit_tenant(req.tenant, Clock::now())) {
+  // recorded for requests that actually reach a device. The quota==0
+  // guard keeps Clock::now() and the quota mutex off the hot path when
+  // metering is disabled (the default).
+  if (opt_.tenant_quota != 0 && !admit_tenant(req.tenant, Clock::now())) {
     std::ostringstream os;
     os << "tenant quota exhausted: \"" << req.tenant << "\" at "
        << opt_.tenant_quota << " admissions in the last "
@@ -137,7 +146,7 @@ std::future<Response> Cluster::submit(Request req) {
     return reject(&Metrics::on_rejected_quota, os.str());
   }
 
-  const Placed placed = place(req, loads);
+  const Placed placed = place(req, {loads, shards_.size()});
   req.canary = placed.canary;
   return shards_[static_cast<std::size_t>(placed.device)]->submit(
       std::move(req));
@@ -174,10 +183,21 @@ bool Cluster::admit_tenant(const std::string& tenant, Clock::time_point now) {
 }
 
 Cluster::Placed Cluster::place(const Request& r,
-                               const std::vector<std::size_t>& loads) {
+                               std::span<const std::size_t> loads) {
   const int n = static_cast<int>(shards_.size());
-  std::vector<HealthState> states;
-  if (opt_.health.enabled) {
+  // All-placeable unless health says otherwise; bit i = device i (the
+  // constructor bounds the fleet at 64 devices so the mask covers it).
+  std::uint64_t mask = n == 64 ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << n) - 1;
+  // Hot-path gate: one acquire load. In the all-healthy steady state —
+  // every capacity benchmark, and any production fleet most of the time —
+  // the monitor is not consulted further: no tick(), no canary probes,
+  // no locked state snapshot. The summary is recomputed under the
+  // monitor's lock on every transition, so a nonzero read here is exactly
+  // "some device left Healthy since".
+  const std::uint32_t sick =
+      opt_.health.enabled ? monitor_.summary() : 0;
+  if (sick != 0) {
     // Time-driven promotions first (Quarantined -> Probing after the
     // hold); the submit path is the cluster's clock.
     std::vector<HealthTransition> promoted;
@@ -190,7 +210,9 @@ Cluster::Placed Cluster::place(const Request& r,
     // only best-effort bulk traffic. A suspect device must not be probed
     // with deadline-bearing or interactive requests: those are exactly
     // the SLOs the tiers protect, and a canary that faults burns its
-    // whole retry budget.
+    // whole retry budget. (No kAnyProbing pre-check here: the tick()
+    // above may just have promoted a device, and try_admit_canary has
+    // its own lock-free gate.)
     if (r.priority == Priority::Bulk && r.deadline_s <= 0) {
       for (int i = 0; i < n; ++i) {
         if (monitor_.try_admit_canary(i)) {
@@ -200,22 +222,19 @@ Cluster::Placed Cluster::place(const Request& r,
         }
       }
     }
-    // One consistent snapshot of the health states. Worker-thread
-    // on_outcome() transitions race this path, so the placeable set and
-    // its count must come from a single monitor read: separate
-    // placeable_count() / placeable(i) queries could observe a set that
-    // was never simultaneously true — e.g. a nonzero count whose last
-    // member is quarantined before the per-device loop runs, leaving no
-    // candidate at all.
-    states = monitor_.states();
+    // One consistent snapshot of the placeable set. Worker-thread
+    // on_outcome() transitions race this path, so the set and its count
+    // must come from a single monitor read: separate placeable_count() /
+    // placeable(i) queries could observe a set that was never
+    // simultaneously true — e.g. a nonzero count whose last member is
+    // quarantined before the per-device loop runs, leaving no candidate
+    // at all. The atomic mask is published whole under the monitor's
+    // lock, so one load is exactly such a snapshot.
+    mask = monitor_.placeable_mask();
+    if (n < 64) mask &= (std::uint64_t{1} << n) - 1;
   }
-  const auto placeable_at = [&states](int i) {
-    if (states.empty()) return true;  // health disabled
-    const HealthState s = states[static_cast<std::size_t>(i)];
-    return s == HealthState::Healthy || s == HealthState::Degraded;
-  };
-  std::size_t placeable = 0;
-  for (int i = 0; i < n; ++i) placeable += placeable_at(i) ? 1u : 0u;
+  const auto placeable_at = [mask](int i) { return ((mask >> i) & 1u) != 0; };
+  const std::size_t placeable = static_cast<std::size_t>(std::popcount(mask));
 
   const int target =
       static_cast<int>(group_key_hash(group_key(r)) %

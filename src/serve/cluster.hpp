@@ -59,6 +59,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -178,7 +179,12 @@ class Cluster {
   /// Affinity target for `r` given the observed per-device loads, falling
   /// back to the least-loaded device past spill_margin. Bumps the routing
   /// counters.
-  Placed place(const Request& r, const std::vector<std::size_t>& loads);
+  Placed place(const Request& r, std::span<const std::size_t> loads);
+
+  /// Submit-path depth snapshots live on the stack up to this many
+  /// devices (the constructor bounds the fleet at 64 anyway, matching
+  /// the health monitor's lock-free placeable mask).
+  static constexpr std::size_t kMaxInlineDevices = 64;
   /// Steal callback installed on device `thief`: one formed bulk batch
   /// from the sibling with the deepest qualifying bulk backlog.
   std::vector<Pending> steal_for(int thief);

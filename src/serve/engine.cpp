@@ -26,11 +26,30 @@ bool valid_tile(std::size_t s) {
   return s == 16 || s == 32 || s == 64 || s == 128;
 }
 
+/// Consumer half of the sleep-race protocol: a worker registers itself
+/// BEFORE (re-)checking for work, so a producer that pushed just after the
+/// check is guaranteed to observe the registration (both sides seq_cst)
+/// and send the wakeup. Scope-bound so a worker busy executing a batch is
+/// not registered and producers skip the notify syscall entirely.
+class WaiterGuard {
+ public:
+  explicit WaiterGuard(std::atomic<int>& w) : w_(w) {
+    w_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  ~WaiterGuard() { w_.fetch_sub(1, std::memory_order_seq_cst); }
+  WaiterGuard(const WaiterGuard&) = delete;
+  WaiterGuard& operator=(const WaiterGuard&) = delete;
+
+ private:
+  std::atomic<int>& w_;
+};
+
 }  // namespace
 
 Engine::Engine(EngineOptions opt)
     : opt_(std::move(opt)),
-      metrics_(opt_.machine.hbm_bandwidth, opt_.device_id) {
+      metrics_(opt_.machine.hbm_bandwidth, opt_.device_id),
+      inbox_(2 * opt_.max_queue) {
   ASCAN_CHECK(opt_.num_workers >= 1, "serve::Engine: need >= 1 worker");
   ASCAN_CHECK(opt_.policy.max_batch >= 1,
               "serve::Engine: max_batch must be >= 1");
@@ -94,43 +113,109 @@ std::future<Response> Engine::submit(Request req) {
                                          "invalid request: " + err));
     return fut;
   }
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_ || stopped_) {
-      metrics_.on_rejected_shutdown();
-      promise.set_value(immediate_response(req.kind, Status::Rejected,
-                                           "engine shutting down"));
-      return fut;
-    }
-    // Bulk admissions stop interactive_reserve slots early, so a bulk
-    // overload can never close the latency-sensitive lane.
-    const std::size_t cap =
-        req.priority == Priority::Interactive
-            ? opt_.max_queue
-            : opt_.max_queue - opt_.interactive_reserve;
-    if (queue_.size() >= cap) {
-      metrics_.on_rejected_capacity();
-      std::ostringstream os;
-      os << "queue full (" << queue_.size() << " pending, limit " << cap
-         << " for " << (req.priority == Priority::Interactive
-                            ? "interactive"
-                            : "bulk")
-         << " lane)";
-      promise.set_value(
-          immediate_response(req.kind, Status::Rejected, os.str()));
-      return fut;
-    }
-    Pending p;
-    p.req = std::move(req);
-    p.promise = std::move(promise);
-    p.enqueued = Clock::now();
-    if (p.req.deadline_s > 0) p.deadline = p.enqueued + dur(p.req.deadline_s);
-    p.seq = next_seq_++;
-    queue_.push(std::move(p));
-    metrics_.on_admitted();
+  // Lock-free admission. The inflight guard is raised BEFORE the stopping
+  // check: a submit that passes the check is visible to shutdown, which
+  // waits for inflight == 0 before its final queue drain — so a racing
+  // submission is either rejected here or fully served, never stranded
+  // with an unresolved future.
+  submits_inflight_.fetch_add(1, std::memory_order_seq_cst);
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    submits_inflight_.fetch_sub(1, std::memory_order_release);
+    metrics_.on_rejected_shutdown();
+    promise.set_value(immediate_response(req.kind, Status::Rejected,
+                                         "engine shutting down"));
+    return fut;
   }
-  work_cv_.notify_all();
+  // Bulk admissions stop interactive_reserve slots early, so a bulk
+  // overload can never close the latency-sensitive lane. The depth ticket
+  // (claim, then undo on over-cap) enforces the bound without mu_ and
+  // doubles as the inbox ring's no-overflow guarantee.
+  const bool interactive = req.priority == Priority::Interactive;
+  const std::size_t cap = interactive
+                              ? opt_.max_queue
+                              : opt_.max_queue - opt_.interactive_reserve;
+  const std::size_t prev = depth_.fetch_add(1, std::memory_order_seq_cst);
+  if (prev >= cap) {
+    depth_.fetch_sub(1, std::memory_order_seq_cst);
+    submits_inflight_.fetch_sub(1, std::memory_order_release);
+    metrics_.on_rejected_capacity();
+    std::ostringstream os;
+    os << "queue full (" << prev << " pending, limit " << cap << " for "
+       << (interactive ? "interactive" : "bulk") << " lane)";
+    promise.set_value(
+        immediate_response(req.kind, Status::Rejected, os.str()));
+    return fut;
+  }
+  if (!interactive) bulk_depth_.fetch_add(1, std::memory_order_relaxed);
+
+  Pending p;
+  p.req = std::move(req);
+  p.promise = std::move(promise);
+  p.enqueued = Clock::now();
+  if (p.req.deadline_s > 0) p.deadline = p.enqueued + dur(p.req.deadline_s);
+  p.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  // Admission is counted before the publish: the ring's release/acquire
+  // pair then orders this bump before the worker-side completion bump, so
+  // a metrics snapshot can never observe completed > admitted.
+  metrics_.on_admitted();
+  const bool singleton = !coalescible(p.req.kind);
+  const std::size_t bucket = wake_bucket(p.req);
+  if (!inbox_.try_push(std::move(p))) {
+    // Unreachable while the depth ticket holds (ring is 2x the admission
+    // bound), kept as a correctness backstop: fall back to the locked
+    // path rather than spin or drop.
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push(std::move(p));
+  }
+  submits_inflight_.fetch_sub(1, std::memory_order_release);
+  // Formation waiters are only nudged when this arrival plausibly
+  // completes a batch: singletons pop alone, and a coalescible request
+  // whose key bucket just reached a multiple of max_batch may have filled
+  // one. Everything else leaves a deadline-bounded sleeper asleep.
+  const std::uint32_t kp =
+      key_pending_[bucket].fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::size_t mb = std::max<std::size_t>(opt_.policy.max_batch, 1);
+  wake_workers(singleton || mb <= 1 || kp % mb == 0);
   return fut;
+}
+
+void Engine::drain_inbox_locked() {
+  Pending p;
+  while (inbox_.try_pop(p)) queue_.push(std::move(p));
+}
+
+void Engine::wake_workers(bool batch_ready) {
+  // Producer side of the Dekker-style store/load pairing: publish (the
+  // ring push), fence, then read the waiter counts. Either this read sees
+  // the consumer's registration (notify below) or the consumer's
+  // post-registration drain sees the push — both sides missing is an SB
+  // litmus outcome seq_cst forbids. Only the idle wait is unbounded, so
+  // only it gets the unconditional notify; formation waiters sleep on a
+  // deadline and are nudged solely when a batch plausibly completed.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const bool idle = cv_waiters_.load(std::memory_order_seq_cst) != 0;
+  const bool form =
+      batch_ready && form_waiters_.load(std::memory_order_seq_cst) != 0;
+  if (!idle && !form) return;
+  // The empty critical section pins a racing waiter to one side of its
+  // wait: it either has not re-checked yet (it will see the work) or it
+  // is inside wait() and the notify lands after its mutex release.
+  { std::lock_guard<std::mutex> lk(mu_); }
+  if (idle) work_cv_.notify_all();
+  if (form) form_cv_.notify_all();
+}
+
+void Engine::wake_all_waiters() {
+  work_cv_.notify_all();
+  form_cv_.notify_all();
+}
+
+void Engine::note_removed(const Pending& p) {
+  depth_.fetch_sub(1, std::memory_order_seq_cst);
+  if (p.req.priority != Priority::Interactive) {
+    bulk_depth_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  key_pending_[wake_bucket(p.req)].fetch_sub(1, std::memory_order_relaxed);
 }
 
 bool Engine::steal_and_execute(Session& session,
@@ -160,31 +245,56 @@ void Engine::worker_main(std::size_t idx) {
 
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
-      // Wait for local work or a stop. With a steal_source installed the
-      // wait is sliced at steal_poll_s so an idle device takes a
-      // sibling's bulk backlog instead of sleeping on an empty queue.
-      while (!stopping_ && queue_.empty()) {
-        if (opt_.steal_source) {
-          work_cv_.wait_for(lk, dur(opt_.steal_poll_s),
-                            [&] { return stopping_ || !queue_.empty(); });
-          if (stopping_ || !queue_.empty()) break;
-          steal_and_execute(session, lk);
-        } else {
-          work_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      // Wait for local work or a stop. Register in cv_waiters_ BEFORE
+      // draining the inbox (consumer half of the wake protocol), so a
+      // producer pushing right after the drain sees the registration and
+      // notifies. With a steal_source installed the wait is sliced at
+      // steal_poll_s so an idle device takes a sibling's bulk backlog
+      // instead of sleeping on an empty queue.
+      {
+        WaiterGuard wg(cv_waiters_);
+        drain_inbox_locked();
+        while (!stopping_.load() && queue_.empty()) {
+          if (opt_.steal_source) {
+            work_cv_.wait_for(lk, dur(opt_.steal_poll_s), [&] {
+              drain_inbox_locked();
+              return stopping_.load() || !queue_.empty();
+            });
+            if (stopping_.load() || !queue_.empty()) break;
+            steal_and_execute(session, lk);
+            drain_inbox_locked();
+          } else {
+            work_cv_.wait(lk, [&] {
+              drain_inbox_locked();
+              return stopping_.load() || !queue_.empty();
+            });
+          }
         }
       }
       if (queue_.empty()) {
-        // Stopping with nothing left locally (submits are rejected once
-        // stopping_ is set, so the queue stays empty). A draining device
-        // helps its siblings finish before exiting — cluster drain runs
-        // at the speed of the busiest device, not the idlest.
-        if (stop_mode_ == ShutdownMode::Drain && opt_.steal_source) {
-          while (steal_and_execute(session, lk)) {
+        // Stopping with nothing left locally. Drain mode first waits out
+        // any submit that passed the stopping check but has not published
+        // yet (submits_inflight_), then drains the inbox once more — the
+        // "drain serves everything admitted" guarantee covers that race.
+        // A draining device also helps its siblings finish before
+        // exiting — cluster drain runs at the speed of the busiest
+        // device, not the idlest.
+        if (stop_mode_ == ShutdownMode::Drain) {
+          while (submits_inflight_.load(std::memory_order_seq_cst) != 0) {
+            lk.unlock();
+            std::this_thread::yield();
+            lk.lock();
+          }
+          drain_inbox_locked();
+          if (!queue_.empty()) continue;
+          if (opt_.steal_source) {
+            while (steal_and_execute(session, lk)) {
+            }
           }
         }
         break;
       }
-      if (stopping_ && stop_mode_ == ShutdownMode::Cancel) break;
+      if (stopping_.load() && stop_mode_ == ShutdownMode::Cancel) break;
 
       // Dynamic batching: hold the launch until a full batch is ready or
       // the oldest request's wait deadline expires. Shutdown (drain mode)
@@ -198,20 +308,34 @@ void Engine::worker_main(std::size_t idx) {
           std::chrono::duration_cast<Clock::duration>(
               std::chrono::duration<double>(opt_.policy.max_wait_s));
       deadline = std::min(deadline, queue_.earliest_deadline());
-      work_cv_.wait_until(lk, deadline, [&] {
-        return stopping_ ||
-               queue_.full_batch_ready(opt_.policy, Clock::now());
-      });
-      if (queue_.empty()) {
-        if (stopping_) continue;  // re-enter the drain/cancel epilogue
-        continue;                 // another worker took the work
+      {
+        // Formation wait: deadline-bounded, so it lives on form_cv_ and
+        // is only nudged by arrivals that plausibly complete a batch
+        // (submit's key-bucket heuristic) or by control edges
+        // (shutdown, steal hand-off, residual work). Per-arrival
+        // notifies here were a measured ~20% of host wall time on
+        // underfed devices — a futex round trip per request to evaluate
+        // a predicate that almost always said "keep sleeping".
+        WaiterGuard wg(form_waiters_);
+        form_cv_.wait_until(lk, deadline, [&] {
+          drain_inbox_locked();
+          return stopping_.load() ||
+                 queue_.full_batch_ready(opt_.policy, Clock::now());
+        });
       }
-      if (stopping_ && stop_mode_ == ShutdownMode::Cancel) break;
+      drain_inbox_locked();
+      if (queue_.empty()) {
+        if (stopping_.load()) continue;  // re-enter the drain/cancel epilogue
+        continue;                        // another worker took the work
+      }
+      if (stopping_.load() && stop_mode_ == ShutdownMode::Cancel) break;
 
       const auto picked = Clock::now();
       std::vector<Pending> batch = queue_.pop_batch(opt_.policy, picked);
+      for (const auto& p : batch) note_removed(p);
+      const bool residual = !queue_.empty();
       lk.unlock();
-      work_cv_.notify_all();  // residual work may be ready for peers
+      if (residual) wake_all_waiters();  // work may be ready for peers
       execute_batch(session, std::move(batch), picked);
       lk.lock();
     }
@@ -231,9 +355,11 @@ std::size_t Engine::admit_continuations(std::vector<StreamSlot>& slots,
     // A cancelling shutdown owns the queue's requests (they resolve as
     // Cancelled); drain mode keeps feeding the launch — continuation
     // admission *is* how an in-flight launch helps drain.
-    if (stopping_ && stop_mode_ == ShutdownMode::Cancel) return 0;
+    if (stopping_.load() && stop_mode_ == ShutdownMode::Cancel) return 0;
+    drain_inbox_locked();
     extra = queue_.pop_matching(key, opt_.policy.max_batch - active,
                                 opt_.policy, Clock::now());
+    for (const auto& p : extra) note_removed(p);
   }
   if (extra.empty()) return 0;
   metrics_.on_continuation_admit(extra.size());
@@ -275,7 +401,19 @@ void Engine::finalize_slot(StreamSlot& slot, const Report& report_so_far,
   slot.resp.batch_size = batch_size;
   slot.resp.device = opt_.device_id;
   slot.resp.launch_id = launch_id;
-  resolve(slot.p, std::move(slot.resp), slot.picked, slot.exec_begin);
+  // Latency metrics are stamped now (the request IS complete); the future
+  // is fulfilled by the batch pass in execute_batch so waking its waiter
+  // doesn't steal the core from the launch's remaining steps.
+  stamp_response(slot.p, slot.resp, slot.picked, slot.exec_begin);
+}
+
+void Engine::fulfill_finalized(std::vector<StreamSlot>& slots) {
+  for (auto& s : slots) {
+    if (s.done && !s.fulfilled) {
+      s.fulfilled = true;
+      s.p.promise.set_value(std::move(s.resp));
+    }
+  }
 }
 
 void Engine::run_group_stepwise(Session& session,
@@ -323,9 +461,14 @@ void Engine::run_group_stepwise(Session& session,
         // outputs are exactly the row's own scan continued by its carry.
         auto ls = session.cumsum_batched_begin(head.tile, head.ul1_schedule);
         const std::size_t l = head.tile * head.tile;
+        // Step scratch lives across iterations; assign/resize reuse its
+        // capacity instead of reallocating every step.
+        std::vector<std::size_t> act;
+        std::vector<half> xs;
+        std::vector<half> carries;
         for (;;) {
           const auto step_begin = Clock::now();
-          std::vector<std::size_t> act;
+          act.clear();
           std::size_t step_len = 0;
           for (std::size_t i = 0; i < slots.size(); ++i) {
             if (slots[i].done) continue;
@@ -334,8 +477,8 @@ void Engine::run_group_stepwise(Session& session,
                 step_len, std::min(l, slots[i].p.req.x.size() - slots[i].off));
           }
           if (act.empty()) break;
-          std::vector<half> xs(act.size() * step_len, half(0.0f));
-          std::vector<half> carries(act.size());
+          xs.assign(act.size() * step_len, half(0.0f));
+          carries.resize(act.size());
           for (std::size_t j = 0; j < act.size(); ++j) {
             const StreamSlot& s = slots[act[j]];
             const std::size_t take =
@@ -374,6 +517,9 @@ void Engine::run_group_stepwise(Session& session,
               finalize_slot(s, ls.report, slots.size(), launch_id);
             }
           }
+          // One wakeup pass for every row the step finished, before
+          // admission so the freed clients' follow-ups can seat here.
+          fulfill_finalized(slots);
           if (allow_admit) admit_continuations(slots, key, act.size());
           if (preemptible &&
               should_preempt(key, slots, secs(Clock::now() - step_begin))) {
@@ -392,17 +538,22 @@ void Engine::run_group_stepwise(Session& session,
         // threads each row's fp32 carry across steps.
         constexpr std::size_t kStep = 4096;
         auto ls = session.segmented_cumsum_begin();
+        std::vector<std::size_t> act;
+        std::vector<half> xs;
+        std::vector<std::int8_t> fs;
+        std::vector<std::size_t> row_len;
+        std::vector<float> carries;
         for (;;) {
           const auto step_begin = Clock::now();
-          std::vector<std::size_t> act;
+          act.clear();
           for (std::size_t i = 0; i < slots.size(); ++i) {
             if (!slots[i].done) act.push_back(i);
           }
           if (act.empty()) break;
-          std::vector<half> xs;
-          std::vector<std::int8_t> fs;
-          std::vector<std::size_t> row_len(act.size());
-          std::vector<float> carries(act.size());
+          xs.clear();
+          fs.clear();
+          row_len.resize(act.size());
+          carries.resize(act.size());
           for (std::size_t j = 0; j < act.size(); ++j) {
             const StreamSlot& s = slots[act[j]];
             const std::size_t take =
@@ -447,6 +598,7 @@ void Engine::run_group_stepwise(Session& session,
               finalize_slot(s, ls.report, slots.size(), launch_id);
             }
           }
+          fulfill_finalized(slots);
           if (allow_admit) admit_continuations(slots, key, act.size());
           if (preemptible &&
               should_preempt(key, slots, secs(Clock::now() - step_begin))) {
@@ -474,6 +626,7 @@ void Engine::run_group_stepwise(Session& session,
             deliver_chunk(s, std::move(c), launch_id);
           }
           finalize_slot(s, ls.report, slots.size(), launch_id);
+          fulfill_finalized(slots);
           if (allow_admit) {
             admit_continuations(slots, key, slots.size() - (i + 1));
           }
@@ -563,6 +716,13 @@ void Engine::execute_batch(Session& session, std::vector<Pending> batch,
       rs.active = false;
       rs.preempted = false;
     }
+    // Reserve the full payload up front: steps append tile-sized slices,
+    // and growth reallocations mid-launch are pure overhead.
+    if (s.p.req.kind == OpKind::Cumsum) {
+      s.resp.values_f16.reserve(s.p.req.x.size());
+    } else if (s.p.req.kind == OpKind::SegmentedCumsum) {
+      s.resp.values_f32.reserve(s.p.req.x.size());
+    }
     slots.push_back(std::move(s));
   }
   batch.clear();
@@ -574,12 +734,12 @@ void Engine::execute_batch(Session& session, std::vector<Pending> batch,
     // queue so the interactive work they yielded to runs next.
     requeue_parked(slots);
   } catch (const std::exception& e) {
-    // Already-resolved slots stay resolved (their streamed prefixes and
-    // futures are final); only unresolved slots take a fallback. With a
-    // cluster failover_sink installed, each unresolved member is first
-    // offered — carrying its tile checkpoint — for re-dispatch on a
-    // healthy sibling; whatever the sink hands back falls through to the
-    // local path below.
+    // Already-finalized slots stay final (their streamed prefixes and
+    // stamped responses are fulfilled below); only unresolved slots take a
+    // fallback. With a cluster failover_sink installed, each unresolved
+    // member is first offered — carrying its tile checkpoint — for
+    // re-dispatch on a healthy sibling; whatever the sink hands back falls
+    // through to the local path below.
     if (opt_.failover_sink) {
       std::vector<Pending> offer;
       for (auto& s : slots) {
@@ -601,24 +761,29 @@ void Engine::execute_batch(Session& session, std::vector<Pending> batch,
           execute_single(session, p, p.resume.picked);
         }
       }
-      return;
-    }
-    for (auto& s : slots) {
-      if (s.done) continue;
-      if (mode == GroupExec::Isolated || started_solo) {
-        Response r =
-            immediate_response(s.p.req.kind, Status::Failed, e.what());
-        r.device = opt_.device_id;
-        resolve(s.p, std::move(r), s.picked, s.exec_begin);
-      } else {
-        // Fault isolation: the coalesced launch exhausted the engine-level
-        // retry policy. Re-run the members individually, each under its
-        // request-scoped policy, so one poisoned request cannot take down
-        // the batch. A partially-streamed request restarts from offset 0.
-        execute_single(session, s.p, s.picked);
+    } else {
+      for (auto& s : slots) {
+        if (s.done) continue;
+        if (mode == GroupExec::Isolated || started_solo) {
+          Response r =
+              immediate_response(s.p.req.kind, Status::Failed, e.what());
+          r.device = opt_.device_id;
+          resolve(s.p, std::move(r), s.picked, s.exec_begin);
+        } else {
+          // Fault isolation: the coalesced launch exhausted the
+          // engine-level retry policy. Re-run the members individually,
+          // each under its request-scoped policy, so one poisoned request
+          // cannot take down the batch. A partially-streamed request
+          // restarts from offset 0.
+          execute_single(session, s.p, s.picked);
+        }
       }
     }
   }
+  // Batch-fulfilled futures: every slot that completed in this launch gets
+  // its promise set here, in one pass, outside any lock — the waiters all
+  // wake after the launch's work is done instead of preempting it.
+  fulfill_finalized(slots);
 }
 
 bool Engine::should_preempt(const GroupKey& key,
@@ -656,7 +821,9 @@ bool Engine::should_preempt(const GroupKey& key,
       opt_.policy.preempt_slack_s > 0 ? opt_.policy.preempt_slack_s : step_s;
   std::lock_guard<std::mutex> lk(mu_);
   // A cancelling shutdown owns the queue; nothing there will run anyway.
-  if (stopping_ && stop_mode_ == ShutdownMode::Cancel) return false;
+  if (stopping_.load() && stop_mode_ == ShutdownMode::Cancel) return false;
+  // The interactive request worth yielding to may still be in the inbox.
+  drain_inbox_locked();
   const auto dl =
       queue_.earliest_interactive_deadline(key_joinable ? &key : nullptr);
   if (dl == Clock::time_point::max()) return false;
@@ -686,10 +853,18 @@ void Engine::requeue_parked(std::vector<StreamSlot>& slots) {
     // the aging clock keeps running from the original admission. Even
     // mid-shutdown the push is safe: Drain serves the queue to empty and
     // Cancel's finish_shutdown resolves whatever remains — no future
-    // dangles either way.
-    for (auto& p : parked) queue_.push(std::move(p));
+    // dangles either way. The depth ticket is re-claimed without a cap
+    // check: the rows were admitted once and never left the engine.
+    for (auto& p : parked) {
+      depth_.fetch_add(1, std::memory_order_seq_cst);
+      if (p.req.priority != Priority::Interactive) {
+        bulk_depth_.fetch_add(1, std::memory_order_relaxed);
+      }
+      key_pending_[wake_bucket(p.req)].fetch_add(1, std::memory_order_relaxed);
+      queue_.push(std::move(p));
+    }
   }
-  work_cv_.notify_all();
+  wake_all_waiters();
 }
 
 void Engine::stash_resume(StreamSlot& s) {
@@ -718,8 +893,8 @@ void Engine::execute_single(Session& session, Pending& p,
   execute_batch(session, std::move(solo), picked, GroupExec::Isolated);
 }
 
-void Engine::resolve(Pending& p, Response r, Clock::time_point picked,
-                     Clock::time_point exec_begin) {
+void Engine::stamp_response(Pending& p, Response& r, Clock::time_point picked,
+                            Clock::time_point exec_begin) {
   const auto now = Clock::now();
   r.timing.queue_s = secs(picked - p.enqueued);
   r.timing.batch_s = secs(exec_begin - picked);
@@ -734,17 +909,22 @@ void Engine::resolve(Pending& p, Response r, Clock::time_point picked,
   } else {
     metrics_.on_failed(r.timing);
   }
+}
+
+void Engine::resolve(Pending& p, Response r, Clock::time_point picked,
+                     Clock::time_point exec_begin) {
+  stamp_response(p, r, picked, exec_begin);
   p.promise.set_value(std::move(r));
 }
 
 void Engine::begin_shutdown(ShutdownMode mode) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_ || stopped_) return;  // the first caller's mode wins
-    stopping_ = true;
-    stop_mode_ = mode;
+    if (stopping_.load() || stopped_) return;  // the first caller's mode wins
+    stop_mode_ = mode;  // before stopping_: workers read mode under mu_
+    stopping_.store(true, std::memory_order_seq_cst);
   }
-  work_cv_.notify_all();
+  wake_all_waiters();
 }
 
 void Engine::finish_shutdown() {
@@ -752,21 +932,32 @@ void Engine::finish_shutdown() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopped_) return;
-    ASCAN_CHECK(stopping_,
+    ASCAN_CHECK(stopping_.load(),
                 "serve::Engine: finish_shutdown before begin_shutdown");
   }
   for (auto& w : workers_) w.join();
   workers_.clear();
+
+  // A submit that passed the stopping check before the flag landed may
+  // still be publishing; wait it out so the final drain below is really
+  // final (its inbox push is then visible, its future resolved here).
+  while (submits_inflight_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
 
   // Cancel-mode leftovers (and anything a dead worker abandoned): resolve
   // every remaining future so none dangles.
   std::vector<Pending> leftovers;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    drain_inbox_locked();
     const BatchPolicy flush{.max_batch = 1, .max_wait_s = 0};
     while (!queue_.empty()) {
       auto b = queue_.pop_batch(flush, Clock::now());
-      for (auto& p : b) leftovers.push_back(std::move(p));
+      for (auto& p : b) {
+        note_removed(p);
+        leftovers.push_back(std::move(p));
+      }
     }
     stopped_ = true;
   }
@@ -789,24 +980,30 @@ bool Engine::stopped() const {
 }
 
 std::size_t Engine::queue_depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return queue_.size();
+  // Mu_-free: the admission ticket counts inbox + batcher occupancy. The
+  // cluster's placement loop reads every shard's depth per submit, so
+  // this must never contend with the shards' own hot paths.
+  return depth_.load(std::memory_order_seq_cst);
 }
 
 std::size_t Engine::bulk_backlog() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return queue_.bulk_size();
+  return bulk_depth_.load(std::memory_order_seq_cst);
 }
 
 std::vector<Pending> Engine::steal_bulk_batch(std::size_t min_backlog) {
   std::vector<Pending> batch;
+  // Cheap pre-check without mu_: a thief probing an empty sibling must
+  // not serialize against that sibling's own workers.
+  if (bulk_depth_.load(std::memory_order_seq_cst) < min_backlog) return batch;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopped_) return batch;
     // A cancelling shutdown owns its queued requests — they resolve as
     // Cancelled here, not on a thief.
-    if (stopping_ && stop_mode_ == ShutdownMode::Cancel) return batch;
+    if (stopping_.load() && stop_mode_ == ShutdownMode::Cancel) return batch;
+    drain_inbox_locked();  // the stealable backlog may still be in-flight
     batch = queue_.steal_bulk(opt_.policy, min_backlog);
+    for (const auto& p : batch) note_removed(p);
   }
   if (!batch.empty()) metrics_.on_steal_suffered();
   return batch;
@@ -815,14 +1012,21 @@ std::vector<Pending> Engine::steal_bulk_batch(std::size_t min_backlog) {
 bool Engine::inject(Pending& p) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_ || stopped_) return false;
+    if (stopping_.load() || stopped_) return false;
     // Keep the original enqueue time (total latency spans the failover)
-    // but re-sequence into this queue's FIFO order. No admission counting:
-    // the request was admitted once, at its original shard.
-    p.seq = next_seq_++;
+    // but re-sequence into this queue's FIFO order. No admission counting
+    // (the request was admitted once, at its original shard) — but the
+    // local depth ticket is claimed so queue_depth() stays truthful for
+    // placement and the capacity check backs off accordingly.
+    p.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    depth_.fetch_add(1, std::memory_order_seq_cst);
+    if (p.req.priority != Priority::Interactive) {
+      bulk_depth_.fetch_add(1, std::memory_order_relaxed);
+    }
+    key_pending_[wake_bucket(p.req)].fetch_add(1, std::memory_order_relaxed);
     queue_.push(std::move(p));
   }
-  work_cv_.notify_all();
+  wake_all_waiters();
   return true;
 }
 
@@ -832,11 +1036,15 @@ std::vector<Pending> Engine::drain_queue() {
   // Shutdown owns the queue's requests (Drain executes them, Cancel
   // resolves them Cancelled in finish_shutdown); draining here would
   // race that accounting.
-  if (stopping_ || stopped_) return out;
+  if (stopping_.load() || stopped_) return out;
+  drain_inbox_locked();
   const BatchPolicy flush{.max_batch = 1, .max_wait_s = 0};
   while (!queue_.empty()) {
     auto b = queue_.pop_batch(flush, Clock::now());
-    for (auto& p : b) out.push_back(std::move(p));
+    for (auto& p : b) {
+      note_removed(p);
+      out.push_back(std::move(p));
+    }
   }
   return out;
 }

@@ -48,6 +48,8 @@
 // are part of this header.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -60,6 +62,7 @@
 
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
+#include "serve/mpsc_queue.hpp"
 #include "serve/request.hpp"
 
 namespace ascan::serve {
@@ -204,7 +207,8 @@ class Engine {
     std::size_t off = 0;             ///< elements produced so far
     half carry = half(0.0f);         ///< Cumsum running prefix (carry-in)
     float fcarry = 0.0f;             ///< SegmentedCumsum running prefix
-    bool done = false;               ///< resolved (future fulfilled)
+    bool done = false;       ///< finalized: response stamped
+    bool fulfilled = false;  ///< promise set (by a batch fulfilment pass)
   };
 
   void worker_main(std::size_t idx);
@@ -233,9 +237,19 @@ class Engine {
   /// records first-chunk timing + chunk metrics.
   void deliver_chunk(StreamSlot& slot, StreamChunk chunk,
                      std::uint64_t launch_id);
-  /// Marks the slot Ok, stamps launch bookkeeping and fulfils its future.
+  /// Marks the slot Ok and stamps launch bookkeeping + latency metrics at
+  /// true completion time. The future is NOT fulfilled here — the batch's
+  /// futures are all set in one pass by fulfill_finalized() after the
+  /// launch leaves the step loop, so client wakeups never interleave with
+  /// (and context-switch against) the remaining steps.
   void finalize_slot(StreamSlot& slot, const Report& report_so_far,
                      std::size_t batch_size, std::uint64_t launch_id);
+  /// Batch fulfilment: sets every finalized-but-unfulfilled slot's promise
+  /// in one pass, outside any engine lock. Called once per step (after the
+  /// scatter loop, before continuation admission, so freed clients can
+  /// resubmit into the same launch) and once at the end of execute_batch
+  /// as the catch-all for exception paths.
+  void fulfill_finalized(std::vector<StreamSlot>& slots);
   /// Stashes the slot's tile checkpoint into its Pending (Pending::resume)
   /// so a failover target can continue the row from the last completed
   /// tile.
@@ -258,8 +272,41 @@ class Engine {
   /// work first and the parked batch resumes bit-exact afterwards.
   void requeue_parked(std::vector<StreamSlot>& slots);
 
+  /// Stamps timing decomposition, deadline verdict and completion metrics
+  /// into `r` (at call time — callers invoke it the moment the outcome is
+  /// known, even when the future is fulfilled later in a batch pass).
+  void stamp_response(Pending& p, Response& r, Clock::time_point picked,
+                      Clock::time_point exec_begin);
+  /// stamp_response + immediate future fulfilment (failure/cancel paths).
   void resolve(Pending& p, Response r, Clock::time_point picked,
                Clock::time_point exec_begin);
+
+  /// Moves everything the submitters pushed into the batcher. Callers hold
+  /// mu_ — the batcher's lane structures are still mutex-guarded; only the
+  /// submit() -> inbox_ handoff is lock-free.
+  void drain_inbox_locked();
+  /// Producer half of the sleep-race protocol: seq_cst fence, then notify
+  /// only when a worker is registered in cv_waiters_ (paired with the
+  /// consumer's register-then-drain order — see DESIGN.md "Host hot
+  /// path"). `batch_ready` additionally nudges formation waiters —
+  /// workers sleeping out a partial batch's max_wait window on form_cv_.
+  /// Those waits are deadline-bounded, so skipping the nudge for
+  /// arrivals that cannot complete a batch costs at most the formation
+  /// window the policy already tolerates, and it is what keeps a
+  /// lightly-loaded device's worker from a futex round trip per request.
+  void wake_workers(bool batch_ready);
+  /// Wakes every waiter on both condition variables (shutdown, steal
+  /// hand-offs, residual-work announcements — the rare control edges).
+  void wake_all_waiters();
+  /// Accounting when a request leaves the queue for execution (pop, steal,
+  /// drain, flush): undoes the depth_/bulk_depth_ admission ticket and the
+  /// formation-wake bucket count.
+  void note_removed(const Pending& p);
+  /// key_pending_ bucket of a request's GroupKey (formation-wake
+  /// heuristic).
+  static std::size_t wake_bucket(const Request& r) {
+    return group_key_hash(group_key(r)) % kWakeBuckets;
+  }
 
   EngineOptions opt_;
   Metrics metrics_;
@@ -267,11 +314,46 @@ class Engine {
   std::mutex shutdown_mu_;  ///< serialises shutdown callers (join outside mu_)
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
-  Batcher queue_;
-  bool stopping_ = false;
-  bool stopped_ = false;
-  ShutdownMode stop_mode_ = ShutdownMode::Drain;
-  std::uint64_t next_seq_ = 0;
+  /// Lock-free MPSC submission inbox: submit() publishes here (one
+  /// fetch_add + release store, no mu_) and whichever worker holds mu_
+  /// drains it into the batcher. Sized 2x the admission bound so the
+  /// depth_ ticket guarantees a push can never find it full.
+  MpscRing<Pending> inbox_;
+  Batcher queue_;  ///< lane/EDF structures; guarded by mu_
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;                          // guarded by mu_
+  ShutdownMode stop_mode_ = ShutdownMode::Drain;  // guarded by mu_
+  /// Admission ticket: queued requests (inbox_ + batcher), bumped before
+  /// the inbox push so capacity is enforced without mu_. bulk_depth_ is
+  /// the bulk-lane share, for mu_-free bulk_backlog() steal probes.
+  std::atomic<std::size_t> depth_{0};
+  std::atomic<std::size_t> bulk_depth_{0};
+  /// Submits past the stopping_ check whose inbox push has not landed
+  /// yet. Shutdown waits for zero before the final drain, so a racing
+  /// submit is either rejected or fully served — never stranded.
+  std::atomic<std::uint64_t> submits_inflight_{0};
+  /// Workers registered in the *idle* cv wait (queue empty; possibly
+  /// indefinite). Producers skip the notify entirely when this is zero —
+  /// the common saturated case — and pair a seq_cst fence with the
+  /// waiter's registration to make the skip race-free. Idle waits are the
+  /// only unbounded ones, so they keep the per-arrival notify.
+  std::atomic<int> cv_waiters_{0};
+  /// Workers registered in the *formation* wait (partial batch, sleeping
+  /// until the max_wait window or an SLO deadline expires) on form_cv_.
+  /// Only nudged when an arrival could complete a batch: these waits are
+  /// time-bounded, so a skipped notify delays a pop by at most the
+  /// formation window — never loses it.
+  std::condition_variable form_cv_;
+  std::atomic<int> form_waiters_{0};
+  /// Pending-count per group_key_hash bucket, maintained lock-free by
+  /// submit()/note_removed(). When an arrival brings its bucket to a
+  /// multiple of max_batch, a full batch is plausibly ready and the
+  /// formation waiters get their nudge. Collisions only over-count,
+  /// which closes a batch window early — a scheduling nudge, never a
+  /// correctness issue (the popping worker re-checks under mu_).
+  static constexpr std::size_t kWakeBuckets = 64;
+  std::array<std::atomic<std::uint32_t>, kWakeBuckets> key_pending_{};
+  std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::uint64_t> next_launch_id_{1};  // 0 = never launched
   /// One Session (one simulated device context) per worker, owned by the
   /// engine so per-device state — excluded cores, cumulative retry stats —

@@ -1,5 +1,7 @@
 #include "serve/health.hpp"
 
+#include <bit>
+
 #include "common/check.hpp"
 
 namespace ascan::serve {
@@ -14,6 +16,34 @@ HealthMonitor::HealthMonitor(int num_devices, HealthPolicy policy)
               "HealthMonitor: canary_batches must be >= 1");
   devs_.resize(static_cast<std::size_t>(num_devices));
   for (auto& d : devs_) d.ring.assign(policy_.window, 0.0);
+  publish_summary_locked();  // no concurrent readers yet; mu_ not needed
+}
+
+void HealthMonitor::publish_summary_locked() {
+  std::uint32_t summary = 0;
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < devs_.size(); ++i) {
+    switch (devs_[i].state) {
+      case HealthState::Healthy:
+        if (i < 64) mask |= std::uint64_t{1} << i;
+        break;
+      case HealthState::Degraded:
+        summary |= kAnyNotHealthy;
+        if (i < 64) mask |= std::uint64_t{1} << i;
+        break;
+      case HealthState::Quarantined:
+        summary |= kAnyNotHealthy | kAnyQuarantined;
+        break;
+      case HealthState::Probing:
+        summary |= kAnyNotHealthy | kAnyProbing;
+        break;
+    }
+  }
+  // Mask first: a reader that sees the new summary must not pair it with
+  // the old mask (it would trust a placeable set that predates the
+  // transition it was just told about).
+  placeable_mask_.store(mask, std::memory_order_release);
+  summary_.store(summary, std::memory_order_release);
 }
 
 void HealthMonitor::push_outcome(Dev& d, double severity) {
@@ -42,6 +72,7 @@ std::optional<HealthTransition> HealthMonitor::record(int device, bool faulted,
   const auto transition = [&](HealthState to) -> HealthTransition {
     const HealthState from = d.state;
     d.state = to;
+    publish_summary_locked();
     return HealthTransition{device, from, to};
   };
 
@@ -111,9 +142,16 @@ std::optional<HealthTransition> HealthMonitor::record(int device, bool faulted,
 }
 
 void HealthMonitor::tick(std::vector<HealthTransition>* out) {
+  // Lock-free fast path: tick() only ever promotes Quarantined devices,
+  // and the submit path calls it on every request — don't pay the mutex
+  // when nothing is quarantined.
+  if ((summary_.load(std::memory_order_acquire) & kAnyQuarantined) == 0) {
+    return;
+  }
   std::lock_guard<std::mutex> lk(mu_);
   if (!policy_.enabled) return;
   const auto now = ClockT::now();
+  bool changed = false;
   for (std::size_t i = 0; i < devs_.size(); ++i) {
     Dev& d = devs_[i];
     if (d.state != HealthState::Quarantined) continue;
@@ -123,12 +161,14 @@ void HealthMonitor::tick(std::vector<HealthTransition>* out) {
     d.state = HealthState::Probing;
     d.canary_ok = 0;
     d.canaries_in_flight = 0;
+    changed = true;
     if (out != nullptr) {
       out->push_back(HealthTransition{static_cast<int>(i),
                                       HealthState::Quarantined,
                                       HealthState::Probing});
     }
   }
+  if (changed) publish_summary_locked();
 }
 
 HealthState HealthMonitor::state(int device) const {
@@ -150,12 +190,20 @@ double HealthMonitor::score(int device) const {
 }
 
 bool HealthMonitor::placeable(int device) const {
+  if (devs_.size() <= 64) {
+    return (placeable_mask_.load(std::memory_order_acquire) &
+            (std::uint64_t{1} << device)) != 0;
+  }
   std::lock_guard<std::mutex> lk(mu_);
   const HealthState s = devs_[static_cast<std::size_t>(device)].state;
   return s == HealthState::Healthy || s == HealthState::Degraded;
 }
 
 std::size_t HealthMonitor::placeable_count() const {
+  if (devs_.size() <= 64) {
+    return static_cast<std::size_t>(
+        std::popcount(placeable_mask_.load(std::memory_order_acquire)));
+  }
   std::lock_guard<std::mutex> lk(mu_);
   std::size_t n = 0;
   for (const auto& d : devs_) {
@@ -167,6 +215,11 @@ std::size_t HealthMonitor::placeable_count() const {
 }
 
 bool HealthMonitor::try_admit_canary(int device) {
+  // Hot-path gate: the submit path probes every device for a canary slot
+  // per bulk request, but slots only exist while something is Probing.
+  if ((summary_.load(std::memory_order_acquire) & kAnyProbing) == 0) {
+    return false;
+  }
   std::lock_guard<std::mutex> lk(mu_);
   Dev& d = devs_[static_cast<std::size_t>(device)];
   if (d.state != HealthState::Probing) return false;
@@ -176,6 +229,9 @@ bool HealthMonitor::try_admit_canary(int device) {
 }
 
 bool HealthMonitor::has_canary_slot() const {
+  if ((summary_.load(std::memory_order_acquire) & kAnyProbing) == 0) {
+    return false;
+  }
   std::lock_guard<std::mutex> lk(mu_);
   for (const auto& d : devs_) {
     if (d.state == HealthState::Probing &&

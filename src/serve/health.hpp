@@ -39,6 +39,7 @@
 // any engine worker thread without lock-order concerns.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -122,6 +123,33 @@ class HealthMonitor {
   bool placeable(int device) const;
   std::size_t placeable_count() const;
 
+  // Lock-free summary for the submit hot path. The cluster consults the
+  // monitor on EVERY submit; in the all-healthy steady state that must
+  // not mean a mutex acquisition (let alone two plus a vector allocation,
+  // which is what tick() + states() cost). Both words are recomputed
+  // under mu_ after every state change and published with release
+  // stores, so an acquire load observes a snapshot that was
+  // simultaneously true at some instant — the same consistency the
+  // locked states() gave the placement path.
+
+  /// Summary bits over all devices (kAnyNotHealthy / kAnyQuarantined /
+  /// kAnyProbing). 0 means every device is Healthy: placement can skip
+  /// tick(), the canary scan, and the per-device state snapshot entirely.
+  static constexpr std::uint32_t kAnyNotHealthy = 1u;
+  static constexpr std::uint32_t kAnyQuarantined = 2u;
+  static constexpr std::uint32_t kAnyProbing = 4u;
+  std::uint32_t summary() const {
+    return summary_.load(std::memory_order_acquire);
+  }
+
+  /// Bit i set -> device i is placeable (Healthy or Degraded). One atomic
+  /// read replaces the locked states() vector on the placement path.
+  /// Only meaningful for monitors with <= 64 devices; larger clusters
+  /// must fall back to states() (the placement path checks).
+  std::uint64_t placeable_mask() const {
+    return placeable_mask_.load(std::memory_order_acquire);
+  }
+
   /// Half-open admission: true reserves one canary slot on a Probing
   /// device (released when its outcome is recorded).
   bool try_admit_canary(int device);
@@ -151,10 +179,15 @@ class HealthMonitor {
     return d.filled ? d.sum / static_cast<double>(d.filled) : 0.0;
   }
   void push_outcome(Dev& d, double severity);
+  /// Recomputes summary_ / placeable_mask_ from devs_. Call with mu_
+  /// held after any state change.
+  void publish_summary_locked();
 
   mutable std::mutex mu_;
   HealthPolicy policy_;
   std::vector<Dev> devs_;
+  std::atomic<std::uint32_t> summary_{0};
+  std::atomic<std::uint64_t> placeable_mask_{0};
 };
 
 }  // namespace ascan::serve

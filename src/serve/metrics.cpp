@@ -75,63 +75,72 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   max_s_ = std::max(max_s_, other.max_s_);
 }
 
-void Metrics::on_steal(std::size_t stolen_request_count) {
-  std::lock_guard<std::mutex> lk(mu_);
-  s_.steals++;
-  s_.stolen_requests += stolen_request_count;
+// ---------------------------------------------------------------------------
+// Sharded accumulator
+
+Metrics::Shard& Metrics::my_shard() {
+  // Round-robin thread -> shard assignment, fixed at a thread's first
+  // histogram event. Engine workers therefore each own a shard (up to
+  // kShards of them) and never contend; the assignment is process-wide so
+  // a thread keeps its shard index across every Metrics instance.
+  static std::atomic<unsigned> next_thread{0};
+  thread_local const unsigned idx =
+      next_thread.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<unsigned>(kShards);
+  return shards_[idx];
 }
 
 void Metrics::on_completed(OpKind kind, SloTier tier, const Timing& t) {
-  std::lock_guard<std::mutex> lk(mu_);
-  s_.completed++;
-  s_.by_kind[static_cast<std::size_t>(kind)]++;
-  s_.queue_latency.add(t.queue_s);
-  s_.execute_latency.add(t.execute_s);
-  s_.total_latency.add(t.total_s);
-  s_.tier_latency[static_cast<std::size_t>(tier)].add(t.total_s);
+  Shard& sh = my_shard();
+  std::lock_guard<std::mutex> lk(sh.mu);
+  sh.completed++;
+  sh.by_kind[static_cast<std::size_t>(kind)]++;
+  sh.queue_latency.add(t.queue_s);
+  sh.execute_latency.add(t.execute_s);
+  sh.total_latency.add(t.total_s);
+  sh.tier_latency[static_cast<std::size_t>(tier)].add(t.total_s);
 }
 
 void Metrics::on_failed(const Timing& t) {
-  std::lock_guard<std::mutex> lk(mu_);
-  s_.failed++;
-  s_.queue_latency.add(t.queue_s);
-  s_.total_latency.add(t.total_s);
+  Shard& sh = my_shard();
+  std::lock_guard<std::mutex> lk(sh.mu);
+  sh.failed++;
+  sh.queue_latency.add(t.queue_s);
+  sh.total_latency.add(t.total_s);
 }
 
 void Metrics::on_batch(std::size_t occupancy, const Report& rep) {
-  std::lock_guard<std::mutex> lk(mu_);
-  s_.batches++;
-  s_.batched_requests += occupancy;
-  s_.max_batch_observed = std::max<std::uint64_t>(s_.max_batch_observed,
-                                                  occupancy);
-  s_.sim_time_s += rep.time_s;
-  s_.sim_gm_bytes += rep.gm_read_bytes + rep.gm_write_bytes;
-  s_.sim_launches += rep.launches;
-  s_.sim_steps += rep.steps;
-  s_.sim_retries += rep.retries;
-  s_.sim_excluded_cores += rep.excluded_cores;
+  Shard& sh = my_shard();
+  std::lock_guard<std::mutex> lk(sh.mu);
+  sh.batches++;
+  sh.batched_requests += occupancy;
+  sh.max_batch_observed =
+      std::max<std::uint64_t>(sh.max_batch_observed, occupancy);
+  sh.sim_time_s += rep.time_s;
+  sh.sim_gm_bytes += rep.gm_read_bytes + rep.gm_write_bytes;
+  sh.sim_launches += rep.launches;
+  sh.sim_steps += rep.steps;
+  sh.sim_retries += rep.retries;
+  sh.sim_excluded_cores += rep.excluded_cores;
 }
 
 void Metrics::on_batch_abandoned(const Report& partial) {
-  std::lock_guard<std::mutex> lk(mu_);
-  s_.failed_batches++;
-  s_.sim_time_s += partial.time_s;
-  s_.sim_gm_bytes += partial.gm_read_bytes + partial.gm_write_bytes;
-  s_.sim_launches += partial.launches;
-  s_.sim_steps += partial.steps;
-  s_.sim_retries += partial.retries;
-  s_.sim_excluded_cores += partial.excluded_cores;
-}
-
-void Metrics::on_continuation_admit(std::size_t n) {
-  std::lock_guard<std::mutex> lk(mu_);
-  s_.continuation_admits += n;
+  Shard& sh = my_shard();
+  std::lock_guard<std::mutex> lk(sh.mu);
+  sh.failed_batches++;
+  sh.sim_time_s += partial.time_s;
+  sh.sim_gm_bytes += partial.gm_read_bytes + partial.gm_write_bytes;
+  sh.sim_launches += partial.launches;
+  sh.sim_steps += partial.steps;
+  sh.sim_retries += partial.retries;
+  sh.sim_excluded_cores += partial.excluded_cores;
 }
 
 void Metrics::on_chunk(double latency_s) {
-  std::lock_guard<std::mutex> lk(mu_);
-  s_.stream_chunks++;
-  s_.chunk_latency.add(latency_s);
+  Shard& sh = my_shard();
+  std::lock_guard<std::mutex> lk(sh.mu);
+  sh.stream_chunks++;
+  sh.chunk_latency.add(latency_s);
 }
 
 namespace {
@@ -150,8 +159,66 @@ void recompute_derived(MetricsSnapshot& out, double hbm_peak) {
 }  // namespace
 
 MetricsSnapshot Metrics::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  MetricsSnapshot out = s_;
+  MetricsSnapshot out;
+  out.device = device_;
+  // Child-before-parent read order. Phase 1: the shard-guarded state —
+  // completions, failures and their histograms. Each shard's mutex
+  // acquire synchronizes with every writer that updated it, so by the
+  // time the loop finishes, every gathered completion's upstream
+  // admission/submission bump is visible to this thread.
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    out.completed += sh.completed;
+    out.failed += sh.failed;
+    for (std::size_t k = 0; k < out.by_kind.size(); ++k) {
+      out.by_kind[k] += sh.by_kind[k];
+    }
+    out.batches += sh.batches;
+    out.batched_requests += sh.batched_requests;
+    out.max_batch_observed =
+        std::max(out.max_batch_observed, sh.max_batch_observed);
+    out.failed_batches += sh.failed_batches;
+    out.stream_chunks += sh.stream_chunks;
+    out.queue_latency.merge(sh.queue_latency);
+    out.execute_latency.merge(sh.execute_latency);
+    out.total_latency.merge(sh.total_latency);
+    out.chunk_latency.merge(sh.chunk_latency);
+    for (std::size_t k = 0; k < out.tier_latency.size(); ++k) {
+      out.tier_latency[k].merge(sh.tier_latency[k]);
+    }
+    out.sim_time_s += sh.sim_time_s;
+    out.sim_gm_bytes += sh.sim_gm_bytes;
+    out.sim_launches += sh.sim_launches;
+    out.sim_steps += sh.sim_steps;
+    out.sim_retries += sh.sim_retries;
+    out.sim_excluded_cores += sh.sim_excluded_cores;
+  }
+  // Phase 2: the pure counters, leaf to root — cancellations and
+  // rejections before admissions before submissions, the reverse of the
+  // writers' bump order — so every inequality the snapshot exports
+  // (admitted + rejected <= submitted, terminal <= admitted) holds even
+  // while writers race this read.
+  out.cancelled = cancelled_.load();
+  out.continuation_admits = continuation_admits_.load();
+  out.deadline_misses = deadline_misses_.load();
+  out.preemptions = preemptions_.load();
+  out.preempted_tiles_resumed = preempted_tiles_resumed_.load();
+  out.routed_affinity = routed_affinity_.load();
+  out.routed_spill = routed_spill_.load();
+  out.steals = steals_.load();
+  out.stolen_requests = stolen_requests_.load();
+  out.steals_suffered = steals_suffered_.load();
+  out.health_transitions = health_transitions_.load();
+  out.failovers = failovers_.load();
+  out.tiles_resumed = tiles_resumed_.load();
+  out.canary_probes = canary_probes_.load();
+  out.shed_brownout = shed_brownout_.load();
+  out.rejected_capacity = rejected_capacity_.load();
+  out.rejected_invalid = rejected_invalid_.load();
+  out.rejected_shutdown = rejected_shutdown_.load();
+  out.rejected_quota = rejected_quota_.load();
+  out.admitted = admitted_.load();
+  out.submitted = submitted_.load();
   recompute_derived(out, hbm_peak_);
   return out;
 }
@@ -210,6 +277,39 @@ MetricsSnapshot MetricsSnapshot::merged(
   return out;
 }
 
+std::string MetricsSnapshot::invariant_violations() const {
+  std::ostringstream os;
+  const auto fail = [&os](const char* what) {
+    if (os.tellp() > 0) os << "; ";
+    os << what;
+  };
+  const std::uint64_t rejected = rejected_capacity + rejected_invalid +
+                                 rejected_shutdown + rejected_quota;
+  if (admitted + rejected > submitted) {
+    fail("admitted + rejected > submitted");
+  }
+  if (completed + failed + cancelled > admitted) {
+    fail("terminal (completed + failed + cancelled) > admitted");
+  }
+  if (execute_latency.count() != completed) {
+    fail("execute_latency.count != completed");
+  }
+  if (total_latency.count() != completed + failed) {
+    fail("total_latency.count != completed + failed");
+  }
+  std::uint64_t kinds = 0;
+  for (const auto k : by_kind) kinds += k;
+  if (kinds != completed) fail("sum(by_kind) != completed");
+  std::uint64_t tiers = 0;
+  for (const auto& t : tier_latency) tiers += t.count();
+  if (tiers != completed) fail("sum(tier_latency counts) != completed");
+  if (chunk_latency.count() != stream_chunks) {
+    fail("chunk_latency.count != stream_chunks");
+  }
+  if (batched_requests < batches) fail("batched_requests < batches");
+  return os.str();
+}
+
 std::string MetricsSnapshot::json() const {
   std::ostringstream os;
   os << "{\n"
@@ -256,8 +356,17 @@ std::string MetricsSnapshot::json() const {
      << ",\"shed_brownout\":" << shed_brownout << "},\n"
      << "  \"latency\": {\"queue\":" << queue_latency.json()
      << ",\"execute\":" << execute_latency.json()
-     << ",\"total\":" << total_latency.json() << "},\n"
-     << "  \"simulated\": {\"time_s\":" << sim_time_s
+     << ",\"total\":" << total_latency.json() << "},\n";
+  // Consistency audit on the export path. Only merged / front-end views
+  // (device -1) carry the verdict: a single cluster shard can legitimately
+  // complete a request another shard admitted (failover), so the
+  // admission inequalities only bind device-spanning snapshots.
+  if (device < 0) {
+    const std::string viol = invariant_violations();
+    os << "  \"consistency\": \""
+       << (viol.empty() ? std::string("ok") : viol) << "\",\n";
+  }
+  os << "  \"simulated\": {\"time_s\":" << sim_time_s
      << ",\"gm_bytes\":" << sim_gm_bytes << ",\"launches\":" << sim_launches
      << ",\"steps\":" << sim_steps << ",\"retries\":" << sim_retries
      << ",\"excluded_cores\":" << sim_excluded_cores

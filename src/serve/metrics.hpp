@@ -6,9 +6,25 @@
 // admission counters record why work was turned away. A snapshot exports
 // as JSON (schema documented in DESIGN.md "Serving layer") so load
 // generators and dashboards consume one stable format.
+//
+// Hot-path design (DESIGN.md "Host hot path"): the accumulator is sharded
+// so no request completion ever touches a global mutex. Pure counters are
+// seq_cst atomics; histogram-coupled events (completions, failures,
+// batches, chunks) land in one of kShards per-thread shards, each behind
+// its own — effectively uncontended — mutex. snapshot() merges the shards
+// and reads the atomics in child-before-parent order (completions before
+// admissions before submissions), which makes the exported view
+// internally consistent: a request counted as completed in a snapshot is
+// provably also counted as admitted and submitted in the same snapshot
+// (the admission bump happens-before the completion bump through the
+// submission queue's release/acquire chain, and the reader observes the
+// completion first). MetricsSnapshot::invariant_violations() checks the
+// resulting inequalities and exact histogram/counter pairings; the JSON
+// export surfaces it for merged views.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -148,6 +164,23 @@ struct MetricsSnapshot {
   /// the paper's bandwidth-utilisation figures.
   double sim_bandwidth_utilization = 0;
 
+  /// Internal-consistency audit of this snapshot: empty string when every
+  /// invariant holds, else a semicolon-separated list of violations.
+  /// Checked inequalities (sound for a live-racing snapshot because of the
+  /// reader's child-before-parent ordering — see Metrics):
+  ///   admitted + rejected_* <= submitted
+  ///   completed + failed + cancelled <= admitted
+  /// and exact pairings updated atomically under one shard lock:
+  ///   execute_latency.count == completed
+  ///   total_latency.count == completed + failed
+  ///   sum(by_kind) == completed, sum(tier_latency counts) == completed
+  ///   chunk_latency.count == stream_chunks
+  /// Meaningful for a standalone engine and for a cluster *merged* view.
+  /// A single cluster shard can legitimately violate the admission
+  /// inequalities: a failed-over request is admitted on one device and
+  /// completed on another (admission is never double counted).
+  std::string invariant_violations() const;
+
   std::string json() const;  ///< full snapshot as a JSON object
 
   /// Sums every raw counter and histogram of `parts` into one view and
@@ -159,38 +192,51 @@ struct MetricsSnapshot {
                                 double hbm_peak_bytes_per_s);
 };
 
-/// Thread-safe accumulator owned by the Engine.
+/// Thread-safe sharded accumulator owned by the Engine. The on_* surface
+/// is unchanged from the single-mutex version; only the storage is split.
+///
+/// Ordering rules the writers follow (and snapshot() relies on):
+///  * on_submitted is bumped before on_admitted / on_rejected_* for the
+///    same request (program order in submit()).
+///  * on_admitted is bumped before the request is published to the
+///    submission queue, so it happens-before the worker's completion/
+///    cancellation bump for that request.
+/// All counter RMWs are seq_cst (on x86 the same lock-prefixed instruction
+/// as relaxed), so the reader's reverse-order loads close the torn-pair
+/// window without any global lock.
 class Metrics {
  public:
   explicit Metrics(double hbm_peak_bytes_per_s, int device = -1)
-      : hbm_peak_(hbm_peak_bytes_per_s) {
-    s_.device = device;
+      : device_(device), hbm_peak_(hbm_peak_bytes_per_s) {}
+
+  void on_submitted() { submitted_.fetch_add(1); }
+  void on_admitted() { admitted_.fetch_add(1); }
+  void on_rejected_capacity() { rejected_capacity_.fetch_add(1); }
+  void on_rejected_invalid() { rejected_invalid_.fetch_add(1); }
+  void on_rejected_shutdown() { rejected_shutdown_.fetch_add(1); }
+  void on_cancelled() { cancelled_.fetch_add(1); }
+
+  void on_routed_affinity() { routed_affinity_.fetch_add(1); }
+  void on_routed_spill() { routed_spill_.fetch_add(1); }
+  void on_steal_suffered() { steals_suffered_.fetch_add(1); }
+  void on_steal(std::size_t stolen_request_count) {
+    steals_.fetch_add(1);
+    stolen_requests_.fetch_add(stolen_request_count);
   }
 
-  void on_submitted() { bump(&MetricsSnapshot::submitted); }
-  void on_admitted() { bump(&MetricsSnapshot::admitted); }
-  void on_rejected_capacity() { bump(&MetricsSnapshot::rejected_capacity); }
-  void on_rejected_invalid() { bump(&MetricsSnapshot::rejected_invalid); }
-  void on_rejected_shutdown() { bump(&MetricsSnapshot::rejected_shutdown); }
-  void on_cancelled() { bump(&MetricsSnapshot::cancelled); }
+  void on_rejected_quota() { rejected_quota_.fetch_add(1); }
+  void on_deadline_miss() { deadline_misses_.fetch_add(1); }
+  void on_preemption() { preemptions_.fetch_add(1); }
+  void on_preempted_tile_resumed() { preempted_tiles_resumed_.fetch_add(1); }
 
-  void on_routed_affinity() { bump(&MetricsSnapshot::routed_affinity); }
-  void on_routed_spill() { bump(&MetricsSnapshot::routed_spill); }
-  void on_steal_suffered() { bump(&MetricsSnapshot::steals_suffered); }
-  void on_steal(std::size_t stolen_request_count);
-
-  void on_rejected_quota() { bump(&MetricsSnapshot::rejected_quota); }
-  void on_deadline_miss() { bump(&MetricsSnapshot::deadline_misses); }
-  void on_preemption() { bump(&MetricsSnapshot::preemptions); }
-  void on_preempted_tile_resumed() {
-    bump(&MetricsSnapshot::preempted_tiles_resumed);
+  void on_health_transition() { health_transitions_.fetch_add(1); }
+  void on_failover() { failovers_.fetch_add(1); }
+  void on_tiles_resumed() { tiles_resumed_.fetch_add(1); }
+  void on_canary_probe() { canary_probes_.fetch_add(1); }
+  void on_shed_brownout() { shed_brownout_.fetch_add(1); }
+  void on_continuation_admit(std::size_t n) {
+    continuation_admits_.fetch_add(n);
   }
-
-  void on_health_transition() { bump(&MetricsSnapshot::health_transitions); }
-  void on_failover() { bump(&MetricsSnapshot::failovers); }
-  void on_tiles_resumed() { bump(&MetricsSnapshot::tiles_resumed); }
-  void on_canary_probe() { bump(&MetricsSnapshot::canary_probes); }
-  void on_shed_brownout() { bump(&MetricsSnapshot::shed_brownout); }
 
   void on_completed(OpKind kind, SloTier tier, const Timing& t);
   void on_failed(const Timing& t);
@@ -199,21 +245,70 @@ class Metrics {
   /// count it and fold its partial Report into the sim_* counters so the
   /// traffic a fault burned is not silently dropped.
   void on_batch_abandoned(const Report& partial);
-  void on_continuation_admit(std::size_t n);
   /// One streamed chunk delivered, `latency_s` after its request enqueued.
   void on_chunk(double latency_s);
 
   MetricsSnapshot snapshot() const;
 
  private:
-  void bump(std::uint64_t MetricsSnapshot::*field) {
-    std::lock_guard<std::mutex> lk(mu_);
-    (s_.*field)++;
-  }
+  /// Shard count: enough that a handful of worker threads (engines run
+  /// 1-4 workers; the cluster adds submitter threads only for the cheap
+  /// atomic counters) effectively never share a shard mutex.
+  static constexpr std::size_t kShards = 8;
 
-  mutable std::mutex mu_;
-  MetricsSnapshot s_;
+  /// Histogram-coupled state. Every event updates its whole pair set
+  /// (counter + histograms) under the one shard mutex, so any snapshot
+  /// observes exact pairings per shard — and, summed, overall.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::array<std::uint64_t, 4> by_kind{};
+    std::uint64_t batches = 0;
+    std::uint64_t batched_requests = 0;
+    std::uint64_t max_batch_observed = 0;
+    std::uint64_t failed_batches = 0;
+    std::uint64_t stream_chunks = 0;
+    LatencyHistogram queue_latency;
+    LatencyHistogram execute_latency;
+    LatencyHistogram total_latency;
+    LatencyHistogram chunk_latency;
+    std::array<LatencyHistogram, kSloTierCount> tier_latency;
+    double sim_time_s = 0;
+    std::uint64_t sim_gm_bytes = 0;
+    int sim_launches = 0;
+    int sim_steps = 0;
+    std::uint32_t sim_retries = 0;
+    std::uint32_t sim_excluded_cores = 0;
+  };
+  Shard& my_shard();
+
+  int device_;
   double hbm_peak_;
+  std::array<Shard, kShards> shards_;
+
+  using Counter = std::atomic<std::uint64_t>;
+  Counter submitted_{0};
+  Counter admitted_{0};
+  Counter rejected_capacity_{0};
+  Counter rejected_invalid_{0};
+  Counter rejected_shutdown_{0};
+  Counter rejected_quota_{0};
+  Counter cancelled_{0};
+  Counter continuation_admits_{0};
+  Counter routed_affinity_{0};
+  Counter routed_spill_{0};
+  Counter steals_{0};
+  Counter stolen_requests_{0};
+  Counter steals_suffered_{0};
+  Counter health_transitions_{0};
+  Counter failovers_{0};
+  Counter tiles_resumed_{0};
+  Counter canary_probes_{0};
+  Counter shed_brownout_{0};
+  Counter deadline_misses_{0};
+  Counter preemptions_{0};
+  Counter preempted_tiles_resumed_{0};
 };
 
 }  // namespace ascan::serve

@@ -1,5 +1,6 @@
 #include "sim/executor.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
@@ -49,63 +50,74 @@ bool resolve_timing_cache(bool requested) {
 // SubcorePool
 
 SubcorePool::~SubcorePool() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stop_ = true;
-  }
-  cv_work_.notify_all();
+  word_.fetch_or(kStopBit, std::memory_order_release);
+  word_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
 
 int SubcorePool::workers() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(threads_mu_);
   return static_cast<int>(threads_.size());
 }
 
 void SubcorePool::ensure_workers(int n) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(threads_mu_);
   while (static_cast<int>(threads_.size()) < n) {
     const int idx = static_cast<int>(threads_.size());
-    // A worker spawned now must ignore every batch generation that already
-    // passed: it observes the current generation as its starting point.
-    threads_.emplace_back(&SubcorePool::worker_loop, this, idx, generation_);
+    // A worker spawned now must ignore every launch that already passed: it
+    // observes the current word as its starting point. run() publishes this
+    // launch's word only after ensure_workers returns, so the newcomer
+    // still sees that as a change and participates.
+    threads_.emplace_back(&SubcorePool::worker_loop, this, idx,
+                          word_.load(std::memory_order_relaxed));
   }
 }
 
 void SubcorePool::run(int n, const std::function<void(int)>& body) {
-  ASCAN_ASSERT(n > 0);
-  ensure_workers(n);
-  std::unique_lock<std::mutex> lk(mu_);
+  ASCAN_ASSERT(n > 0 && n <= static_cast<int>(kWidthMask),
+               "SubcorePool::run: launch width exceeds the packed word");
   ASCAN_ASSERT(body_ == nullptr, "SubcorePool::run is not reentrant");
+  ensure_workers(n);
   body_ = &body;
-  batch_n_ = n;
-  done_ = 0;
-  ++generation_;
-  cv_work_.notify_all();
-  cv_done_.wait(lk, [&] { return done_ == batch_n_; });
+  done_.store(0, std::memory_order_relaxed);
+  const std::uint32_t prev = word_.load(std::memory_order_relaxed);
+  const std::uint32_t next =
+      (gen_of(prev) + kGenOne) | static_cast<std::uint32_t>(n);
+  // The release-store publishes body_ and the done_ reset to every worker
+  // that acquire-loads the new word.
+  word_.store(next, std::memory_order_release);
+  word_.notify_all();
+  // Wait for the whole launch on the done flag, not the countdown: only
+  // the last worker's store changes it, so the intermediate n-1 decrements
+  // cannot wake the dispatcher.
+  const std::uint32_t gen = gen_of(next);
+  for (std::uint32_t f = done_flag_.load(std::memory_order_acquire);
+       f != gen; f = done_flag_.load(std::memory_order_acquire)) {
+    done_flag_.wait(f, std::memory_order_acquire);
+  }
   body_ = nullptr;
 }
 
-void SubcorePool::worker_loop(int worker_idx, std::uint64_t start_generation) {
-  std::uint64_t seen = start_generation;
+void SubcorePool::worker_loop(int worker_idx, std::uint32_t start_word) {
+  std::uint32_t seen = start_word;
   for (;;) {
-    const std::function<void(int)>* body = nullptr;
-    int n = 0;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      // Batches are serial: generation_ can be at most seen+1 here, because
-      // the dispatcher blocks until every assigned worker of the previous
-      // batch reported done. A worker therefore never skips a batch.
-      seen = generation_;
-      body = body_;
-      n = batch_n_;
+    std::uint32_t w = word_.load(std::memory_order_acquire);
+    while (w == seen) {
+      word_.wait(w, std::memory_order_acquire);
+      w = word_.load(std::memory_order_acquire);
     }
-    if (worker_idx < n) (*body)(worker_idx);
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (worker_idx < n && ++done_ == n) cv_done_.notify_one();
+    if ((w & kStopBit) != 0) return;
+    seen = w;
+    const int n = static_cast<int>(w & kWidthMask);
+    if (worker_idx >= n) continue;  // not assigned; never touch body_/done_
+    (*body_)(worker_idx);
+    // acq_rel so the release sequence on done_ chains every sibling's body
+    // effects into the last increment, whose done_flag_ release-store the
+    // dispatcher acquires — run() returns with all n bodies visible.
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        static_cast<std::uint32_t>(n)) {
+      done_flag_.store(gen_of(w), std::memory_order_release);
+      done_flag_.notify_one();
     }
   }
 }

@@ -44,6 +44,18 @@ bool resolve_timing_cache(bool requested);
 /// launch may block all 60 sub-cores simultaneously; fewer workers would
 /// deadlock the barrier). The pool grows once per high-water mark and never
 /// shrinks mid-launch; workers are joined on destruction.
+///
+/// Handoff discipline (see DESIGN.md "Host hot path"): a full-width launch
+/// used to move ~60 workers through the pool mutex twice per launch — once
+/// to read the dispatched body under the lock and once to bump the done
+/// count — a serial convoy of hundreds of futex transitions per launch
+/// that dominated host wall time once batch formation itself went
+/// lock-free. Dispatch is now a single release-store of a packed
+/// generation|width word that workers wait on directly
+/// (std::atomic::wait), and completion is an atomic countdown whose last
+/// decrementer flips a separate per-generation done flag — the dispatcher
+/// sleeps and wakes at most once per launch and no worker ever touches a
+/// mutex on the launch path.
 class SubcorePool {
  public:
   SubcorePool() = default;
@@ -63,16 +75,35 @@ class SubcorePool {
 
  private:
   void ensure_workers(int n);
-  void worker_loop(int worker_idx, std::uint64_t start_generation);
+  void worker_loop(int worker_idx, std::uint32_t start_word);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
+  /// word_ layout: [generation:23][stop:1][width:8]. One atomic word
+  /// carries everything a worker may read without a launch assignment, so
+  /// a straggler from an earlier, wider launch (worker_idx >= width) never
+  /// races the dispatcher's plain writes to body_ — it reads the word,
+  /// sees it is not assigned, and goes back to waiting. Generation
+  /// wraparound (2^23 launches) is harmless: every launch notifies all
+  /// waiters, so no worker can sleep across a full wrap unwoken.
+  static constexpr std::uint32_t kWidthMask = 0xffu;
+  static constexpr std::uint32_t kStopBit = 0x100u;
+  static constexpr std::uint32_t kGenOne = 0x200u;
+  static constexpr std::uint32_t gen_of(std::uint32_t w) {
+    return w & ~(kWidthMask | kStopBit);
+  }
+
+  // Hot atomics on separate cache lines: workers hammer done_ with RMWs at
+  // launch end while later sleepers poll word_.
+  alignas(64) std::atomic<std::uint32_t> word_{0};
+  alignas(64) std::atomic<std::uint32_t> done_{0};
+  /// Generation tag of the last fully-completed launch. The dispatcher
+  /// waits on this, not on done_, so the n-1 intermediate countdown steps
+  /// never wake it.
+  alignas(64) std::atomic<std::uint32_t> done_flag_{0};
+  /// Dispatched body. Written by the (single) dispatcher before the word_
+  /// release-store; read only by workers assigned to the current launch,
+  /// which acquire-loaded the new word first.
   const std::function<void(int)>* body_ = nullptr;
-  int batch_n_ = 0;
-  int done_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  mutable std::mutex threads_mu_;  ///< guards threads_ growth vs workers()
   std::vector<std::thread> threads_;
 };
 

@@ -699,7 +699,12 @@ TEST(ServeClusterHealth, ShutdownRacingQuarantineDrainResolvesEveryFuture) {
       });
     }
     // Let the flood meet the dying device, then shut down mid-drain.
+    // Two deterministic gates instead of a timing guess: half the flood
+    // submitted (the shutdown really races live submitters) and at least
+    // one completion on the record (the "something completed" assertion
+    // below cannot depend on how fast the submit path got).
     while (next.load() < kReqs / 2) std::this_thread::yield();
+    while (cluster->metrics().completed == 0) std::this_thread::yield();
     cluster->shutdown(round == 2 ? ShutdownMode::Drain
                                  : ShutdownMode::Cancel);
     for (auto& t : clients) t.join();

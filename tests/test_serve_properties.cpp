@@ -225,13 +225,30 @@ TEST(EngineStress, EveryFutureResolvesExactlyOnceUnderCancel) {
 
 TEST(EngineStress, InteractiveDoesNotStarveBehindBulkFlood) {
   // A deep bulk backlog forms first; interactive requests submitted after
-  // it must still finish well before the bulk tail (the priority lane),
+  // it must still be served ahead of the bulk tail (the priority lane),
   // rather than waiting out the whole flood. Aging is disabled so the
   // flood cannot legitimately reclaim the head (that escape is pinned by
   // AgedBulkLeadsDespiteFreshInteractive above).
+  //
+  // Determinism: the assertion is on *launch order* — every Response
+  // carries the monotonic id of the serving launch that produced it — not
+  // on per-request wall latency. (The original form compared wall times,
+  // which a contended single-core host can invert through OS scheduling
+  // alone, independent of lane priority.) A long multi-step "gate" launch
+  // of a distinct GroupKey keeps the worker busy while the backlog forms,
+  // so the whole flood and the interactive wave are queued before the
+  // first post-gate pop and the lane decision is forced, not raced.
   Engine engine({.policy = {.max_batch = 4, .max_wait_s = 100e-6,
                             .aging_factor = 1e9},
                  .max_queue = 128});
+  // 48 tile-boundary steps at tile 16: the worker chews on this for
+  // orders of magnitude longer than the submissions below take.
+  auto gate = engine.submit(Request::cumsum(exact_scan_workload(16 * 16 * 48),
+                                            16, false, Priority::Bulk));
+  // The gate is alone in the queue; once the queue empties the worker has
+  // popped it and is inside the launch.
+  while (engine.queue_depth() != 0) std::this_thread::yield();
+
   const auto x = exact_scan_workload(256);
   std::vector<std::future<Response>> bulk;
   for (int i = 0; i < 48; ++i) {
@@ -242,20 +259,30 @@ TEST(EngineStress, InteractiveDoesNotStarveBehindBulkFlood) {
   for (int i = 0; i < 8; ++i) {
     hi.push_back(engine.submit(Request::cumsum(x, 64)));  // interactive
   }
-  double hi_max = 0, bulk_max = 0;
+  std::uint64_t hi_last_launch = 0;
   for (auto& f : hi) {
     const auto r = f.get();
     ASSERT_TRUE(r.ok()) << r.reason;
-    hi_max = std::max(hi_max, r.timing.total_s);
+    hi_last_launch = std::max(hi_last_launch, r.launch_id);
   }
+  std::uint64_t bulk_after = 0, bulk_total = 0, bulk_max_launch = 0;
   for (auto& f : bulk) {
     const auto r = f.get();
     ASSERT_TRUE(r.ok()) << r.reason;
-    bulk_max = std::max(bulk_max, r.timing.total_s);
+    bulk_max_launch = std::max(bulk_max_launch, r.launch_id);
+    ++bulk_total;
+    if (r.launch_id > hi_last_launch) ++bulk_after;
   }
+  ASSERT_TRUE(gate.get().ok());
   engine.shutdown(ShutdownMode::Drain);
-  // Submitted last, the interactive requests overtook most of the flood.
-  EXPECT_LT(hi_max, bulk_max);
+  // Submitted last, the interactive requests launched before the bulk
+  // tail (starvation would put them after the whole flood)...
+  EXPECT_LT(hi_last_launch, bulk_max_launch);
+  // ...and in fact ahead of most of the flood: everything queued behind
+  // the gate launches interactive-first, so at least half the bulk
+  // requests ride launches later than the last interactive one.
+  EXPECT_GT(bulk_after, bulk_total / 2) << "hi_last=" << hi_last_launch
+                                        << " bulk_max=" << bulk_max_launch;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,151 @@
+// Pins the SIMD host verification path (kernels/vec_ref.hpp) against the
+// scalar gold reference (kernels/reference.hpp): bit-identical results on
+// integer-valued corpora — the exactness contract the serving benches rely
+// on when they verify every response with vec_ref instead of ref.
+#include "kernels/vec_ref.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/reference.hpp"
+#include "test_helpers.hpp"
+
+namespace ascend {
+namespace {
+
+std::vector<half> int_row(Rng& rng, std::size_t n, int lo, int hi) {
+  std::vector<half> x(n);
+  for (auto& v : x) {
+    v = half(static_cast<float>(lo + static_cast<int>(rng.next_below(
+                                         static_cast<std::uint64_t>(hi - lo)))));
+  }
+  return x;
+}
+
+TEST(VecRef, MatchesReferenceOnBitRows) {
+  // The serving benches' workload: 0/1 rows across the sizes that exercise
+  // every vector-block/tail split (all residues mod 8, plus long rows).
+  Rng rng(11);
+  for (std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{15}, std::size_t{16}, std::size_t{17},
+        std::size_t{63}, std::size_t{128}, std::size_t{320},
+        std::size_t{2048}}) {
+    std::vector<half> x(n);
+    for (auto& v : x) v = half(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+    const auto gold = ref::inclusive_scan<half, half>(x);
+    const auto fast = vecref::inclusive_scan_f16(x);
+    ASSERT_EQ(vecref::mismatch_count(std::span<const half>(gold),
+                                     std::span<const half>(fast)),
+              0u)
+        << "n=" << n;
+    const auto gold32 = ref::inclusive_scan<half, float>(x);
+    const auto fast32 = vecref::inclusive_scan_f32(x);
+    ASSERT_EQ(vecref::mismatch_count(std::span<const float>(gold32),
+                                     std::span<const float>(fast32)),
+              0u)
+        << "n=" << n;
+  }
+}
+
+TEST(VecRef, MatchesReferenceOnSmallSignedIntegers) {
+  // Mixed-sign small integers: partial sums wander around zero, so this
+  // also covers cancellation back to exact zero (the tree order must land
+  // on the same +0.0 the sequential order does).
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.next_below(200);
+    const auto x = int_row(rng, n, -8, 9);
+    const auto gold = ref::inclusive_scan<half, half>(x);
+    const auto fast = vecref::inclusive_scan_f16(x);
+    ASSERT_EQ(vecref::mismatch_count(std::span<const half>(gold),
+                                     std::span<const half>(fast)),
+              0u)
+        << "trial=" << trial << " n=" << n;
+  }
+}
+
+TEST(VecRef, SegmentedMatchesScalarDefinition) {
+  // y[i] = sum since the last flagged position; position 0 implicitly
+  // starts a segment. Compare against a direct scalar evaluation of that
+  // definition over random integer rows and random flags (including
+  // adjacent flags = length-1 segments, and flagless tails crossing the
+  // 8-lane boundary).
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.next_below(300);
+    const auto x = int_row(rng, n, 0, 5);
+    std::vector<std::int8_t> flags(n, 0);
+    for (auto& f : flags) f = rng.bernoulli(0.15) ? 1 : 0;
+    flags[0] = 1;
+
+    std::vector<float> gold(n);
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (flags[i] != 0) acc = 0.0f;
+      acc += static_cast<float>(x[i]);
+      gold[i] = acc;
+    }
+    const auto fast = vecref::segmented_inclusive_scan(x, flags);
+    ASSERT_EQ(vecref::mismatch_count(std::span<const float>(gold),
+                                     std::span<const float>(fast)),
+              0u)
+        << "trial=" << trial << " n=" << n;
+  }
+}
+
+TEST(VecRef, MismatchCountersSeeEveryDivergence) {
+  std::vector<half> a = {half(1.0f), half(2.0f), half(0.0f)};
+  std::vector<half> b = a;
+  EXPECT_EQ(vecref::mismatch_count(std::span<const half>(a),
+                                   std::span<const half>(b)),
+            0u);
+  b[1] = half(3.0f);
+  EXPECT_EQ(vecref::mismatch_count(std::span<const half>(a),
+                                   std::span<const half>(b)),
+            1u);
+  // Bit-level: -0.0 differs from +0.0 even though they compare ==.
+  b[1] = a[1];
+  b[2] = half(-0.0f);
+  EXPECT_EQ(vecref::mismatch_count(std::span<const half>(a),
+                                   std::span<const half>(b)),
+            1u);
+  // Length differences count every absent element.
+  b.pop_back();
+  b.pop_back();
+  EXPECT_EQ(vecref::mismatch_count(std::span<const half>(a),
+                                   std::span<const half>(b)),
+            2u);
+}
+
+TEST(VecRef, VerifyHelpersAccumulate) {
+  Rng rng(5);
+  vecref::VerifyStats stats;
+  std::vector<half> x(100);
+  for (auto& v : x) v = half(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+  const auto good = ref::inclusive_scan<half, half>(x);
+  vecref::verify_cumsum(x, good, stats);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.elements, 100u);
+  EXPECT_TRUE(stats.clean());
+
+  auto bad = good;
+  bad[50] = half(float(bad[50]) + 1.0f);
+  vecref::verify_cumsum(x, bad, stats);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.mismatches, 1u);
+  EXPECT_FALSE(stats.clean());
+
+  vecref::VerifyStats other;
+  other.requests = 3;
+  other.elements = 7;
+  other.mismatches = 2;
+  stats.merge(other);
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.mismatches, 3u);
+}
+
+}  // namespace
+}  // namespace ascend
